@@ -1,0 +1,51 @@
+package lbr
+
+import "testing"
+
+func TestAskQueries(t *testing.T) {
+	s := movieStore(t)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`ASK { <Jerry> <hasFriend> <Julia> . }`, true},
+		{`ASK { <Jerry> <hasFriend> <Kramer> . }`, false},
+		{`ASK WHERE { ?x <actedIn> <Seinfeld> . }`, true},
+		{`ASK WHERE { ?x <actedIn> <Friends> . }`, false},
+		// The OPTIONAL never decides existence: the master does.
+		{`ASK { <Jerry> <hasFriend> ?f . OPTIONAL { ?f <noSuch> ?y . } }`, true},
+		{`ASK { <Nobody> <hasFriend> ?f . OPTIONAL { ?f <actedIn> ?s . } }`, false},
+		// Joins must actually join.
+		{`ASK { ?f <actedIn> ?s . ?s <location> <NewYorkCity> . }`, true},
+		{`ASK { ?f <actedIn> ?s . ?s <location> <Mars> . }`, false},
+	}
+	for _, c := range cases {
+		got, err := s.Ask(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if got != c.want {
+			t.Errorf("Ask(%s) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestAskOnSelectQuery(t *testing.T) {
+	// Ask also works with a SELECT query's pattern.
+	s := movieStore(t)
+	got, err := s.Ask(`SELECT * WHERE { ?x <location> <NewYorkCity> . }`)
+	if err != nil || !got {
+		t.Fatalf("got=%v err=%v", got, err)
+	}
+}
+
+func TestAskParseErrors(t *testing.T) {
+	s := movieStore(t)
+	if _, err := s.Ask(`ASK { ?x <p> }`); err == nil {
+		t.Error("malformed ASK must fail")
+	}
+	// No modifiers after ASK.
+	if _, err := s.Ask(`ASK { ?x <p> ?y . } LIMIT 5`); err == nil {
+		t.Error("ASK with modifiers must fail")
+	}
+}

@@ -1,0 +1,54 @@
+package lbr
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+)
+
+func TestQueryContextCancelled(t *testing.T) {
+	// A pre-cancelled context must abort and surface the context error.
+	s := NewStore()
+	s.LoadGraph(datagen.MovieGraph(5000))
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ex := "http://example.org/"
+	_, err := s.QueryContext(ctx, `
+		SELECT * WHERE { ?a <`+ex+`actedIn> ?s . OPTIONAL { ?s <`+ex+`location> ?l . } }`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestQueryContextDeadline(t *testing.T) {
+	s := NewStore()
+	s.LoadGraph(datagen.MovieGraph(200))
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	ex := "http://example.org/"
+	res, err := s.QueryContext(ctx, `
+		SELECT * WHERE { ?a <`+ex+`actedIn> ?s . }`)
+	if err != nil {
+		t.Fatalf("generous deadline must succeed: %v", err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("expected results")
+	}
+}
+
+func TestQueryContextBackground(t *testing.T) {
+	s := movieStore(t)
+	res, err := s.QueryContext(context.Background(), movieQ2)
+	if err != nil || res.Len() != 2 {
+		t.Fatalf("background context query: %v / %d rows", err, res.Len())
+	}
+}

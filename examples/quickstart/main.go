@@ -1,0 +1,65 @@
+// Quickstart: the Q1 actors query from the paper's introduction. Not every
+// actor lists contact details, so the OPTIONAL pattern returns NULLs for
+// the missing ones instead of dropping the actor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	store := lbr.NewStore()
+
+	ex := func(s string) string { return "http://example.org/" + s }
+	add := func(s, p, o string) { store.Add(lbr.TripleIRI(ex(s), ex(p), ex(o))) }
+	addLit := func(s, p, lit string) { store.Add(lbr.TripleLit(ex(s), ex(p), lit)) }
+
+	// Three actors; only some have email and telephone listed.
+	addLit("julia", "name", "Julia Louis-Dreyfus")
+	addLit("julia", "address", "1 Veep Way")
+	addLit("julia", "email", "julia@example.org")
+	addLit("julia", "telephone", "+1-555-0001")
+
+	addLit("larry", "name", "Larry David")
+	addLit("larry", "address", "2 Curb Street")
+	// Larry lists no contact details.
+
+	addLit("jerry", "name", "Jerry Seinfeld")
+	addLit("jerry", "address", "129 W 81st St")
+	addLit("jerry", "email", "jerry@example.org")
+	addLit("jerry", "telephone", "+1-555-0002")
+
+	add("julia", "knows", "jerry")
+
+	if err := store.Build(); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := store.Query(`
+		PREFIX : <http://example.org/>
+		SELECT ?actor ?name ?addr ?email ?tele WHERE {
+			?actor :name ?name .
+			?actor :address ?addr .
+			OPTIONAL {
+				?actor :email ?email .
+				?actor :telephone ?tele . } }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d actors (NULL = contact info not listed):\n", res.Len())
+	res.Iterate(func(row map[string]lbr.Term) bool {
+		email := "NULL"
+		if t, ok := row["email"]; ok {
+			email = t.Value
+		}
+		fmt.Printf("  %-22s email=%s\n", row["name"].Value, email)
+		return true
+	})
+
+	fmt.Printf("\nstats: initial=%d triples, after pruning=%d, best-match=%v\n",
+		res.Stats.InitialTriples, res.Stats.AfterPruning, res.Stats.BestMatch)
+}

@@ -1,0 +1,199 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparql"
+)
+
+// randTree builds a random binary Join/LeftJoin tree over single-pattern
+// leaves whose variables chain so the query stays connected.
+func randTree(rng *rand.Rand, nLeaves int) Tree {
+	leaves := make([]Tree, nLeaves)
+	for i := range leaves {
+		leaves[i] = &Leaf{Patterns: []sparql.TriplePattern{{
+			S: sparql.V(fmt.Sprintf("v%d", i)),
+			P: sparql.IRINode(fmt.Sprintf("http://p%d", i)),
+			O: sparql.V(fmt.Sprintf("v%d", i+1)),
+		}}}
+	}
+	// Randomly combine adjacent subtrees so the leftmost-leaf order stays
+	// the leaf index order.
+	for len(leaves) > 1 {
+		i := rng.Intn(len(leaves) - 1)
+		var combined Tree
+		if rng.Intn(2) == 0 {
+			combined = &Join{L: leaves[i], R: leaves[i+1]}
+		} else {
+			combined = &LeftJoin{L: leaves[i], R: leaves[i+1]}
+		}
+		leaves = append(leaves[:i], append([]Tree{combined}, leaves[i+2:]...)...)
+	}
+	return leaves[0]
+}
+
+func TestGoSNStructuralInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(6)
+		tree := randTree(rng, n)
+		g, err := BuildGoSN(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Invariant 1: exactly one edge per internal node = n-1 edges; the
+		// undirected GoSN is a tree.
+		if len(g.Edges) != n-1 {
+			t.Fatalf("trial %d: %d edges for %d leaves", trial, len(g.Edges), n)
+		}
+		// Invariant 2: at least one absolute master, and the leftmost
+		// supernode is always one.
+		abs := g.AbsoluteMasters()
+		if len(abs) == 0 || abs[0] != 0 {
+			t.Fatalf("trial %d: absolute masters = %v", trial, abs)
+		}
+		// Invariant 3: the master relation is antisymmetric.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && g.IsMaster(i, j) && g.IsMaster(j, i) {
+					t.Fatalf("trial %d: master relation symmetric between %d and %d", trial, i, j)
+				}
+			}
+		}
+		// Invariant 4: peers is an equivalence relation (symmetric classes
+		// that contain their members).
+		for i := 0; i < n; i++ {
+			found := false
+			for _, p := range g.Peers(i) {
+				if p == i {
+					found = true
+				}
+				if !g.ArePeers(p, i) {
+					t.Fatalf("trial %d: peers not symmetric (%d,%d)", trial, i, p)
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: %d not in its own peer class", trial, i)
+			}
+		}
+		// Invariant 5: peers of an absolute master are absolute masters.
+		for _, a := range abs {
+			for _, p := range g.Peers(a) {
+				if !g.IsAbsoluteMaster(p) {
+					t.Fatalf("trial %d: peer %d of absolute master %d is a slave", trial, p, a)
+				}
+			}
+		}
+		// Invariant 6: a slave's masters include at least one absolute
+		// master (transitivity reaches the top).
+		for i := 0; i < n; i++ {
+			if g.IsAbsoluteMaster(i) {
+				continue
+			}
+			hasAbsMaster := false
+			for _, m := range g.MastersOf(i) {
+				if g.IsAbsoluteMaster(m) {
+					hasAbsMaster = true
+				}
+			}
+			if !hasAbsMaster {
+				t.Fatalf("trial %d: slave %d has no absolute master above it", trial, i)
+			}
+		}
+	}
+}
+
+func TestNWDTransformationConverges(t *testing.T) {
+	// The transformation is monotonic: applying it twice changes nothing.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(4)
+		tree := randTree(rng, n)
+		// Inject a violation: give a random non-first leaf a variable from
+		// a disjoint earlier leaf.
+		leaves := Leaves(tree)
+		li := 1 + rng.Intn(len(leaves)-1)
+		leaves[li].Patterns = append(leaves[li].Patterns, sparql.TriplePattern{
+			S: sparql.V("v0"),
+			P: sparql.IRINode("http://px"),
+			O: sparql.V(fmt.Sprintf("w%d", trial)),
+		})
+		g, err := BuildGoSN(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viols := CheckWellDesigned(tree, g)
+		TransformNWD(g, viols)
+		snapshot := g.String()
+		// Re-check: any remaining violations transform to the same GoSN.
+		viols2 := CheckWellDesigned(tree, g)
+		TransformNWD(g, viols2)
+		if g.String() != snapshot {
+			t.Fatalf("trial %d: transformation not convergent:\n%s\n%s", trial, snapshot, g.String())
+		}
+		// Bidirectional edges never revert.
+		for _, e := range g.Edges {
+			_ = e
+		}
+	}
+}
+
+func TestUNFBranchCountMultiplies(t *testing.T) {
+	// k unions of sizes a1..ak under joins produce prod(ai) branches.
+	src := `
+		PREFIX : <http://ex.org/>
+		SELECT * WHERE {
+			{ ?x :a ?y . } UNION { ?x :b ?y . } UNION { ?x :c ?y . }
+			{ ?y :d ?z . } UNION { ?y :e ?z . }
+			?z :f ?w .
+		}`
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := FromQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches, err := NormalizeUNF(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(branches) != 6 {
+		t.Fatalf("branches = %d, want 3*2", len(branches))
+	}
+	for _, b := range branches {
+		if len(Leaves(b.Tree)) != 3 {
+			t.Errorf("branch %s has %d leaves", b.Tree.Serialize(), len(Leaves(b.Tree)))
+		}
+		if _, err := BuildGoSN(b.Tree); err != nil {
+			t.Errorf("branch not GoSN-ready: %v", err)
+		}
+	}
+}
+
+func TestCloneTreeIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	tree := randTree(rng, 4)
+	clone := CloneTree(tree)
+	if clone.Serialize() != tree.Serialize() {
+		t.Fatal("clone must serialize identically")
+	}
+	// Mutating the clone's patterns must not affect the original.
+	Leaves(clone)[0].Patterns[0].S = sparql.V("mutated")
+	if clone.Serialize() == tree.Serialize() {
+		t.Fatal("clone shares pattern storage with the original")
+	}
+}
+
+func TestSerializeShapes(t *testing.T) {
+	tree := figure21bTree()
+	s := tree.Serialize()
+	// ((Pa OPT Pb) JOIN (Pc OPT Pd)) OPT (Pe OPT Pf)
+	want := "((({?x <http://ex.org/pa> ?y} OPT {?y <http://ex.org/pb> ?b}) JOIN ({?x <http://ex.org/pc> ?c} OPT {?c <http://ex.org/pd> ?d})) OPT ({?x <http://ex.org/pe> ?e} OPT {?e <http://ex.org/pf> ?f}))"
+	if s != want {
+		t.Errorf("Serialize:\n got %s\nwant %s", s, want)
+	}
+}

@@ -1,0 +1,233 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/sparql"
+)
+
+// Branch is one union-free branch of a query in UNION normal form
+// (Section 5.2): a pure Join/LeftJoin/Leaf tree plus the filters that
+// applied to (parts of) it, each annotated with the range of leaves it
+// scopes over.
+type Branch struct {
+	Tree Tree
+	// Filters lists the scoped filters in evaluation order (innermost
+	// first).
+	Filters []ScopedFilter
+	// UsedRule3 reports that this branch came from distributing a LeftJoin
+	// over a union on its right side (rewrite rule 3), which can introduce
+	// spurious results: the caller must apply best-match over the union of
+	// all branch results.
+	UsedRule3 bool
+}
+
+// ScopedFilter is a filter expression together with the leaf index range
+// [From, To) of the branch tree it applies to. A filter whose range covers
+// the whole tree rejects rows; one scoped to a slave subtree nullifies that
+// subtree's bindings instead (the FaN treatment of Section 5.2).
+type ScopedFilter struct {
+	Expr     sparql.Expr
+	From, To int
+}
+
+// NormalizeUNF rewrites an arbitrary BGP/OPT/UNION/FILTER tree into UNION
+// normal form: a list of union-free branches. The rewrite applies the five
+// equivalences of Section 5.2: unions distribute out of joins (1), out of
+// the left side of left-joins (2), and out of the right side of left-joins
+// (3, flagged because it may require spurious-result removal); filters
+// distribute over unions (5) and remain attached to their scope, which
+// subsumes the push-in rule (4) under the safe-filter assumption.
+func NormalizeUNF(t Tree) ([]*Branch, error) {
+	trees, rule3 := distribute(t)
+	branches := make([]*Branch, 0, len(trees))
+	for i, bt := range trees {
+		pure, filters, err := extractFilters(bt)
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, &Branch{Tree: pure, Filters: filters, UsedRule3: rule3[i]})
+	}
+	return branches, nil
+}
+
+// distribute pushes unions to the top. It returns one tree per union
+// branch, with FilterT nodes kept in place, plus a per-branch flag for
+// rule-3 usage.
+func distribute(t Tree) ([]Tree, []bool) {
+	switch n := t.(type) {
+	case *Leaf:
+		return []Tree{n}, []bool{false}
+	case *FilterT:
+		subs, r3 := distribute(n.Child)
+		out := make([]Tree, len(subs))
+		for i, s := range subs {
+			out[i] = &FilterT{Expr: n.Expr, Child: s} // rule 5
+		}
+		return out, r3
+	case *Join:
+		ls, lr3 := distribute(n.L)
+		rs, rr3 := distribute(n.R)
+		var out []Tree
+		var r3 []bool
+		for i, l := range ls {
+			for j, r := range rs {
+				out = append(out, &Join{L: CloneTree(l), R: CloneTree(r)}) // rule 1
+				r3 = append(r3, lr3[i] || rr3[j])
+			}
+		}
+		return out, r3
+	case *LeftJoin:
+		ls, lr3 := distribute(n.L)
+		rs, rr3 := distribute(n.R)
+		rightSplit := len(rs) > 1 // rule 3 in effect
+		var out []Tree
+		var r3 []bool
+		for i, l := range ls {
+			for j, r := range rs {
+				out = append(out, &LeftJoin{L: CloneTree(l), R: CloneTree(r)}) // rules 2 and 3
+				r3 = append(r3, lr3[i] || rr3[j] || rightSplit)
+			}
+		}
+		return out, r3
+	case *UnionT:
+		var out []Tree
+		var r3 []bool
+		for _, a := range n.Alts {
+			subs, sr3 := distribute(a)
+			out = append(out, subs...)
+			r3 = append(r3, sr3...)
+		}
+		return out, r3
+	}
+	panic(fmt.Sprintf("algebra: distribute on %T", t))
+}
+
+// extractFilters removes FilterT nodes from a union-free tree, returning
+// the pure tree and the filters annotated with the leaf ranges of their
+// former child subtrees. Leaf order is unchanged by the removal, so the
+// ranges remain valid against the pure tree.
+func extractFilters(t Tree) (Tree, []ScopedFilter, error) {
+	var filters []ScopedFilter
+	var walk func(Tree, int) (Tree, int, error) // returns pure subtree and #leaves under it
+	walk = func(t Tree, leafStart int) (Tree, int, error) {
+		switch n := t.(type) {
+		case *Leaf:
+			return n, 1, nil
+		case *Join:
+			l, nl, err := walk(n.L, leafStart)
+			if err != nil {
+				return nil, 0, err
+			}
+			r, nr, err := walk(n.R, leafStart+nl)
+			if err != nil {
+				return nil, 0, err
+			}
+			return &Join{L: l, R: r}, nl + nr, nil
+		case *LeftJoin:
+			l, nl, err := walk(n.L, leafStart)
+			if err != nil {
+				return nil, 0, err
+			}
+			r, nr, err := walk(n.R, leafStart+nl)
+			if err != nil {
+				return nil, 0, err
+			}
+			return &LeftJoin{L: l, R: r}, nl + nr, nil
+		case *FilterT:
+			child, nc, err := walk(n.Child, leafStart)
+			if err != nil {
+				return nil, 0, err
+			}
+			filters = append(filters, ScopedFilter{Expr: n.Expr, From: leafStart, To: leafStart + nc})
+			return child, nc, nil
+		case *UnionT:
+			return nil, 0, fmt.Errorf("algebra: union survived distribution")
+		}
+		return nil, 0, fmt.Errorf("algebra: unknown node %T", t)
+	}
+	pure, _, err := walk(t, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pure, filters, nil
+}
+
+// CheckSafeFilters verifies the safe-filter condition of Section 5.2: every
+// variable of each filter must occur in a triple pattern of the subtree the
+// filter scopes over. It must run on a Branch produced by NormalizeUNF.
+func (b *Branch) CheckSafeFilters() error {
+	leaves := Leaves(b.Tree)
+	for _, sf := range b.Filters {
+		inScope := map[sparql.Var]bool{}
+		for i := sf.From; i < sf.To && i < len(leaves); i++ {
+			for _, tp := range leaves[i].Patterns {
+				for _, v := range tp.Vars() {
+					inScope[v] = true
+				}
+			}
+		}
+		for v := range sparql.ExprVars(sf.Expr) {
+			if !inScope[v] {
+				return fmt.Errorf("algebra: unsafe filter: ?%s does not occur in the filter's scope", v)
+			}
+		}
+	}
+	return nil
+}
+
+// SubstituteCheapFilters applies the paper's "cheap" filter optimizations
+// on a branch whose filter scopes the entire tree: an equality ?m = ?n
+// replaces every ?n with ?m in the scoped patterns, and an equality
+// ?v = <constant> replaces ?v with the constant. Applied filters are
+// removed. Only whole-tree scopes are rewritten; narrower scopes keep
+// their filters for FaN evaluation.
+func (b *Branch) SubstituteCheapFilters() {
+	nLeaves := len(Leaves(b.Tree))
+	var kept []ScopedFilter
+	for _, sf := range b.Filters {
+		if sf.From != 0 || sf.To != nLeaves {
+			kept = append(kept, sf)
+			continue
+		}
+		cmp, ok := sf.Expr.(sparql.Cmp)
+		if !ok || cmp.Op != sparql.OpEq {
+			kept = append(kept, sf)
+			continue
+		}
+		lv, lIsVar := cmp.L.(sparql.ExprVar)
+		rv, rIsVar := cmp.R.(sparql.ExprVar)
+		switch {
+		case lIsVar && rIsVar:
+			substituteVar(b.Tree, rv.V, sparql.V(string(lv.V)))
+		case lIsVar:
+			if term, ok := cmp.R.(sparql.ExprTerm); ok {
+				substituteVar(b.Tree, lv.V, sparql.TermNode(term.Term))
+			} else {
+				kept = append(kept, sf)
+			}
+		case rIsVar:
+			if term, ok := cmp.L.(sparql.ExprTerm); ok {
+				substituteVar(b.Tree, rv.V, sparql.TermNode(term.Term))
+			} else {
+				kept = append(kept, sf)
+			}
+		default:
+			kept = append(kept, sf)
+		}
+	}
+	b.Filters = kept
+}
+
+func substituteVar(t Tree, v sparql.Var, repl sparql.Node) {
+	for _, l := range Leaves(t) {
+		for i := range l.Patterns {
+			tp := &l.Patterns[i]
+			for _, pos := range []*sparql.Node{&tp.S, &tp.P, &tp.O} {
+				if pos.IsVar && pos.Var == v {
+					*pos = repl
+				}
+			}
+		}
+	}
+}

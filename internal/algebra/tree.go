@@ -1,0 +1,281 @@
+// Package algebra turns parsed SPARQL queries into the structures the paper
+// reasons over: the serialized tree of OPT-free BGPs combined by inner and
+// left-outer joins (Section 2.1), the graph of supernodes (GoSN), the graph
+// of join variables (GoJ, Section 3.1), the well-designedness test, the
+// non-well-designed GoSN transformation (Appendix B), and the UNION normal
+// form rewrite (Section 5.2).
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sparql"
+)
+
+// Tree is the serialized form of a query: leaves are OPT-free BGPs, inner
+// nodes are inner joins or left-outer joins. Union and Filter nodes appear
+// only before the UNF rewrite.
+type Tree interface {
+	isTree()
+	// Serialize renders the tree in the paper's parenthesized notation.
+	Serialize() string
+}
+
+// Leaf is an OPT-free BGP.
+type Leaf struct {
+	Patterns []sparql.TriplePattern
+}
+
+// Join is an inner join of two patterns.
+type Join struct {
+	L, R Tree
+}
+
+// LeftJoin is a left-outer join: L OPTIONAL R.
+type LeftJoin struct {
+	L, R Tree
+}
+
+// UnionT is a union of alternatives.
+type UnionT struct {
+	Alts []Tree
+}
+
+// FilterT applies a filter expression to its child pattern.
+type FilterT struct {
+	Expr  sparql.Expr
+	Child Tree
+}
+
+func (*Leaf) isTree()     {}
+func (*Join) isTree()     {}
+func (*LeftJoin) isTree() {}
+func (*UnionT) isTree()   {}
+func (*FilterT) isTree()  {}
+
+// Serialize renders a BGP leaf as its triple patterns between braces.
+func (l *Leaf) Serialize() string {
+	parts := make([]string, len(l.Patterns))
+	for i, tp := range l.Patterns {
+		parts[i] = tp.String()
+	}
+	return "{" + strings.Join(parts, " . ") + "}"
+}
+
+// Serialize renders (L JOIN R).
+func (j *Join) Serialize() string {
+	return "(" + j.L.Serialize() + " JOIN " + j.R.Serialize() + ")"
+}
+
+// Serialize renders (L OPT R).
+func (lj *LeftJoin) Serialize() string {
+	return "(" + lj.L.Serialize() + " OPT " + lj.R.Serialize() + ")"
+}
+
+// Serialize renders (A UNION B UNION ...).
+func (u *UnionT) Serialize() string {
+	parts := make([]string, len(u.Alts))
+	for i, a := range u.Alts {
+		parts[i] = a.Serialize()
+	}
+	return "(" + strings.Join(parts, " UNION ") + ")"
+}
+
+// Serialize renders FILTER(expr, child).
+func (f *FilterT) Serialize() string {
+	return "FILTER(" + f.Expr.String() + ", " + f.Child.Serialize() + ")"
+}
+
+// FromQuery converts the WHERE group of a parsed query into a Tree,
+// following the SPARQL group semantics: triple patterns accumulate into the
+// current BGP, OPTIONAL left-joins the group so far with its argument, and
+// sub-groups/unions join in. Filters scope over the whole group they appear
+// in.
+func FromQuery(q *sparql.Query) (Tree, error) {
+	return fromGroup(q.Where)
+}
+
+func fromGroup(g sparql.Group) (Tree, error) {
+	var acc Tree
+	var filters []sparql.Expr
+	join := func(t Tree) {
+		if acc == nil {
+			acc = t
+			return
+		}
+		// Merging two OPT-free BGPs joined at the same level keeps leaves
+		// maximal, as the paper's serialization does.
+		if la, ok := acc.(*Leaf); ok {
+			if lt, ok := t.(*Leaf); ok {
+				merged := make([]sparql.TriplePattern, 0, len(la.Patterns)+len(lt.Patterns))
+				merged = append(merged, la.Patterns...)
+				merged = append(merged, lt.Patterns...)
+				acc = &Leaf{Patterns: merged}
+				return
+			}
+		}
+		acc = &Join{L: acc, R: t}
+	}
+	for _, el := range g.Elements {
+		switch e := el.(type) {
+		case sparql.TriplesBlock:
+			pats := make([]sparql.TriplePattern, len(e.Patterns))
+			copy(pats, e.Patterns)
+			join(&Leaf{Patterns: pats})
+		case sparql.Optional:
+			inner, err := fromGroup(e.Group)
+			if err != nil {
+				return nil, err
+			}
+			if acc == nil {
+				// OPTIONAL at the start of a group left-joins the empty BGP,
+				// which behaves as the inner pattern made optional against
+				// nothing; we reject it as the paper's queries never do this.
+				return nil, fmt.Errorf("algebra: OPTIONAL with empty left side")
+			}
+			acc = &LeftJoin{L: acc, R: inner}
+		case sparql.SubGroup:
+			inner, err := fromGroup(e.Group)
+			if err != nil {
+				return nil, err
+			}
+			join(inner)
+		case sparql.Union:
+			alts := make([]Tree, len(e.Alternatives))
+			for i, alt := range e.Alternatives {
+				t, err := fromGroup(alt)
+				if err != nil {
+					return nil, err
+				}
+				alts[i] = t
+			}
+			join(&UnionT{Alts: alts})
+		case sparql.Filter:
+			filters = append(filters, e.Expr)
+		default:
+			return nil, fmt.Errorf("algebra: unknown element %T", el)
+		}
+	}
+	if acc == nil {
+		return nil, fmt.Errorf("algebra: empty group pattern")
+	}
+	for _, f := range filters {
+		acc = &FilterT{Expr: f, Child: acc}
+	}
+	return acc, nil
+}
+
+// Leaves returns the OPT-free BGP leaves of t in left-to-right order. It
+// panics on Union or Filter nodes; run the UNF rewrite first.
+func Leaves(t Tree) []*Leaf {
+	var out []*Leaf
+	var walk func(Tree)
+	walk = func(t Tree) {
+		switch n := t.(type) {
+		case *Leaf:
+			out = append(out, n)
+		case *Join:
+			walk(n.L)
+			walk(n.R)
+		case *LeftJoin:
+			walk(n.L)
+			walk(n.R)
+		default:
+			panic(fmt.Sprintf("algebra: Leaves on %T; rewrite unions/filters first", t))
+		}
+	}
+	walk(t)
+	return out
+}
+
+// TreeVars returns every variable of every triple pattern under t.
+func TreeVars(t Tree) map[sparql.Var]bool {
+	m := map[sparql.Var]bool{}
+	var walk func(Tree)
+	walk = func(t Tree) {
+		switch n := t.(type) {
+		case *Leaf:
+			for _, tp := range n.Patterns {
+				for _, v := range tp.Vars() {
+					m[v] = true
+				}
+			}
+		case *Join:
+			walk(n.L)
+			walk(n.R)
+		case *LeftJoin:
+			walk(n.L)
+			walk(n.R)
+		case *UnionT:
+			for _, a := range n.Alts {
+				walk(a)
+			}
+		case *FilterT:
+			walk(n.Child)
+		}
+	}
+	walk(t)
+	return m
+}
+
+// TreePatterns returns every triple pattern under t in left-to-right order.
+func TreePatterns(t Tree) []sparql.TriplePattern {
+	var out []sparql.TriplePattern
+	var walk func(Tree)
+	walk = func(t Tree) {
+		switch n := t.(type) {
+		case *Leaf:
+			out = append(out, n.Patterns...)
+		case *Join:
+			walk(n.L)
+			walk(n.R)
+		case *LeftJoin:
+			walk(n.L)
+			walk(n.R)
+		case *UnionT:
+			for _, a := range n.Alts {
+				walk(a)
+			}
+		case *FilterT:
+			walk(n.Child)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// SortedVars returns the variables of t in deterministic order.
+func SortedVars(t Tree) []sparql.Var {
+	m := TreeVars(t)
+	out := make([]sparql.Var, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CloneTree deep-copies a tree.
+func CloneTree(t Tree) Tree {
+	switch n := t.(type) {
+	case *Leaf:
+		pats := make([]sparql.TriplePattern, len(n.Patterns))
+		copy(pats, n.Patterns)
+		return &Leaf{Patterns: pats}
+	case *Join:
+		return &Join{L: CloneTree(n.L), R: CloneTree(n.R)}
+	case *LeftJoin:
+		return &LeftJoin{L: CloneTree(n.L), R: CloneTree(n.R)}
+	case *UnionT:
+		alts := make([]Tree, len(n.Alts))
+		for i, a := range n.Alts {
+			alts[i] = CloneTree(a)
+		}
+		return &UnionT{Alts: alts}
+	case *FilterT:
+		return &FilterT{Expr: n.Expr, Child: CloneTree(n.Child)}
+	}
+	panic(fmt.Sprintf("algebra: clone of %T", t))
+}

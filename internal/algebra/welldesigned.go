@@ -1,0 +1,176 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/sparql"
+)
+
+// Violation records one breach of the well-designedness condition: a
+// variable of a right-hand OPT pattern that also occurs outside that OPT
+// subpattern but not on its left-hand side. SlaveSN and OutsideSN are the
+// supernode IDs the Appendix-B transformation pairs up.
+type Violation struct {
+	Var       sparql.Var
+	SlaveSN   int // the leaf under the OPT right side that mentions Var
+	OutsideSN int // a leaf outside the OPT subpattern that mentions Var
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("?%s: SN%d violates with SN%d", v.Var, v.SlaveSN, v.OutsideSN)
+}
+
+// CheckWellDesigned tests the Perez et al. condition on a union- and
+// filter-free tree: for every subpattern P' = (Pk OPT Pl), every variable of
+// Pl that occurs outside P' must also occur in Pk. It returns the list of
+// violations (empty for well-designed queries), each mapped to the
+// supernode pair the Appendix-B GoSN transformation needs. The supplied
+// GoSN must come from the same tree.
+func CheckWellDesigned(t Tree, g *GoSN) []Violation {
+	// Identify each leaf with its supernode ID by matching the left-to-right
+	// leaf order used by BuildGoSN.
+	leaves := Leaves(t)
+	leafSN := map[*Leaf]int{}
+	for i, l := range leaves {
+		leafSN[l] = i
+	}
+
+	// For every variable, the set of supernodes mentioning it.
+	varSNs := map[sparql.Var][]int{}
+	for i, l := range leaves {
+		seen := map[sparql.Var]bool{}
+		for _, tp := range l.Patterns {
+			for _, v := range tp.Vars() {
+				if !seen[v] {
+					seen[v] = true
+					varSNs[v] = append(varSNs[v], i)
+				}
+			}
+		}
+	}
+
+	var violations []Violation
+	reported := map[Violation]bool{}
+
+	var leavesUnder func(Tree) map[int]bool
+	leavesUnder = func(t Tree) map[int]bool {
+		m := map[int]bool{}
+		switch n := t.(type) {
+		case *Leaf:
+			m[leafSN[n]] = true
+		case *Join:
+			for k := range leavesUnder(n.L) {
+				m[k] = true
+			}
+			for k := range leavesUnder(n.R) {
+				m[k] = true
+			}
+		case *LeftJoin:
+			for k := range leavesUnder(n.L) {
+				m[k] = true
+			}
+			for k := range leavesUnder(n.R) {
+				m[k] = true
+			}
+		}
+		return m
+	}
+
+	var walk func(Tree)
+	walk = func(t Tree) {
+		switch n := t.(type) {
+		case *Join:
+			walk(n.L)
+			walk(n.R)
+		case *LeftJoin:
+			walk(n.L)
+			walk(n.R)
+			inside := leavesUnder(n) // leaves of the whole subpattern P'
+			leftVars := TreeVars(n.L)
+			// For every variable of the right side, check occurrences
+			// outside P'.
+			for _, rl := range Leaves(n.R) {
+				rlID := leafSN[rl]
+				seen := map[sparql.Var]bool{}
+				for _, tp := range rl.Patterns {
+					for _, v := range tp.Vars() {
+						if seen[v] || leftVars[v] {
+							continue
+						}
+						seen[v] = true
+						for _, outSN := range varSNs[v] {
+							if !inside[outSN] {
+								viol := Violation{Var: v, SlaveSN: rlID, OutsideSN: outSN}
+								if !reported[viol] {
+									reported[viol] = true
+									violations = append(violations, viol)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	walk(t)
+	return violations
+}
+
+// TransformNWD applies the Appendix-B transformation for non-well-designed
+// queries: for every violation pair, the unique undirected path between the
+// two supernodes is located in the GoSN and every unidirectional edge on it
+// becomes bidirectional (converting those left-outer joins to inner joins
+// under the null-intolerant join interpretation). The process is monotonic
+// and converges; derived relations are recomputed. The GoSN is modified in
+// place.
+func TransformNWD(g *GoSN, violations []Violation) {
+	if len(violations) == 0 {
+		return
+	}
+	// Undirected adjacency with edge indexes.
+	type half struct{ to, edge int }
+	adj := make([][]half, len(g.Supernodes))
+	for ei, e := range g.Edges {
+		adj[e.From] = append(adj[e.From], half{e.To, ei})
+		adj[e.To] = append(adj[e.To], half{e.From, ei})
+	}
+	pathEdges := func(from, to int) []int {
+		// BFS; GoSN is a tree when edge directions are ignored, so the path
+		// is unique.
+		prev := make([]int, len(g.Supernodes))
+		prevEdge := make([]int, len(g.Supernodes))
+		for i := range prev {
+			prev[i] = -1
+		}
+		prev[from] = from
+		queue := []int{from}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if cur == to {
+				break
+			}
+			for _, h := range adj[cur] {
+				if prev[h.to] == -1 {
+					prev[h.to] = cur
+					prevEdge[h.to] = h.edge
+					queue = append(queue, h.to)
+				}
+			}
+		}
+		if prev[to] == -1 {
+			return nil
+		}
+		var edges []int
+		for cur := to; cur != from; cur = prev[cur] {
+			edges = append(edges, prevEdge[cur])
+		}
+		return edges
+	}
+	for _, v := range violations {
+		for _, ei := range pathEdges(v.SlaveSN, v.OutsideSN) {
+			g.Edges[ei].Kind = Bidirectional
+		}
+	}
+	g.finalize()
+}

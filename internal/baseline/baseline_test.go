@@ -1,0 +1,256 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/rdf"
+	"repro/internal/ref"
+	"repro/internal/sparql"
+)
+
+func figure32Graph() *rdf.Graph {
+	g := rdf.NewGraph()
+	for _, tr := range []rdf.Triple{
+		rdf.T("Julia", "actedIn", "Seinfeld"),
+		rdf.T("Julia", "actedIn", "Veep"),
+		rdf.T("Julia", "actedIn", "NewAdvOldChristine"),
+		rdf.T("Julia", "actedIn", "CurbYourEnthu"),
+		rdf.T("Larry", "actedIn", "CurbYourEnthu"),
+		rdf.T("Jerry", "hasFriend", "Julia"),
+		rdf.T("Jerry", "hasFriend", "Larry"),
+		rdf.T("Seinfeld", "location", "NewYorkCity"),
+		rdf.T("Veep", "location", "D.C."),
+		rdf.T("CurbYourEnthu", "location", "LosAngeles"),
+		rdf.T("NewAdvOldChristine", "location", "Jersey"),
+	} {
+		g.Add(tr)
+	}
+	return g
+}
+
+func baselineOver(t *testing.T, g *rdf.Graph, policy Policy) *Engine {
+	t.Helper()
+	idx, err := bitmat.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(idx, policy)
+}
+
+const q2 = `
+	SELECT * WHERE {
+		<Jerry> <hasFriend> ?friend .
+		OPTIONAL {
+			?friend <actedIn> ?sitcom .
+			?sitcom <location> <NewYorkCity> . }}`
+
+func TestBaselineQ2BothPolicies(t *testing.T) {
+	for _, pol := range []Policy{OriginalOrder, SelectiveMaster} {
+		e := baselineOver(t, figure32Graph(), pol)
+		res, err := e.ExecuteString(q2)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		got := res.SortedRowStrings()
+		want := []string{"<Julia>|<Seinfeld>", "<Larry>|NULL"}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("%v rows = %v, want %v", pol, got, want)
+		}
+	}
+}
+
+func TestBaselineRejectsThreeVarPattern(t *testing.T) {
+	e := baselineOver(t, figure32Graph(), OriginalOrder)
+	if _, err := e.ExecuteString(`SELECT * WHERE { ?s ?p ?o . }`); err == nil {
+		t.Error("three-variable patterns unsupported")
+	}
+}
+
+func TestBaselineScanShapes(t *testing.T) {
+	e := baselineOver(t, figure32Graph(), OriginalOrder)
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{`SELECT * WHERE { ?who <actedIn> <CurbYourEnthu> . }`, 2},
+		{`SELECT * WHERE { <Julia> <actedIn> ?sitcom . }`, 4},
+		{`SELECT * WHERE { <Jerry> ?p ?o . }`, 2},
+		{`SELECT * WHERE { ?s ?p <CurbYourEnthu> . }`, 2},
+		{`SELECT * WHERE { <Julia> ?p <Veep> . }`, 1},
+		{`SELECT * WHERE { <Julia> <actedIn> <Veep> . }`, 1},
+		{`SELECT * WHERE { <Larry> <actedIn> <Veep> . }`, 0},
+		{`SELECT * WHERE { ?x <actedIn> ?y . ?y <location> ?z . }`, 5},
+	}
+	for _, c := range cases {
+		res, err := e.ExecuteString(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if len(res.Rows) != c.want {
+			t.Errorf("%s: rows = %d, want %d", c.src, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestBaselineSelfJoinPattern(t *testing.T) {
+	g := figure32Graph()
+	g.Add(rdf.T("Narcissus", "admires", "Narcissus"))
+	g.Add(rdf.T("Echo", "admires", "Narcissus"))
+	e := baselineOver(t, g, SelectiveMaster)
+	res, err := e.ExecuteString(`SELECT * WHERE { ?x <admires> ?x . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Value != "Narcissus" {
+		t.Fatalf("rows = %v", res.SortedRowStrings())
+	}
+}
+
+func TestBaselineFilters(t *testing.T) {
+	e := baselineOver(t, figure32Graph(), SelectiveMaster)
+	res, err := e.ExecuteString(`
+		SELECT * WHERE {
+			<Jerry> <hasFriend> ?f .
+			OPTIONAL { ?f <actedIn> ?s . FILTER (?s != <Veep>) }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.SortedRowStrings() {
+		if s == "<Julia>|<Veep>" {
+			t.Error("filtered row survived")
+		}
+	}
+	// Julia keeps 3 sitcoms, Larry 1.
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4: %v", len(res.Rows), res.SortedRowStrings())
+	}
+}
+
+func TestBaselineUnion(t *testing.T) {
+	e := baselineOver(t, figure32Graph(), OriginalOrder)
+	res, err := e.ExecuteString(`
+		SELECT * WHERE {
+			{ <Jerry> <hasFriend> ?x . } UNION { ?x <location> <NewYorkCity> . }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.SortedRowStrings()
+	want := []string{"<Julia>", "<Larry>", "<Seinfeld>"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("rows = %v", got)
+	}
+}
+
+func TestBaselineProjection(t *testing.T) {
+	e := baselineOver(t, figure32Graph(), OriginalOrder)
+	res, err := e.ExecuteString(`SELECT DISTINCT ?friend WHERE {
+		<Jerry> <hasFriend> ?friend . OPTIONAL { ?friend <actedIn> ?s . } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(res.Vars) != 1 {
+		t.Fatalf("rows=%d vars=%v", len(res.Rows), res.Vars)
+	}
+}
+
+// Differential test against the reference evaluator, mirroring the LBR
+// engine's test generator.
+func randGraph(rng *rand.Rand, nTriples int) *rdf.Graph {
+	g := rdf.NewGraph()
+	preds := []string{"p0", "p1", "p2", "p3"}
+	for i := 0; i < nTriples; i++ {
+		g.Add(rdf.T(
+			fmt.Sprintf("e%d", rng.Intn(12)),
+			preds[rng.Intn(len(preds))],
+			fmt.Sprintf("e%d", rng.Intn(12))))
+	}
+	return g
+}
+
+func randQuery(rng *rand.Rand) string {
+	preds := []string{"p0", "p1", "p2", "p3"}
+	varCount := 0
+	newVar := func() string {
+		varCount++
+		return fmt.Sprintf("?v%d", varCount-1)
+	}
+	pat := func(s, o string) string {
+		return fmt.Sprintf("%s <%s> %s .", s, preds[rng.Intn(len(preds))], o)
+	}
+	var vars []string
+	v0 := newVar()
+	vars = append(vars, v0)
+	body := ""
+	prev := v0
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		next := newVar()
+		vars = append(vars, next)
+		body += pat(prev, next) + " "
+		prev = next
+	}
+	for k := 0; k < 1+rng.Intn(2); k++ {
+		link := vars[rng.Intn(len(vars))]
+		ov := newVar()
+		body += fmt.Sprintf("OPTIONAL { %s } ", pat(link, ov))
+	}
+	return "SELECT * WHERE { " + body + "}"
+}
+
+func TestBaselineDifferentialAgainstRef(t *testing.T) {
+	for _, pol := range []Policy{OriginalOrder, SelectiveMaster} {
+		rng := rand.New(rand.NewSource(11))
+		for trial := 0; trial < 60; trial++ {
+			g := randGraph(rng, 20+rng.Intn(50))
+			src := randQuery(rng)
+			q, err := sparql.Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := baselineOver(t, g, pol)
+			res, err := e.Execute(q)
+			if err != nil {
+				t.Fatalf("%v on %q: %v", pol, src, err)
+			}
+			maps, vars, err := ref.New(g).Execute(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ref.SortedKeys(maps, vars)
+			got := keysOf(res, vars)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("%v trial %d mismatch\nquery: %s\nbaseline: %v\nref:      %v",
+					pol, trial, src, got, want)
+			}
+		}
+	}
+}
+
+func keysOf(res *Result, vars []sparql.Var) []string {
+	pos := map[sparql.Var]int{}
+	for i, v := range res.Vars {
+		pos[v] = i
+	}
+	out := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		s := ""
+		for k, v := range vars {
+			if k > 0 {
+				s += "|"
+			}
+			if p, ok := pos[v]; ok && !row[p].IsZero() {
+				s += row[p].String()
+			} else {
+				s += "NULL"
+			}
+		}
+		out[i] = s
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// exprHolds evaluates a filter on one relation row with the same
+// three-valued semantics as the LBR engine: only a definite true keeps the
+// row.
+func (e *Engine) exprHolds(expr sparql.Expr, rel *relation, row []val) bool {
+	return e.evalExpr(expr, rel, row) == 1
+}
+
+// evalExpr: 1 true, 0 false, -1 error.
+func (e *Engine) evalExpr(expr sparql.Expr, rel *relation, row []val) int {
+	lookup := func(v sparql.Var) (rdf.Term, bool) {
+		if p, ok := rel.pos[v]; ok && row[p] != 0 {
+			return e.valTerm(row[p]), true
+		}
+		return rdf.Term{}, false
+	}
+	switch x := expr.(type) {
+	case sparql.Bound:
+		if _, ok := lookup(x.V); ok {
+			return 1
+		}
+		return 0
+	case sparql.Not:
+		switch e.evalExpr(x.E, rel, row) {
+		case 1:
+			return 0
+		case 0:
+			return 1
+		default:
+			return -1
+		}
+	case sparql.Logical:
+		l, r := e.evalExpr(x.L, rel, row), e.evalExpr(x.R, rel, row)
+		if x.Op == sparql.OpAnd {
+			if l == 0 || r == 0 {
+				return 0
+			}
+			if l == -1 || r == -1 {
+				return -1
+			}
+			return 1
+		}
+		if l == 1 || r == 1 {
+			return 1
+		}
+		if l == -1 || r == -1 {
+			return -1
+		}
+		return 0
+	case sparql.Cmp:
+		lt, lok := e.termExpr(x.L, rel, row)
+		rt, rok := e.termExpr(x.R, rel, row)
+		if !lok || !rok {
+			return -1
+		}
+		return compareBaseline(x.Op, lt, rt)
+	case sparql.ExprVar:
+		t, ok := lookup(x.V)
+		if !ok {
+			return -1
+		}
+		return boolTerm(t)
+	case sparql.ExprTerm:
+		return boolTerm(x.Term)
+	}
+	return -1
+}
+
+func (e *Engine) termExpr(expr sparql.Expr, rel *relation, row []val) (rdf.Term, bool) {
+	switch x := expr.(type) {
+	case sparql.ExprVar:
+		if p, ok := rel.pos[x.V]; ok && row[p] != 0 {
+			return e.valTerm(row[p]), true
+		}
+		return rdf.Term{}, false
+	case sparql.ExprTerm:
+		return x.Term, true
+	}
+	return rdf.Term{}, false
+}
+
+func boolTerm(t rdf.Term) int {
+	if t.Value != "" && t.Value != "false" && t.Value != "0" {
+		return 1
+	}
+	return 0
+}
+
+func compareBaseline(op sparql.CmpOp, l, r rdf.Term) int {
+	b2i := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	if lf, lok := numTerm(l); lok {
+		if rf, rok := numTerm(r); rok {
+			switch op {
+			case sparql.OpEq:
+				return b2i(lf == rf)
+			case sparql.OpNe:
+				return b2i(lf != rf)
+			case sparql.OpLt:
+				return b2i(lf < rf)
+			case sparql.OpLe:
+				return b2i(lf <= rf)
+			case sparql.OpGt:
+				return b2i(lf > rf)
+			case sparql.OpGe:
+				return b2i(lf >= rf)
+			}
+		}
+	}
+	switch op {
+	case sparql.OpEq:
+		return b2i(l == r)
+	case sparql.OpNe:
+		return b2i(l != r)
+	}
+	if l.Kind != r.Kind {
+		return -1
+	}
+	switch op {
+	case sparql.OpLt:
+		return b2i(l.Value < r.Value)
+	case sparql.OpLe:
+		return b2i(l.Value <= r.Value)
+	case sparql.OpGt:
+		return b2i(l.Value > r.Value)
+	case sparql.OpGe:
+		return b2i(l.Value >= r.Value)
+	}
+	return -1
+}
+
+func numTerm(t rdf.Term) (float64, bool) {
+	if t.Kind != rdf.Literal {
+		return 0, false
+	}
+	if t.Value == "" || strings.TrimSpace(t.Value) != t.Value {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(t.Value, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}

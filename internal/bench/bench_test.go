@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/datagen"
+	"repro/internal/rdf"
+)
+
+// Tiny scales keep unit tests fast; the real tables run from cmd/lbrbench
+// and the root benchmarks.
+func tinyLUBM(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := BuildLUBM(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestLUBMAllQueriesRunAndAgree(t *testing.T) {
+	ds := tinyLUBM(t)
+	ms, err := RunTable(ds, RunOptions{Runs: 1, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 6 {
+		t.Fatalf("measured %d queries, want 6", len(ms))
+	}
+	for _, m := range ms {
+		if !m.Consistent {
+			t.Errorf("%s: engines disagree", m.Query)
+		}
+	}
+	// Q1-Q3 are the low-selectivity multi-OPT queries: they must touch a
+	// sizable share of the data and produce results.
+	for _, m := range ms[:3] {
+		if m.Results == 0 {
+			t.Errorf("%s produced no results; workload shape broken", m.Query)
+		}
+		if m.InitialTriples == 0 {
+			t.Errorf("%s matched no triples", m.Query)
+		}
+	}
+	// Q4/Q5 need best-match (cyclic, multi-jvar slave), Q6 does not:
+	// the Table 6.2 shape.
+	if !ms[3].BestMatch || !ms[4].BestMatch {
+		t.Error("LUBM Q4/Q5 must require best-match (Table 6.2)")
+	}
+	if ms[5].BestMatch {
+		t.Error("LUBM Q6 must not require best-match (Table 6.2)")
+	}
+	// Pruning must shrink the candidate triples on the big queries.
+	for _, m := range ms[:3] {
+		if m.AfterPruning >= m.InitialTriples {
+			t.Errorf("%s: pruning did not shrink triples (%d -> %d)",
+				m.Query, m.InitialTriples, m.AfterPruning)
+		}
+	}
+}
+
+func TestUniProtAllQueriesRunAndAgree(t *testing.T) {
+	ds, err := BuildUniProt(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := RunTable(ds, RunOptions{Runs: 1, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 7 {
+		t.Fatalf("measured %d queries, want 7", len(ms))
+	}
+	for _, m := range ms {
+		if !m.Consistent {
+			t.Errorf("%s: engines disagree", m.Query)
+		}
+		if m.BestMatch {
+			t.Errorf("%s: all UniProt queries are acyclic (Table 6.3), best-match fired", m.Query)
+		}
+	}
+	// Q2's empty-result early detection (Table 6.3 row Q2).
+	if ms[1].Results != 0 {
+		t.Errorf("Q2 should be empty, got %d results", ms[1].Results)
+	}
+	// Q1 must produce rows with NULLs (optional names missing).
+	if ms[0].Results == 0 || ms[0].NullResults == 0 {
+		t.Errorf("Q1 results=%d nulls=%d; optional sparsity broken", ms[0].Results, ms[0].NullResults)
+	}
+}
+
+func TestDBPediaAllQueriesRunAndAgree(t *testing.T) {
+	ds, err := BuildDBPedia(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := RunTable(ds, RunOptions{Runs: 1, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 6 {
+		t.Fatalf("measured %d queries, want 6", len(ms))
+	}
+	for _, m := range ms {
+		if !m.Consistent {
+			t.Errorf("%s: engines disagree", m.Query)
+		}
+	}
+	// Q2/Q3 reproduce the empty-result rows of Table 6.4.
+	if ms[1].Results != 0 || ms[2].Results != 0 {
+		t.Errorf("Q2/Q3 should be empty: %d / %d", ms[1].Results, ms[2].Results)
+	}
+	// Q1 is the low-selectivity winner row: results with many NULLs.
+	if ms[0].Results == 0 || ms[0].NullResults == 0 {
+		t.Errorf("Q1 results=%d nulls=%d", ms[0].Results, ms[0].NullResults)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	ds := tinyLUBM(t)
+	ms, err := RunTable(ds, RunOptions{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	FprintTable(&buf, "Table 6.2 (LUBM)", ms)
+	out := buf.String()
+	for _, want := range []string{"Tinit", "Tprune", "Ttotal", "TVirt", "TMonet", "Q1", "Q6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable61Rendering(t *testing.T) {
+	var buf bytes.Buffer
+	FprintTable61(&buf, map[string]rdf.Stats{
+		"LUBM": {Triples: 100, Subjects: 10, Predicates: 5, Objects: 20},
+	})
+	if !strings.Contains(buf.String(), "LUBM") || !strings.Contains(buf.String(), "100") {
+		t.Errorf("table 6.1 rendering broken:\n%s", buf.String())
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	ms := []Measurement{
+		{TTotal: 10 * time.Millisecond},
+		{TTotal: 1000 * time.Millisecond},
+	}
+	gm := GeometricMeanMillis(ms, func(m Measurement) time.Duration { return m.TTotal })
+	if gm < 99 || gm > 101 { // sqrt(10*1000) = 100
+		t.Errorf("geometric mean = %v, want ~100", gm)
+	}
+}
+
+func TestMovieQueryRuns(t *testing.T) {
+	// The running example as a dataset: Figure 3.2 results at scale 0.
+	g := datagen.MovieGraph(0)
+	idx, err := bitmat.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := &Dataset{Name: "movies", Graph: g, Index: idx, Queries: []QuerySpec{MovieQuery()}}
+	ms, err := RunTable(ds, RunOptions{Runs: 1, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].Results != 2 || ms[0].NullResults != 1 {
+		t.Errorf("movie query results=%d nulls=%d, want 2/1", ms[0].Results, ms[0].NullResults)
+	}
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunCrossoverTiny(t *testing.T) {
+	pts, err := RunCrossover([]int{0, 200}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	// The query yields 2 rows at every scale, so the pruned candidate set
+	// stays constant while the initial set grows.
+	if pts[0].AfterPruning != 4 || pts[1].AfterPruning != 4 {
+		t.Errorf("AfterPruning = %d/%d, want 4/4", pts[0].AfterPruning, pts[1].AfterPruning)
+	}
+	if pts[1].InitialTriples <= pts[0].InitialTriples {
+		t.Errorf("initial triples must grow with scale: %d -> %d",
+			pts[0].InitialTriples, pts[1].InitialTriples)
+	}
+	if pts[1].Triples <= pts[0].Triples {
+		t.Error("dataset size must grow")
+	}
+	var buf bytes.Buffer
+	FprintCrossover(&buf, pts)
+	out := buf.String()
+	for _, want := range []string{"extraActors", "LBR", "Virt", "Monet"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunQuerySkipBaselines(t *testing.T) {
+	ds := tinyLUBM(t)
+	m, err := RunQuery(ds, ds.Queries[5], RunOptions{Runs: 1, SkipBaselines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TVirt != 0 || m.TMonet != 0 {
+		t.Error("baselines must be skipped")
+	}
+	if m.TTotal == 0 {
+		t.Error("LBR must still be measured")
+	}
+}

@@ -1,0 +1,281 @@
+package bitmat
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/rdf"
+)
+
+// Index is the full BitMat index of one RDF graph. It keeps, per predicate,
+// the triple pairs in both (S,O) and (O,S) sort orders, and per subject /
+// per object the posting lists that back the P-O and P-S BitMat families.
+// Query-time matrices are materialized on demand from these postings: that
+// materialization is the analogue of the paper's "load the BitMats
+// associated with the triple patterns" (the Tinit phase) and is what the
+// engine measures as init time.
+type Index struct {
+	dict *rdf.Dictionary
+
+	// soPairs[p-1] holds the (S,O) pairs of predicate p sorted by (S,O);
+	// osPairs[p-1] the (O,S) pairs sorted by (O,S).
+	soPairs [][]Pair
+	osPairs [][]Pair
+
+	// bySubject[s-1] holds (P,O) pairs sorted by (P,O); byObject[o-1] holds
+	// (P,S) pairs sorted by (P,S).
+	bySubject [][]Pair
+	byObject  [][]Pair
+
+	nTriples int64
+}
+
+// Build constructs the index for a graph. The dictionary is built from the
+// same graph, so every triple encodes.
+func Build(g *rdf.Graph) (*Index, error) {
+	dict := g.Dictionary()
+	return BuildWithDictionary(g, dict)
+}
+
+// BuildWithDictionary constructs the index using a pre-built dictionary.
+func BuildWithDictionary(g *rdf.Graph, dict *rdf.Dictionary) (*Index, error) {
+	idx := &Index{
+		dict:      dict,
+		soPairs:   make([][]Pair, dict.NumPredicates()),
+		osPairs:   make([][]Pair, dict.NumPredicates()),
+		bySubject: make([][]Pair, dict.NumSubjects()),
+		byObject:  make([][]Pair, dict.NumObjects()),
+	}
+	for _, tr := range g.Triples() {
+		it, err := dict.Encode(tr)
+		if err != nil {
+			return nil, fmt.Errorf("bitmat: %w", err)
+		}
+		p, s, o := it.P-1, uint32(it.S), uint32(it.O)
+		idx.soPairs[p] = append(idx.soPairs[p], Pair{A: s, B: o})
+		idx.osPairs[p] = append(idx.osPairs[p], Pair{A: o, B: s})
+		idx.bySubject[it.S-1] = append(idx.bySubject[it.S-1], Pair{A: uint32(it.P), B: o})
+		idx.byObject[it.O-1] = append(idx.byObject[it.O-1], Pair{A: uint32(it.P), B: s})
+		idx.nTriples++
+	}
+	sortPairs := func(lists [][]Pair) {
+		for _, l := range lists {
+			sort.Slice(l, func(i, j int) bool {
+				if l[i].A != l[j].A {
+					return l[i].A < l[j].A
+				}
+				return l[i].B < l[j].B
+			})
+		}
+	}
+	sortPairs(idx.soPairs)
+	sortPairs(idx.osPairs)
+	sortPairs(idx.bySubject)
+	sortPairs(idx.byObject)
+	return idx, nil
+}
+
+// Dictionary returns the index's term dictionary.
+func (idx *Index) Dictionary() *rdf.Dictionary { return idx.dict }
+
+// NumTriples reports the number of indexed triples.
+func (idx *Index) NumTriples() int64 { return idx.nTriples }
+
+// PredicateCardinality returns the number of triples with predicate p,
+// which is the selectivity statistic of a (?a :p ?b) pattern.
+func (idx *Index) PredicateCardinality(p rdf.ID) int {
+	if p == 0 || int(p) > len(idx.soPairs) {
+		return 0
+	}
+	return len(idx.soPairs[p-1])
+}
+
+// SubjectCardinality returns the number of triples with subject s.
+func (idx *Index) SubjectCardinality(s rdf.ID) int {
+	if s == 0 || int(s) > len(idx.bySubject) {
+		return 0
+	}
+	return len(idx.bySubject[s-1])
+}
+
+// ObjectCardinality returns the number of triples with object o.
+func (idx *Index) ObjectCardinality(o rdf.ID) int {
+	if o == 0 || int(o) > len(idx.byObject) {
+		return 0
+	}
+	return len(idx.byObject[o-1])
+}
+
+// MatSO materializes the S-O BitMat of predicate p: rows are subject IDs,
+// columns object IDs.
+func (idx *Index) MatSO(p rdf.ID) *Matrix {
+	return idx.MatSOFiltered(p, nil, nil)
+}
+
+// MatSOFiltered materializes the S-O BitMat of predicate p keeping only
+// pairs whose row (subject) and column (object) bits are set in the
+// respective masks; a nil mask means no restriction. This is the paper's
+// "active pruning while loading": selective bindings from already-loaded
+// patterns skip most of the BitMat before it is ever built.
+func (idx *Index) MatSOFiltered(p rdf.ID, rowMask, colMask *bitvec.Bits) *Matrix {
+	if p == 0 || int(p) > len(idx.soPairs) {
+		return NewMatrix(idx.dict.NumSubjects(), idx.dict.NumObjects())
+	}
+	return matrixFromSortedPairsFiltered(idx.dict.NumSubjects(), idx.dict.NumObjects(), idx.soPairs[p-1], rowMask, colMask)
+}
+
+// MatOS materializes the O-S BitMat of predicate p (the transpose of
+// MatSO): rows are object IDs, columns subject IDs.
+func (idx *Index) MatOS(p rdf.ID) *Matrix {
+	return idx.MatOSFiltered(p, nil, nil)
+}
+
+// MatOSFiltered is MatOS with load-time row/column masks.
+func (idx *Index) MatOSFiltered(p rdf.ID, rowMask, colMask *bitvec.Bits) *Matrix {
+	if p == 0 || int(p) > len(idx.osPairs) {
+		return NewMatrix(idx.dict.NumObjects(), idx.dict.NumSubjects())
+	}
+	return matrixFromSortedPairsFiltered(idx.dict.NumObjects(), idx.dict.NumSubjects(), idx.osPairs[p-1], rowMask, colMask)
+}
+
+// MatPS materializes the P-S BitMat of object o: rows are predicate IDs,
+// columns subject IDs.
+func (idx *Index) MatPS(o rdf.ID) *Matrix {
+	if o == 0 || int(o) > len(idx.byObject) {
+		return NewMatrix(idx.dict.NumPredicates(), idx.dict.NumSubjects())
+	}
+	return matrixFromSortedPairs(idx.dict.NumPredicates(), idx.dict.NumSubjects(), idx.byObject[o-1])
+}
+
+// MatPO materializes the P-O BitMat of subject s: rows are predicate IDs,
+// columns object IDs.
+func (idx *Index) MatPO(s rdf.ID) *Matrix {
+	if s == 0 || int(s) > len(idx.bySubject) {
+		return NewMatrix(idx.dict.NumPredicates(), idx.dict.NumObjects())
+	}
+	return matrixFromSortedPairs(idx.dict.NumPredicates(), idx.dict.NumObjects(), idx.bySubject[s-1])
+}
+
+// RowPS returns the single row of the P-S BitMat of object o for predicate
+// p: the subjects S with (S p o), as a 1 x |Vs| matrix. This is the load
+// path for triple patterns of the form (?var :p :o).
+func (idx *Index) RowPS(p, o rdf.ID) *Matrix {
+	m := NewMatrix(1, idx.dict.NumSubjects())
+	if o == 0 || int(o) > len(idx.byObject) || p == 0 {
+		return m
+	}
+	var pos []uint32
+	for _, pr := range pairRange(idx.byObject[o-1], uint32(p)) {
+		pos = append(pos, pr.B-1)
+	}
+	if len(pos) > 0 {
+		m.SetRow(0, bitvec.RowFromPositions(idx.dict.NumSubjects(), pos))
+	}
+	return m
+}
+
+// RowPO returns the single row of the P-O BitMat of subject s for predicate
+// p: the objects O with (s p O), as a 1 x |Vo| matrix. This is the load path
+// for triple patterns of the form (:s :p ?var).
+func (idx *Index) RowPO(p, s rdf.ID) *Matrix {
+	m := NewMatrix(1, idx.dict.NumObjects())
+	if s == 0 || int(s) > len(idx.bySubject) || p == 0 {
+		return m
+	}
+	var pos []uint32
+	for _, pr := range pairRange(idx.bySubject[s-1], uint32(p)) {
+		pos = append(pos, pr.B-1)
+	}
+	if len(pos) > 0 {
+		m.SetRow(0, bitvec.RowFromPositions(idx.dict.NumObjects(), pos))
+	}
+	return m
+}
+
+// SOPairs returns predicate p's (subject, object) pairs sorted by (S,O).
+// The slice is shared; callers must not mutate it. This is the "predicate
+// table ordered on S-O" view the relational baseline scans.
+func (idx *Index) SOPairs(p rdf.ID) []Pair {
+	if p == 0 || int(p) > len(idx.soPairs) {
+		return nil
+	}
+	return idx.soPairs[p-1]
+}
+
+// OSPairs returns predicate p's (object, subject) pairs sorted by (O,S),
+// the baseline's O-S index.
+func (idx *Index) OSPairs(p rdf.ID) []Pair {
+	if p == 0 || int(p) > len(idx.osPairs) {
+		return nil
+	}
+	return idx.osPairs[p-1]
+}
+
+// SubjectPairs returns subject s's (predicate, object) pairs sorted by
+// (P,O).
+func (idx *Index) SubjectPairs(s rdf.ID) []Pair {
+	if s == 0 || int(s) > len(idx.bySubject) {
+		return nil
+	}
+	return idx.bySubject[s-1]
+}
+
+// ObjectPairs returns object o's (predicate, subject) pairs sorted by
+// (P,S).
+func (idx *Index) ObjectPairs(o rdf.ID) []Pair {
+	if o == 0 || int(o) > len(idx.byObject) {
+		return nil
+	}
+	return idx.byObject[o-1]
+}
+
+// PairRange returns the sub-slice of pairs whose A field equals key,
+// relying on the (A,B) sort order.
+func PairRange(pairs []Pair, key uint32) []Pair {
+	return pairRange(pairs, key)
+}
+
+// RowP returns the predicates linking subject s to object o as a 1 x |Vp|
+// matrix, the load path for triple patterns of the form (:s ?var :o).
+func (idx *Index) RowP(s, o rdf.ID) *Matrix {
+	m := NewMatrix(1, idx.dict.NumPredicates())
+	if s == 0 || int(s) > len(idx.bySubject) || o == 0 {
+		return m
+	}
+	var pos []uint32
+	for _, pr := range idx.bySubject[s-1] {
+		if pr.B == uint32(o) {
+			pos = append(pos, pr.A-1)
+		}
+	}
+	if len(pos) > 0 {
+		m.SetRow(0, bitvec.RowFromPositions(idx.dict.NumPredicates(), pos))
+	}
+	return m
+}
+
+// Contains reports whether the exact triple (s p o) is indexed, the load
+// path for triple patterns with no variables.
+func (idx *Index) Contains(s, p, o rdf.ID) bool {
+	if s == 0 || p == 0 || o == 0 || int(s) > len(idx.bySubject) {
+		return false
+	}
+	for _, pr := range pairRange(idx.bySubject[s-1], uint32(p)) {
+		if pr.B == uint32(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// pairRange returns the slice of pairs whose A field equals key, relying on
+// the (A,B) sort order.
+func pairRange(pairs []Pair, key uint32) []Pair {
+	lo := sort.Search(len(pairs), func(i int) bool { return pairs[i].A >= key })
+	hi := lo
+	for hi < len(pairs) && pairs[hi].A == key {
+		hi++
+	}
+	return pairs[lo:hi]
+}

@@ -1,0 +1,244 @@
+// Package bitvec provides the bit-level substrate of the LBR index: plain
+// bit arrays and two compressed row codecs (run-length and sparse position
+// lists) unified behind a hybrid Row type. The fold and unfold primitives of
+// the BitMat index (Section 4 of the paper) are built from the operations
+// here: fold is a bitwise OR of compressed rows into a Bits accumulator, and
+// unfold is an AND of each compressed row against a Bits mask. Both operate
+// on the compressed representation without materializing per-bit IDs.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Bits is an uncompressed fixed-length bit array. The zero value is an empty
+// array of length 0; use NewBits to allocate one of a given length.
+type Bits struct {
+	words []uint64
+	n     int
+}
+
+// NewBits returns a Bits of length n with all bits clear.
+func NewBits(n int) *Bits {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Bits{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// NewBitsSet returns a Bits of length n with all bits set.
+func NewBitsSet(n int) *Bits {
+	b := NewBits(n)
+	b.SetAll()
+	return b
+}
+
+// Len reports the number of bits in b.
+func (b *Bits) Len() int { return b.n }
+
+// Set sets bit i to 1.
+func (b *Bits) Set(i int) {
+	b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear sets bit i to 0.
+func (b *Bits) Clear(i int) {
+	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Test reports whether bit i is set. Out-of-range indexes report false so
+// that masks shorter than a row behave like zero-extended masks.
+func (b *Bits) Test(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// SetAll sets every bit.
+func (b *Bits) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trim()
+}
+
+// ClearAll clears every bit.
+func (b *Bits) ClearAll() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// trim clears the unused high bits of the last word so that Count and
+// equality work on whole words.
+func (b *Bits) trim() {
+	if r := b.n % wordBits; r != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(r)) - 1
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bits) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (b *Bits) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// And replaces b with b AND other. The two must have the same length.
+func (b *Bits) And(other *Bits) {
+	if b.n != other.n {
+		panic(fmt.Sprintf("bitvec: And length mismatch %d != %d", b.n, other.n))
+	}
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+// Or replaces b with b OR other. The two must have the same length.
+func (b *Bits) Or(other *Bits) {
+	if b.n != other.n {
+		panic(fmt.Sprintf("bitvec: Or length mismatch %d != %d", b.n, other.n))
+	}
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+}
+
+// AndCompat replaces b with b AND other, treating bits beyond other's
+// length as 0. It is the intersection step for folds over dimensions of
+// different sizes (an S-dimension projection against an O-dimension one:
+// only the shared ID prefix can match).
+func (b *Bits) AndCompat(other *Bits) {
+	// Bits beyond a vector's length are zero by construction, so word-wise
+	// AND with missing words treated as zero is exact.
+	for i := range b.words {
+		if i < len(other.words) {
+			b.words[i] &= other.words[i]
+		} else {
+			b.words[i] = 0
+		}
+	}
+}
+
+// AndNot clears in b every bit set in other.
+func (b *Bits) AndNot(other *Bits) {
+	if b.n != other.n {
+		panic(fmt.Sprintf("bitvec: AndNot length mismatch %d != %d", b.n, other.n))
+	}
+	for i := range b.words {
+		b.words[i] &^= other.words[i]
+	}
+}
+
+// Equal reports whether b and other have identical length and contents.
+func (b *Bits) Equal(other *Bits) bool {
+	if b.n != other.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of b.
+func (b *Bits) Clone() *Bits {
+	c := NewBits(b.n)
+	copy(c.words, b.words)
+	return c
+}
+
+// ForEach calls fn with the index of every set bit in ascending order. If fn
+// returns false the iteration stops early.
+func (b *Bits) ForEach(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + tz) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1 if
+// there is none.
+func (b *Bits) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= b.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := b.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(b.words); wi++ {
+		if b.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(b.words[wi])
+		}
+	}
+	return -1
+}
+
+// Positions returns the indexes of all set bits in ascending order.
+func (b *Bits) Positions() []uint32 {
+	out := make([]uint32, 0, b.Count())
+	b.ForEach(func(i int) bool {
+		out = append(out, uint32(i))
+		return true
+	})
+	return out
+}
+
+// String renders the bits as a 0/1 string, for tests and debugging.
+func (b *Bits) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		if b.Test(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// FromString parses a 0/1 string into a Bits. Characters other than '0' and
+// '1' are rejected.
+func FromString(s string) (*Bits, error) {
+	b := NewBits(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '1':
+			b.Set(i)
+		case '0':
+		default:
+			return nil, fmt.Errorf("bitvec: invalid character %q at %d", s[i], i)
+		}
+	}
+	return b, nil
+}

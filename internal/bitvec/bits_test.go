@@ -1,0 +1,216 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsBasic(t *testing.T) {
+	b := NewBits(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	if b.Any() {
+		t.Fatal("new Bits should be empty")
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(129)
+	if got := b.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if !b.Test(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	if b.Test(1) || b.Test(128) {
+		t.Error("unexpected set bit")
+	}
+	b.Clear(63)
+	if b.Test(63) {
+		t.Error("bit 63 should be cleared")
+	}
+	if b.Count() != 3 {
+		t.Errorf("Count after Clear = %d, want 3", b.Count())
+	}
+}
+
+func TestBitsOutOfRangeTest(t *testing.T) {
+	b := NewBits(10)
+	b.Set(3)
+	if b.Test(-1) || b.Test(10) || b.Test(1000) {
+		t.Error("out-of-range Test must report false")
+	}
+}
+
+func TestBitsSetAllTrims(t *testing.T) {
+	b := NewBits(70)
+	b.SetAll()
+	if got := b.Count(); got != 70 {
+		t.Fatalf("Count after SetAll = %d, want 70", got)
+	}
+	b2 := NewBits(70)
+	for i := 0; i < 70; i++ {
+		b2.Set(i)
+	}
+	if !b.Equal(b2) {
+		t.Error("SetAll must equal setting every bit individually")
+	}
+}
+
+func TestBitsLogicOps(t *testing.T) {
+	a, err := FromString("1101001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromString("1011001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := a.Clone()
+	and.And(b)
+	if got := and.String(); got != "1001001" {
+		t.Errorf("And = %s, want 1001001", got)
+	}
+	or := a.Clone()
+	or.Or(b)
+	if got := or.String(); got != "1111001" {
+		t.Errorf("Or = %s, want 1111001", got)
+	}
+	andNot := a.Clone()
+	andNot.AndNot(b)
+	if got := andNot.String(); got != "0100000" {
+		t.Errorf("AndNot = %s, want 0100000", got)
+	}
+}
+
+func TestBitsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("And with mismatched lengths must panic")
+		}
+	}()
+	NewBits(8).And(NewBits(9))
+}
+
+func TestBitsForEachOrder(t *testing.T) {
+	b := NewBits(200)
+	want := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ForEach yielded %d bits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ForEach[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBitsForEachEarlyStop(t *testing.T) {
+	b := NewBits(100)
+	for i := 0; i < 100; i += 2 {
+		b.Set(i)
+	}
+	n := 0
+	b.ForEach(func(i int) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("ForEach visited %d bits after early stop, want 5", n)
+	}
+}
+
+func TestBitsNextSet(t *testing.T) {
+	b := NewBits(150)
+	b.Set(5)
+	b.Set(64)
+	b.Set(149)
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 149}, {149, 149}, {150, -1}, {-3, 5},
+	}
+	for _, c := range cases {
+		if got := b.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if NewBits(10).NextSet(0) != -1 {
+		t.Error("NextSet on empty must be -1")
+	}
+}
+
+func TestBitsFromStringErrors(t *testing.T) {
+	if _, err := FromString("01x1"); err == nil {
+		t.Error("FromString must reject non-binary characters")
+	}
+}
+
+func TestBitsRoundTripString(t *testing.T) {
+	f := func(raw []bool) bool {
+		b := NewBits(len(raw))
+		for i, v := range raw {
+			if v {
+				b.Set(i)
+			}
+		}
+		back, err := FromString(b.String())
+		if err != nil {
+			return false
+		}
+		return back.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsPositionsMatchForEach(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		b := NewBits(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+			}
+		}
+		pos := b.Positions()
+		if len(pos) != b.Count() {
+			t.Fatalf("Positions len %d != Count %d", len(pos), b.Count())
+		}
+		for _, p := range pos {
+			if !b.Test(int(p)) {
+				t.Fatalf("position %d not actually set", p)
+			}
+		}
+	}
+}
+
+func TestSetRangeAllSpans(t *testing.T) {
+	// setRange is the word-wise fast path of OrInto; exercise every
+	// alignment against a naive loop.
+	for start := 0; start < 70; start++ {
+		for length := 0; length < 70; length++ {
+			got := NewBits(160)
+			setRange(got, start, length)
+			want := NewBits(160)
+			for i := start; i < start+length; i++ {
+				want.Set(i)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("setRange(%d,%d) mismatch", start, length)
+			}
+		}
+	}
+}

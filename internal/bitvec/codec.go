@@ -1,0 +1,143 @@
+package bitvec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format of a Row:
+//
+//	u8  encoding
+//	u32 logical length n
+//	EncEmpty:  nothing else
+//	EncRLE:    u8 firstRunValue, u32 runCount, runCount x u32
+//	EncSparse: u32 posCount, posCount x u32
+//
+// All integers are little-endian, matching the 4-byte run-length integers of
+// the paper's implementation.
+
+// WriteTo serializes the row. It implements io.WriterTo.
+func (r *Row) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	put8 := func(v uint8) error {
+		m, err := w.Write([]byte{v})
+		n += int64(m)
+		return err
+	}
+	put32 := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		m, err := w.Write(buf[:])
+		n += int64(m)
+		return err
+	}
+	if err := put8(uint8(r.enc)); err != nil {
+		return n, err
+	}
+	if err := put32(uint32(r.n)); err != nil {
+		return n, err
+	}
+	switch r.enc {
+	case EncEmpty:
+	case EncRLE:
+		fv := uint8(0)
+		if r.first {
+			fv = 1
+		}
+		if err := put8(fv); err != nil {
+			return n, err
+		}
+		if err := put32(uint32(len(r.runs))); err != nil {
+			return n, err
+		}
+		for _, rl := range r.runs {
+			if err := put32(rl); err != nil {
+				return n, err
+			}
+		}
+	case EncSparse:
+		if err := put32(uint32(len(r.pos))); err != nil {
+			return n, err
+		}
+		for _, p := range r.pos {
+			if err := put32(p); err != nil {
+				return n, err
+			}
+		}
+	default:
+		return n, fmt.Errorf("bitvec: cannot serialize encoding %v", r.enc)
+	}
+	return n, nil
+}
+
+// ReadRow deserializes a row previously written by WriteTo.
+func ReadRow(rd io.Reader) (*Row, error) {
+	var b1 [1]byte
+	if _, err := io.ReadFull(rd, b1[:]); err != nil {
+		return nil, err
+	}
+	enc := Encoding(b1[0])
+	var b4 [4]byte
+	if _, err := io.ReadFull(rd, b4[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(b4[:]))
+	switch enc {
+	case EncEmpty:
+		return EmptyRow(n), nil
+	case EncRLE:
+		if _, err := io.ReadFull(rd, b1[:]); err != nil {
+			return nil, err
+		}
+		first := b1[0] == 1
+		if _, err := io.ReadFull(rd, b4[:]); err != nil {
+			return nil, err
+		}
+		cnt := int(binary.LittleEndian.Uint32(b4[:]))
+		if cnt < 0 || cnt > n+1 {
+			return nil, fmt.Errorf("bitvec: corrupt RLE run count %d for length %d", cnt, n)
+		}
+		runs := make([]uint32, cnt)
+		total := uint64(0)
+		setBits := 0
+		v := first
+		for i := range runs {
+			if _, err := io.ReadFull(rd, b4[:]); err != nil {
+				return nil, err
+			}
+			runs[i] = binary.LittleEndian.Uint32(b4[:])
+			total += uint64(runs[i])
+			if v {
+				setBits += int(runs[i])
+			}
+			v = !v
+		}
+		if total != uint64(n) {
+			return nil, fmt.Errorf("bitvec: corrupt RLE row: runs sum to %d, length %d", total, n)
+		}
+		return &Row{enc: EncRLE, n: n, first: first, runs: runs, count: setBits}, nil
+	case EncSparse:
+		if _, err := io.ReadFull(rd, b4[:]); err != nil {
+			return nil, err
+		}
+		cnt := int(binary.LittleEndian.Uint32(b4[:]))
+		if cnt < 0 || cnt > n {
+			return nil, fmt.Errorf("bitvec: corrupt sparse count %d for length %d", cnt, n)
+		}
+		pos := make([]uint32, cnt)
+		prev := int64(-1)
+		for i := range pos {
+			if _, err := io.ReadFull(rd, b4[:]); err != nil {
+				return nil, err
+			}
+			pos[i] = binary.LittleEndian.Uint32(b4[:])
+			if int64(pos[i]) <= prev || int(pos[i]) >= n {
+				return nil, fmt.Errorf("bitvec: corrupt sparse row: position %d", pos[i])
+			}
+			prev = int64(pos[i])
+		}
+		return &Row{enc: EncSparse, n: n, pos: pos, count: cnt}, nil
+	}
+	return nil, fmt.Errorf("bitvec: unknown encoding %d", b1[0])
+}

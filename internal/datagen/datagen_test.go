@@ -1,0 +1,191 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestLUBMDeterministic(t *testing.T) {
+	cfg := DefaultLUBMConfig(2)
+	g1 := GenerateLUBM(cfg)
+	g2 := GenerateLUBM(cfg)
+	if g1.Len() != g2.Len() {
+		t.Fatalf("non-deterministic: %d vs %d", g1.Len(), g2.Len())
+	}
+	for _, tr := range g1.Triples()[:100] {
+		if !g2.Contains(tr) {
+			t.Fatalf("missing %s in second run", tr)
+		}
+	}
+}
+
+func TestLUBMVocabularyCoverage(t *testing.T) {
+	// Every predicate the Appendix E.1 queries use must be present.
+	g := GenerateLUBM(DefaultLUBMConfig(2))
+	want := []string{
+		"teachingAssistantOf", "takesCourse", "publicationAuthor",
+		"teacherOf", "advisor", "researchInterest", "emailAddress",
+		"telephone", "undergraduateDegreeFrom", "subOrganizationOf",
+		"headOf", "worksFor", "memberOf", "doctoralDegreeFrom", "name",
+	}
+	preds := map[string]bool{}
+	for _, p := range g.Predicates() {
+		preds[p.Value] = true
+	}
+	for _, w := range want {
+		if !preds[UB+w] {
+			t.Errorf("missing predicate ub:%s", w)
+		}
+	}
+	if !preds[RDFType] {
+		t.Error("missing rdf:type")
+	}
+	// Classes used by queries.
+	classes := map[string]bool{}
+	for _, tr := range g.Triples() {
+		if tr.P.Value == RDFType {
+			classes[tr.O.Value] = true
+		}
+	}
+	for _, c := range []string{"FullProfessor", "Publication", "GraduateStudent", "Course"} {
+		if !classes[UB+c] {
+			t.Errorf("missing class ub:%s", c)
+		}
+	}
+}
+
+func TestLUBMScaleMonotone(t *testing.T) {
+	small := GenerateLUBM(DefaultLUBMConfig(1)).Len()
+	big := GenerateLUBM(DefaultLUBMConfig(3)).Len()
+	if big <= small*2 {
+		t.Errorf("scaling broken: 1 univ = %d triples, 3 univ = %d", small, big)
+	}
+}
+
+func TestLUBMDeptConstantExists(t *testing.T) {
+	g := GenerateLUBM(DefaultLUBMConfig(2))
+	dept := rdf.NewIRI(LUBMDepartment(0, 1))
+	found := false
+	for _, tr := range g.Triples() {
+		if tr.O == dept && tr.P.Value == UB+"worksFor" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no professor works for the fixed department constant")
+	}
+}
+
+func TestUniProtVocabularyCoverage(t *testing.T) {
+	g := GenerateUniProt(DefaultUniProtConfig(300))
+	preds := map[string]bool{}
+	for _, p := range g.Predicates() {
+		preds[p.Value] = true
+	}
+	for _, w := range []string{
+		"organism", "recommendedName", "fullName", "encodedBy", "name",
+		"sequence", "annotation", "replaces", "version", "modified",
+		"memberOf", "range", "begin", "end", "context",
+	} {
+		if !preds[Uni+w] {
+			t.Errorf("missing predicate uni:%s", w)
+		}
+	}
+	for _, w := range []string{RDFSubj, RDFValue, Schema + "comment", Schema + "seeAlso", Schema + "label"} {
+		if !preds[w] {
+			t.Errorf("missing predicate %s", w)
+		}
+	}
+	// The fixed human taxon must be populated.
+	human := 0
+	for _, tr := range g.Triples() {
+		if tr.O.Value == HumanTaxon {
+			human++
+		}
+	}
+	if human < 50 {
+		t.Errorf("only %d human proteins; taxonomy-fixed queries need more", human)
+	}
+}
+
+func TestUniProtAnnotationTypes(t *testing.T) {
+	g := GenerateUniProt(DefaultUniProtConfig(500))
+	types := map[string]int{}
+	for _, tr := range g.Triples() {
+		if tr.P.Value == RDFType {
+			types[tr.O.Value]++
+		}
+	}
+	for _, c := range []string{"Disease_Annotation", "Transmembrane_Annotation", "Natural_Variant_Annotation", "Simple_Sequence", "Protein", "Gene"} {
+		if types[Uni+c] == 0 {
+			t.Errorf("no instances of uni:%s", c)
+		}
+	}
+}
+
+func TestDBPediaHighPredicateCount(t *testing.T) {
+	g := GenerateDBPedia(DefaultDBPediaConfig(2000))
+	nPreds := len(g.Predicates())
+	if nPreds < 200 {
+		t.Errorf("predicate count = %d; the DBPedia regime needs a long tail", nPreds)
+	}
+}
+
+func TestDBPediaVocabularyCoverage(t *testing.T) {
+	g := GenerateDBPedia(DefaultDBPediaConfig(1000))
+	preds := map[string]bool{}
+	for _, p := range g.Predicates() {
+		preds[p.Value] = true
+	}
+	for _, w := range []string{
+		DBPOwl + "abstract", RDFS + "label", Geo + "lat", Geo + "long",
+		FOAF + "depiction", FOAF + "homepage", DBPOwl + "populationTotal",
+		DBPOwl + "thumbnail", FOAF + "page", DBPProp + "position",
+		DBPProp + "clubs", DBPOwl + "capacity", DBPOwl + "birthPlace",
+		DBPProp + "number", DBPOwl + "city", DBPProp + "iata",
+		DBPProp + "nativename", SKOS + "subject", FOAF + "name",
+		RDFS + "comment", DBPProp + "industry", DBPProp + "location",
+		GeoRSS + "point",
+	} {
+		if !preds[w] {
+			t.Errorf("missing predicate %s", w)
+		}
+	}
+	classes := map[string]bool{}
+	for _, tr := range g.Triples() {
+		if tr.P.Value == RDFType {
+			classes[tr.O.Value] = true
+		}
+	}
+	for _, c := range []string{"PopulatedPlace", "Settlement", "SoccerPlayer", "Person", "Airport", "Company"} {
+		if !classes[DBPOwl+c] {
+			t.Errorf("missing class dbpowl:%s", c)
+		}
+	}
+}
+
+func TestMovieGraphBase(t *testing.T) {
+	g := MovieGraph(0)
+	if g.Len() != 11 {
+		t.Fatalf("base movie graph = %d triples, want 11 (Figure 3.2)", g.Len())
+	}
+	g2 := MovieGraph(100)
+	if g2.Len() <= g.Len()+100 {
+		t.Errorf("extras not generated: %d", g2.Len())
+	}
+}
+
+func TestStatsShapeLikeTable61(t *testing.T) {
+	// Table 6.1 reports #triples, #S, #P, #O; sanity-check the shape
+	// relations: LUBM has few predicates, DBPedia has many.
+	lubm := GenerateLUBM(DefaultLUBMConfig(1)).Stats()
+	dbp := GenerateDBPedia(DefaultDBPediaConfig(1500)).Stats()
+	if lubm.Predicates > 30 {
+		t.Errorf("LUBM predicates = %d, want few (paper: 18)", lubm.Predicates)
+	}
+	if dbp.Predicates <= lubm.Predicates*3 {
+		t.Errorf("DBPedia predicates = %d, must dwarf LUBM's %d", dbp.Predicates, lubm.Predicates)
+	}
+}

@@ -1,0 +1,201 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// DBPedia-like vocabulary.
+const (
+	DBPOwl  = "http://dbpedia.org/ontology/"
+	DBPProp = "http://dbpedia.org/property/"
+	DBPRes  = "http://dbpedia.org/resource/"
+	FOAF    = "http://xmlns.com/foaf/0.1/"
+	Geo     = "http://www.w3.org/2003/01/geo/wgs84_pos#"
+	GeoRSS  = "http://www.georss.org/georss/"
+	SKOS    = "http://www.w3.org/2004/02/skos/core#"
+	RDFS    = "http://www.w3.org/2000/01/rdf-schema#"
+)
+
+// DBPediaConfig sizes the DBPedia-like generator.
+type DBPediaConfig struct {
+	// Entities is the number of primary entities (places, people, players,
+	// companies, airports).
+	Entities int
+	// RarePredicates is the size of the long predicate tail, reproducing
+	// DBPedia's 57k-predicate regime at reduced scale.
+	RarePredicates int
+	Seed           int64
+}
+
+// DefaultDBPediaConfig yields roughly 12 triples per entity plus the rare
+// tail.
+func DefaultDBPediaConfig(entities int) DBPediaConfig {
+	return DBPediaConfig{Entities: entities, RarePredicates: entities / 4, Seed: 3}
+}
+
+// GenerateDBPedia builds a heterogeneous infobox-style graph: populated
+// places, settlements with airports, soccer players with clubs, persons,
+// and companies, each with the sparse optional attributes the Appendix E.3
+// queries probe, plus a long tail of rare predicates.
+func GenerateDBPedia(cfg DBPediaConfig) *rdf.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := rdf.NewGraph()
+
+	categories := make([]string, 30)
+	for i := range categories {
+		categories[i] = fmt.Sprintf("%sCategory:Cat%d", DBPRes, i)
+	}
+	countries := make([]string, 20)
+	for i := range countries {
+		countries[i] = fmt.Sprintf("%sCountry%d", DBPRes, i)
+	}
+
+	var settlements []string
+	var clubs []string
+
+	for i := 0; i < cfg.Entities; i++ {
+		e := fmt.Sprintf("%sEntity%d", DBPRes, i)
+		switch i % 5 {
+		case 0: // PopulatedPlace / Settlement
+			g.Add(rdf.T(e, RDFType, DBPOwl+"PopulatedPlace"))
+			g.Add(rdf.T(e, RDFType, DBPOwl+"Settlement"))
+			settlements = append(settlements, e)
+			g.Add(rdf.TL(e, DBPOwl+"abstract", fmt.Sprintf("abstract of place %d", i)))
+			g.Add(rdf.TL(e, RDFS+"label", fmt.Sprintf("Place %d", i)))
+			g.Add(rdf.TL(e, Geo+"lat", fmt.Sprintf("%.4f", rng.Float64()*180-90)))
+			g.Add(rdf.TL(e, Geo+"long", fmt.Sprintf("%.4f", rng.Float64()*360-180)))
+			if rng.Float64() < 0.5 {
+				g.Add(rdf.T(e, FOAF+"depiction", fmt.Sprintf("http://img.org/d%d.jpg", i)))
+			}
+			if rng.Float64() < 0.3 {
+				g.Add(rdf.T(e, FOAF+"homepage", fmt.Sprintf("http://place%d.gov", i)))
+			}
+			if rng.Float64() < 0.6 {
+				g.Add(rdf.TL(e, DBPOwl+"populationTotal", fmt.Sprintf("%d", rng.Intn(1000000))))
+			}
+			if rng.Float64() < 0.4 {
+				g.Add(rdf.T(e, DBPOwl+"thumbnail", fmt.Sprintf("http://img.org/t%d.png", i)))
+			}
+		case 1: // SoccerPlayer
+			g.Add(rdf.T(e, RDFType, DBPOwl+"SoccerPlayer"))
+			g.Add(rdf.T(e, RDFType, DBPOwl+"Person"))
+			g.Add(rdf.T(e, FOAF+"page", fmt.Sprintf("http://wiki.org/player%d", i)))
+			g.Add(rdf.TL(e, DBPProp+"position", []string{"Goalkeeper", "Defender", "Midfielder", "Forward"}[rng.Intn(4)]))
+			club := fmt.Sprintf("%sClub%d", DBPRes, rng.Intn(cfg.Entities/20+1))
+			g.Add(rdf.T(e, DBPProp+"clubs", club))
+			clubs = append(clubs, club)
+			g.Add(rdf.TL(club, DBPOwl+"capacity", fmt.Sprintf("%d", 10000+rng.Intn(90000))))
+			if len(settlements) > 0 {
+				g.Add(rdf.T(e, DBPOwl+"birthPlace", settlements[rng.Intn(len(settlements))]))
+			}
+			if rng.Float64() < 0.5 {
+				g.Add(rdf.TL(e, DBPProp+"number", fmt.Sprintf("%d", 1+rng.Intn(30))))
+			}
+		case 2: // Person with label/thumbnail
+			g.Add(rdf.T(e, RDFType, DBPOwl+"Person"))
+			g.Add(rdf.TL(e, RDFS+"label", fmt.Sprintf("Person %d", i)))
+			g.Add(rdf.T(e, FOAF+"page", fmt.Sprintf("http://wiki.org/person%d", i)))
+			g.Add(rdf.TL(e, FOAF+"name", fmt.Sprintf("Per Son %d", i)))
+			g.Add(rdf.T(e, SKOS+"subject", categories[rng.Intn(len(categories))]))
+			if rng.Float64() < 0.55 {
+				g.Add(rdf.T(e, DBPOwl+"thumbnail", fmt.Sprintf("http://img.org/p%d.png", i)))
+			}
+			if rng.Float64() < 0.25 {
+				g.Add(rdf.T(e, FOAF+"homepage", fmt.Sprintf("http://person%d.net", i)))
+			}
+			if rng.Float64() < 0.6 {
+				g.Add(rdf.TL(e, RDFS+"comment", fmt.Sprintf("comment on person %d", i)))
+			}
+		case 3: // Airport near a settlement
+			g.Add(rdf.T(e, RDFType, DBPOwl+"Airport"))
+			if len(settlements) > 0 {
+				g.Add(rdf.T(e, DBPOwl+"city", settlements[rng.Intn(len(settlements))]))
+			}
+			g.Add(rdf.TL(e, DBPProp+"iata", fmt.Sprintf("A%02d", i%100)))
+			if rng.Float64() < 0.4 {
+				g.Add(rdf.T(e, FOAF+"homepage", fmt.Sprintf("http://airport%d.aero", i)))
+			}
+			if rng.Float64() < 0.5 {
+				g.Add(rdf.TL(e, DBPProp+"nativename", fmt.Sprintf("Aeropuerto %d", i)))
+			}
+		case 4: // Company
+			g.Add(rdf.T(e, RDFType, DBPOwl+"Company"))
+			g.Add(rdf.TL(e, RDFS+"comment", fmt.Sprintf("comment on company %d", i)))
+			g.Add(rdf.T(e, FOAF+"page", fmt.Sprintf("http://wiki.org/company%d", i)))
+			if rng.Float64() < 0.5 {
+				g.Add(rdf.T(e, SKOS+"subject", categories[rng.Intn(len(categories))]))
+			}
+			if rng.Float64() < 0.4 {
+				g.Add(rdf.TL(e, DBPProp+"industry", []string{"Software", "Automotive", "Finance", "Retail"}[rng.Intn(4)]))
+			}
+			if rng.Float64() < 0.35 {
+				g.Add(rdf.T(e, DBPProp+"location", countries[rng.Intn(len(countries))]))
+			}
+			if rng.Float64() < 0.3 {
+				g.Add(rdf.T(e, DBPProp+"locationCountry", countries[rng.Intn(len(countries))]))
+			}
+			if rng.Float64() < 0.2 && len(settlements) > 0 {
+				g.Add(rdf.T(e, DBPProp+"locationCity", settlements[rng.Intn(len(settlements))]))
+				g.Add(rdf.T(fmt.Sprintf("%sProduct%d", DBPRes, i), DBPProp+"manufacturer", e))
+			}
+			if rng.Float64() < 0.25 {
+				g.Add(rdf.TL(e, DBPProp+"products", fmt.Sprintf("product line %d", i)))
+				g.Add(rdf.T(fmt.Sprintf("%sModel%d", DBPRes, i), DBPProp+"model", e))
+			}
+			if rng.Float64() < 0.3 {
+				g.Add(rdf.TL(e, GeoRSS+"point", fmt.Sprintf("%.3f %.3f", rng.Float64()*180-90, rng.Float64()*360-180)))
+			}
+		}
+		// The rare-predicate tail: every entity gets a couple of one-off
+		// infobox predicates, giving the dataset its high predicate count.
+		if cfg.RarePredicates > 0 {
+			for k := 0; k < 1+rng.Intn(2); k++ {
+				rp := fmt.Sprintf("%srare%d", DBPProp, rng.Intn(cfg.RarePredicates))
+				g.Add(rdf.TL(e, rp, fmt.Sprintf("v%d", rng.Intn(100))))
+			}
+		}
+	}
+	return g
+}
+
+// MovieGraph returns the running example of Figures 3.2 and 4.1: Jerry's
+// friends and their sitcoms, extended with extra actors so that the
+// low-selectivity flavour of the intro ("a lot of actors acted in New York
+// sitcoms") holds at query time.
+func MovieGraph(extraActors int) *rdf.Graph {
+	g := rdf.NewGraph()
+	ex := func(s string) string { return "http://example.org/" + s }
+	for _, tr := range [][3]string{
+		{"Julia", "actedIn", "Seinfeld"},
+		{"Julia", "actedIn", "Veep"},
+		{"Julia", "actedIn", "NewAdvOldChristine"},
+		{"Julia", "actedIn", "CurbYourEnthu"},
+		{"Larry", "actedIn", "CurbYourEnthu"},
+		{"Jerry", "hasFriend", "Julia"},
+		{"Jerry", "hasFriend", "Larry"},
+		{"Seinfeld", "location", "NewYorkCity"},
+		{"Veep", "location", "D.C."},
+		{"CurbYourEnthu", "location", "LosAngeles"},
+		{"NewAdvOldChristine", "location", "Jersey"},
+	} {
+		g.Add(rdf.T(ex(tr[0]), ex(tr[1]), ex(tr[2])))
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < extraActors; i++ {
+		actor := ex(fmt.Sprintf("Actor%d", i))
+		sitcom := ex(fmt.Sprintf("Sitcom%d", i%50))
+		g.Add(rdf.T(actor, ex("actedIn"), sitcom))
+		loc := "NewYorkCity"
+		if rng.Float64() > 0.5 {
+			loc = fmt.Sprintf("City%d", rng.Intn(10))
+		}
+		g.Add(rdf.T(sitcom, ex("location"), ex(loc)))
+		if rng.Float64() < 0.3 {
+			g.Add(rdf.TL(actor, ex("name"), fmt.Sprintf("Actor %d", i)))
+		}
+	}
+	return g
+}

@@ -1,0 +1,134 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// UniProt-like vocabulary.
+const (
+	Uni       = "http://purl.uniprot.org/core/"
+	Schema    = "http://www.w3.org/2000/01/rdf-schema#"
+	RDFSubj   = "http://www.w3.org/1999/02/22-rdf-syntax-ns#subject"
+	RDFValue  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#value"
+	TaxonBase = "http://purl.uniprot.org/taxonomy/"
+)
+
+// HumanTaxon is the taxonomy IRI UniProt queries fix (9606 = homo sapiens).
+const HumanTaxon = TaxonBase + "9606"
+
+// UniProtConfig sizes the protein generator.
+type UniProtConfig struct {
+	Proteins int
+	Taxa     int
+	Seed     int64
+}
+
+// DefaultUniProtConfig yields roughly 20 triples per protein.
+func DefaultUniProtConfig(proteins int) UniProtConfig {
+	return UniProtConfig{Proteins: proteins, Taxa: 12, Seed: 2}
+}
+
+// GenerateUniProt builds the UniProt-like graph: proteins with names,
+// genes, sequences, annotations of several types, citations, and the
+// sparsity of optional attributes that the Appendix E.2 queries probe.
+func GenerateUniProt(cfg UniProtConfig) *rdf.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := rdf.NewGraph()
+	uni := func(local string) string { return Uni + local }
+	sch := func(local string) string { return Schema + local }
+
+	annTypes := []string{"Disease_Annotation", "Transmembrane_Annotation", "Natural_Variant_Annotation", "Function_Annotation"}
+	dates := []string{"2008-01-15", "2010-06-02", "2013-11-20", "2015-03-09"}
+
+	protein := func(i int) string { return fmt.Sprintf("http://purl.uniprot.org/uniprot/P%05d", i) }
+
+	for i := 0; i < cfg.Proteins; i++ {
+		p := protein(i)
+		g.Add(rdf.T(p, RDFType, uni("Protein")))
+		// Humans are a large slice so taxonomy-fixed queries stay low
+		// selectivity, as in the paper's UniProt workload.
+		taxon := HumanTaxon
+		if rng.Float64() > 0.4 {
+			taxon = fmt.Sprintf("%s%d", TaxonBase, 1000+rng.Intn(cfg.Taxa))
+		}
+		g.Add(rdf.T(p, uni("organism"), taxon))
+		g.Add(rdf.TL(p, uni("modified"), dates[rng.Intn(len(dates))]))
+
+		// Recommended name node; fullName is optional.
+		if rng.Float64() < 0.85 {
+			rn := p + "/name"
+			g.Add(rdf.T(p, uni("recommendedName"), rn))
+			g.Add(rdf.T(rn, RDFType, uni("Structured_Name")))
+			if rng.Float64() < 0.75 {
+				g.Add(rdf.TL(rn, uni("fullName"), fmt.Sprintf("Protein fn %d", i)))
+			}
+		}
+		// Gene; name and type are optional.
+		if rng.Float64() < 0.8 {
+			gene := p + "/gene"
+			g.Add(rdf.T(p, uni("encodedBy"), gene))
+			if rng.Float64() < 0.7 {
+				g.Add(rdf.TL(gene, uni("name"), fmt.Sprintf("GENE%d", i)))
+			}
+			if rng.Float64() < 0.6 {
+				g.Add(rdf.T(gene, RDFType, uni("Gene")))
+			}
+			if rng.Float64() < 0.3 {
+				ctxNode := gene + "/context"
+				g.Add(rdf.T(gene, uni("context"), ctxNode))
+				if rng.Float64() < 0.7 {
+					g.Add(rdf.TL(ctxNode, sch("label"), fmt.Sprintf("chromosome %d", 1+rng.Intn(22))))
+				}
+			}
+		}
+		// Sequence.
+		seq := p + "/sequence"
+		g.Add(rdf.T(p, uni("sequence"), seq))
+		seqType := "Simple_Sequence"
+		if rng.Float64() < 0.25 {
+			seqType = "Modified_Sequence"
+		}
+		g.Add(rdf.T(seq, RDFType, uni(seqType)))
+		g.Add(rdf.TL(seq, RDFValue, fmt.Sprintf("MSEQ%d", i)))
+		if rng.Float64() < 0.6 {
+			g.Add(rdf.TL(seq, uni("version"), fmt.Sprintf("%d", 1+rng.Intn(5))))
+		}
+		if rng.Float64() < 0.3 {
+			g.Add(rdf.T(seq, uni("memberOf"), fmt.Sprintf("http://purl.uniprot.org/isoforms/I%d", rng.Intn(cfg.Proteins/10+1))))
+		}
+		// Annotations.
+		nAnn := rng.Intn(4)
+		for a := 0; a < nAnn; a++ {
+			an := fmt.Sprintf("%s/annotation%d", p, a)
+			g.Add(rdf.T(p, uni("annotation"), an))
+			at := annTypes[rng.Intn(len(annTypes))]
+			g.Add(rdf.T(an, RDFType, uni(at)))
+			if rng.Float64() < 0.8 {
+				g.Add(rdf.TL(an, sch("comment"), fmt.Sprintf("annotation text %d-%d", i, a)))
+			}
+			if at == "Transmembrane_Annotation" && rng.Float64() < 0.7 {
+				rangeNode := an + "/range"
+				g.Add(rdf.T(an, uni("range"), rangeNode))
+				begin := 1 + rng.Intn(400)
+				g.Add(rdf.TL(rangeNode, uni("begin"), fmt.Sprintf("%d", begin)))
+				g.Add(rdf.TL(rangeNode, uni("end"), fmt.Sprintf("%d", begin+15+rng.Intn(30))))
+			}
+		}
+		// Replacements (protein versioning) and citations.
+		if i > 0 && rng.Float64() < 0.15 {
+			g.Add(rdf.T(p, uni("replaces"), protein(rng.Intn(i))))
+		}
+		if rng.Float64() < 0.4 {
+			cit := fmt.Sprintf("http://purl.uniprot.org/citations/C%d", i)
+			g.Add(rdf.T(cit, RDFSubj, p))
+			g.Add(rdf.T(cit, uni("encodedBy"), p+"/gene"))
+			if rng.Float64() < 0.5 {
+				g.Add(rdf.T(cit, sch("seeAlso"), fmt.Sprintf("http://pubmed.org/%d", 10000+i)))
+			}
+		}
+	}
+	return g
+}

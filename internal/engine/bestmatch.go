@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// Row is one query result: terms aligned with the result's variable list.
+// A zero Term is a NULL (the variable is unbound in this row).
+type Row []rdf.Term
+
+// IsNull reports whether column i of the row is NULL.
+func (r Row) IsNull(i int) bool { return r[i].IsZero() }
+
+// NullCount returns the number of NULL columns.
+func (r Row) NullCount() int {
+	n := 0
+	for i := range r {
+		if r.IsNull(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// key renders the row as a map key.
+func (r Row) key() string {
+	out := make([]byte, 0, len(r)*8)
+	for _, t := range r {
+		if t.IsZero() {
+			out = append(out, 0)
+		} else {
+			out = append(out, t.Key()...)
+		}
+		out = append(out, 1)
+	}
+	return string(out)
+}
+
+// subsumes reports r2 < r1 in the paper's ordering: every non-null binding
+// of r2 appears identically in r1, and r1 has strictly more non-null
+// bindings (Section 3.1).
+func subsumes(r1, r2 Row) bool {
+	more := false
+	for i := range r2 {
+		switch {
+		case r2.IsNull(i):
+			if !r1.IsNull(i) {
+				more = true
+			}
+		case r1.IsNull(i) || r1[i] != r2[i]:
+			return false
+		}
+	}
+	return more
+}
+
+// bestMatch removes every subsumed row (minimum union). Rows are grouped by
+// their NULL column mask; a row can only be subsumed by a row whose mask is
+// a strict subset, so only those group pairs are probed, each through a
+// hash of the candidate's non-null projection. The rows' relative order is
+// preserved.
+func bestMatch(rows []Row) []Row {
+	if len(rows) <= 1 {
+		return rows
+	}
+	width := len(rows[0])
+	maskOf := func(r Row) string {
+		m := make([]byte, width)
+		for i := range r {
+			if r.IsNull(i) {
+				m[i] = '1'
+			} else {
+				m[i] = '0'
+			}
+		}
+		return string(m)
+	}
+	groups := map[string][]int{}
+	for i, r := range rows {
+		groups[maskOf(r)] = append(groups[maskOf(r)], i)
+	}
+	masks := make([]string, 0, len(groups))
+	for m := range groups {
+		masks = append(masks, m)
+	}
+	sort.Strings(masks)
+
+	subsetOf := func(sub, super string) bool {
+		// sub has MORE nulls than super: super's nulls must all be nulls in
+		// sub, and sub must have strictly more.
+		strict := false
+		for i := 0; i < width; i++ {
+			if super[i] == '1' && sub[i] == '0' {
+				return false
+			}
+			if sub[i] == '1' && super[i] == '0' {
+				strict = true
+			}
+		}
+		return strict
+	}
+	// Projection of a row onto the non-null columns of mask m.
+	projKey := func(r Row, m string) string {
+		out := make([]byte, 0, len(r)*8)
+		for i := 0; i < width; i++ {
+			if m[i] == '0' {
+				out = append(out, r[i].Key()...)
+				out = append(out, 1)
+			}
+		}
+		return string(out)
+	}
+
+	dead := make([]bool, len(rows))
+	for _, subMask := range masks {
+		if !hasNull(subMask) {
+			continue // rows without nulls cannot be subsumed
+		}
+		for _, superMask := range masks {
+			if subMask == superMask || !subsetOf(subMask, superMask) {
+				continue
+			}
+			// Index the potential subsumers by their projection onto the
+			// sub group's non-null columns.
+			index := map[string]bool{}
+			for _, ri := range groups[superMask] {
+				if !dead[ri] {
+					index[projKey(rows[ri], subMask)] = true
+				}
+			}
+			if len(index) == 0 {
+				continue
+			}
+			for _, ri := range groups[subMask] {
+				if !dead[ri] && index[projKey(rows[ri], subMask)] {
+					dead[ri] = true
+				}
+			}
+		}
+	}
+	out := rows[:0]
+	for i, r := range rows {
+		if !dead[i] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func hasNull(mask string) bool {
+	for i := 0; i < len(mask); i++ {
+		if mask[i] == '1' {
+			return true
+		}
+	}
+	return false
+}
+
+// dedupNullified collapses rows that were changed by nullification and are
+// now identical. Nullification can turn several partial slave matches of
+// one master context into the same all-NULL row; under full projection two
+// distinct master contexts can never produce identical rows (triples are
+// unique), so content-keyed collapsing is exact.
+func dedupNullified(rows []Row, changed []bool) ([]Row, []bool) {
+	seen := map[string]bool{}
+	outRows := rows[:0]
+	outChanged := changed[:0]
+	for i, r := range rows {
+		if changed[i] {
+			k := r.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		outRows = append(outRows, r)
+		outChanged = append(outChanged, changed[i])
+	}
+	return outRows, outChanged
+}

@@ -1,0 +1,85 @@
+// Package engine executes well-designed BGP-OPT queries over the BitMat
+// index: the init phase with active pruning, the semi-join and
+// clustered-semi-join primitives built on fold/unfold (Algorithms 5.2 and
+// 5.3), prune_triples (Algorithm 3.2), the recursive multi-way pipelined
+// join (Algorithm 5.4), and the nullification and best-match operators for
+// the cyclic cases that need them.
+package engine
+
+import (
+	"repro/internal/rdf"
+)
+
+// Space identifies the ID space of a matrix axis or a binding: the subject,
+// object, or predicate dimension of the bitcube.
+type Space uint8
+
+const (
+	// SpaceNone marks an absent axis (one-variable patterns use a single
+	// row; the row axis carries no variable).
+	SpaceNone Space = iota
+	// SpaceS is the subject dimension.
+	SpaceS
+	// SpaceO is the object dimension.
+	SpaceO
+	// SpaceP is the predicate dimension.
+	SpaceP
+)
+
+func (s Space) String() string {
+	switch s {
+	case SpaceS:
+		return "S"
+	case SpaceO:
+		return "O"
+	case SpaceP:
+		return "P"
+	}
+	return "-"
+}
+
+// Binding is one variable binding in coordinate form. Bindings are
+// canonicalized against the shared subject/object prefix: an object ID
+// within the shared band is stored as SpaceS, so equal canonical bindings
+// denote equal terms.
+type Binding struct {
+	Space Space
+	ID    rdf.ID
+}
+
+// canonical maps a raw (space, id) pair to canonical form given the size of
+// the shared S/O band.
+func canonical(space Space, id rdf.ID, shared int) Binding {
+	if space == SpaceO && int(id) <= shared {
+		return Binding{Space: SpaceS, ID: id}
+	}
+	return Binding{Space: space, ID: id}
+}
+
+// axisIndex converts a canonical binding to a 0-based index on an axis of
+// the given space. ok is false when the bound term cannot occur on that
+// axis (e.g. a subject-only ID probed against an object axis).
+func axisIndex(b Binding, axis Space, shared int) (int, bool) {
+	if b.Space == axis {
+		return int(b.ID) - 1, true
+	}
+	if (b.Space == SpaceS && axis == SpaceO) || (b.Space == SpaceO && axis == SpaceS) {
+		if int(b.ID) <= shared {
+			return int(b.ID) - 1, true
+		}
+	}
+	return 0, false
+}
+
+// term resolves a binding to its RDF term.
+func (e *Engine) term(b Binding) (rdf.Term, error) {
+	switch b.Space {
+	case SpaceS:
+		return e.dict.Subject(b.ID)
+	case SpaceO:
+		return e.dict.Object(b.ID)
+	case SpaceP:
+		return e.dict.Predicate(b.ID)
+	}
+	return rdf.Term{}, nil
+}

@@ -1,0 +1,706 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/bitmat"
+	"repro/internal/planner"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Options tune the engine, mainly for the ablation benchmarks.
+type Options struct {
+	// DisablePruning skips prune_triples entirely, joining the raw loaded
+	// BitMats (the prune ablation).
+	DisablePruning bool
+	// DisableActivePruning skips the cross-pattern masking during init
+	// (the active-pruning ablation).
+	DisableActivePruning bool
+	// NaiveJvarOrder replaces the Algorithm 3.1 orders with a plain
+	// bottom-up/top-down pass rooted arbitrarily (the jvar-order ablation);
+	// it keeps correctness but loses the selectivity-driven pruning order.
+	NaiveJvarOrder bool
+}
+
+// Engine executes queries against one BitMat index.
+type Engine struct {
+	idx  *bitmat.Index
+	dict *rdf.Dictionary
+	opts Options
+}
+
+// New returns an engine over idx.
+func New(idx *bitmat.Index, opts Options) *Engine {
+	return &Engine{idx: idx, dict: idx.Dictionary(), opts: opts}
+}
+
+// Stats reports the Section 6.1 evaluation metrics of one execution.
+type Stats struct {
+	Init  time.Duration // Tinit: BitMat loading with active pruning
+	Prune time.Duration // Tprune: prune_triples
+	Join  time.Duration // Tmultiway: multi-way join + nullification/best-match
+	Total time.Duration
+
+	InitialTriples int64 // sum of per-pattern matches before init pruning
+	AfterPruning   int64 // sum of triples left in all BitMats after pruning
+	Results        int
+	NullResults    int  // rows with at least one NULL
+	BestMatch      bool // nullification/best-match were required
+	EmptyShortcut  bool // the init-time empty-master optimization fired
+}
+
+// Result is the output of a query execution.
+type Result struct {
+	Vars  []sparql.Var
+	Rows  []Row
+	Stats Stats
+}
+
+// Execute runs a parsed query end to end: UNF rewrite, per-branch
+// well-designedness handling, planning, pruning, multi-way join, and the
+// union of branch results.
+func (e *Engine) Execute(q *sparql.Query) (*Result, error) {
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute with cancellation: the multi-way join checks
+// the context periodically and aborts with ctx.Err() when it is done.
+func (e *Engine) ExecuteContext(ctx context.Context, q *sparql.Query) (*Result, error) {
+	res, err := e.executeQuery(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Ask evaluates an existence check: whether the pattern has at least one
+// solution. It streams through the pipelined join and stops at the first
+// row.
+func (e *Engine) Ask(q *sparql.Query) (bool, error) {
+	probe := *q
+	probe.Ask = false
+	probe.Select = nil // SELECT * so the stream path applies
+	probe.Distinct = false
+	found := false
+	err := e.ExecuteStream(&probe, func([]sparql.Var, Row) bool {
+		found = true
+		return false
+	})
+	return found, err
+}
+
+func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query) (*Result, error) {
+	tree, err := algebra.FromQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	branches, err := algebra.NormalizeUNF(tree)
+	if err != nil {
+		return nil, err
+	}
+	// The result variable universe spans all branches.
+	varSet := map[sparql.Var]bool{}
+	for _, b := range branches {
+		for v := range algebra.TreeVars(b.Tree) {
+			varSet[v] = true
+		}
+	}
+	vars := make([]sparql.Var, 0, len(varSet))
+	for v := range varSet {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+
+	res := &Result{Vars: vars}
+	start := time.Now()
+	needCrossBranchBestMatch := false
+	var allRows []Row
+	for _, b := range branches {
+		if err := b.CheckSafeFilters(); err != nil {
+			return nil, err
+		}
+		b.SubstituteCheapFilters()
+		br, err := e.executeBranchCtx(ctx, b, vars)
+		if err != nil {
+			return nil, err
+		}
+		allRows = append(allRows, br.Rows...)
+		accumulate(&res.Stats, &br.Stats)
+		if b.UsedRule3 || br.Stats.BestMatch {
+			needCrossBranchBestMatch = true
+		}
+	}
+	if needCrossBranchBestMatch && len(branches) > 1 {
+		allRows = bestMatch(allRows)
+		res.Stats.BestMatch = true
+	}
+	res.Rows = allRows
+	res.Stats.Results = len(allRows)
+	res.Stats.NullResults = 0
+	for _, r := range allRows {
+		if r.NullCount() > 0 {
+			res.Stats.NullResults++
+		}
+	}
+	res.Stats.Total = time.Since(start)
+
+	// Solution modifiers, in SPARQL order: ORDER BY on the full bindings,
+	// then projection, DISTINCT, OFFSET, LIMIT.
+	if len(q.OrderBy) > 0 {
+		res.orderBy(q.OrderBy)
+	}
+	if !q.SelectAll() {
+		res.project(q)
+	}
+	if q.Distinct {
+		res.distinct()
+	}
+	res.slice(q.Offset, q.Limit)
+	res.Stats.Results = len(res.Rows)
+	return res, nil
+}
+
+// orderBy sorts the rows by the given keys: numeric literals compare
+// numerically, everything else by its N-Triples rendering; NULLs sort
+// first (as unbound does in SPARQL).
+func (res *Result) orderBy(keys []sparql.OrderKey) {
+	cols := make([]int, 0, len(keys))
+	desc := make([]bool, 0, len(keys))
+	pos := map[sparql.Var]int{}
+	for i, v := range res.Vars {
+		pos[v] = i
+	}
+	for _, k := range keys {
+		if p, ok := pos[k.Var]; ok {
+			cols = append(cols, p)
+			desc = append(desc, k.Desc)
+		}
+	}
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for i, c := range cols {
+			cmp := compareForOrder(res.Rows[a][c], res.Rows[b][c])
+			if cmp == 0 {
+				continue
+			}
+			if desc[i] {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+}
+
+func compareForOrder(a, b rdf.Term) int {
+	switch {
+	case a.IsZero() && b.IsZero():
+		return 0
+	case a.IsZero():
+		return -1
+	case b.IsZero():
+		return 1
+	}
+	if fa, ok := numeric(a); ok {
+		if fb, ok := numeric(b); ok {
+			switch {
+			case fa < fb:
+				return -1
+			case fa > fb:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	sa, sb := a.String(), b.String()
+	switch {
+	case sa < sb:
+		return -1
+	case sa > sb:
+		return 1
+	}
+	return 0
+}
+
+// slice applies OFFSET and LIMIT (-1 = unset).
+func (res *Result) slice(offset, limit int) {
+	rows := res.Rows
+	if offset > 0 {
+		if offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[offset:]
+		}
+	}
+	if limit >= 0 && limit < len(rows) {
+		rows = rows[:limit]
+	}
+	res.Rows = rows
+}
+
+func accumulate(dst, src *Stats) {
+	dst.Init += src.Init
+	dst.Prune += src.Prune
+	dst.Join += src.Join
+	dst.InitialTriples += src.InitialTriples
+	dst.AfterPruning += src.AfterPruning
+	dst.BestMatch = dst.BestMatch || src.BestMatch
+	dst.EmptyShortcut = dst.EmptyShortcut || src.EmptyShortcut
+}
+
+// executeBranch runs one union-free branch (Algorithm 5.1).
+func (e *Engine) executeBranch(b *algebra.Branch, vars []sparql.Var) (*Result, error) {
+	return e.executeBranchCtx(context.Background(), b, vars)
+}
+
+func (e *Engine) executeBranchCtx(ctx context.Context, b *algebra.Branch, vars []sparql.Var) (*Result, error) {
+	res := &Result{Vars: vars}
+
+	// Lines 1-2: GoSN and GoJ.
+	gosn, err := algebra.BuildGoSN(b.Tree)
+	if err != nil {
+		return nil, err
+	}
+	// Non-well-designed patterns: transform the GoSN per Appendix B and
+	// proceed under null-intolerant joins.
+	if viols := algebra.CheckWellDesigned(b.Tree, gosn); len(viols) > 0 {
+		algebra.TransformNWD(gosn, viols)
+	}
+	goj, err := algebra.BuildGoJ(gosn.Patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Selectivity estimates from index metadata, then the plan
+	// (Algorithm 3.1) and the best-match decision (line 5).
+	counts := EstimateCounts(e.idx, gosn.Patterns)
+	res.Stats.InitialTriples = sum(counts)
+	plan := planner.BuildPlan(gosn, goj, counts)
+	if e.opts.NaiveJvarOrder && !plan.Greedy {
+		naiveOrders(plan)
+	}
+
+	// Lines 3-4: init with active pruning.
+	tInit := time.Now()
+	tps := make([]*tpState, len(gosn.Patterns))
+	for i, pat := range gosn.Patterns {
+		st, err := e.load(pat, i, gosn.SNOfTP[i], plan, tps)
+		if err != nil {
+			return nil, err
+		}
+		if !e.opts.DisableActivePruning {
+			e.activePrune(st, tps, plan)
+		}
+		tps[i] = st
+		// Simple optimization (Section 5): an empty absolute-master
+		// pattern means an empty result.
+		if gosn.IsAbsoluteMaster(st.sn) && st.count() == 0 && st.mat != nil {
+			res.Stats.Init = time.Since(tInit)
+			res.Stats.EmptyShortcut = true
+			return res, nil
+		}
+		if st.mat == nil && !st.present && gosn.IsAbsoluteMaster(st.sn) {
+			res.Stats.Init = time.Since(tInit)
+			res.Stats.EmptyShortcut = true
+			return res, nil
+		}
+	}
+	res.Stats.Init = time.Since(tInit)
+
+	// Line 7: prune_triples (Algorithm 3.2).
+	tPrune := time.Now()
+	if !e.opts.DisablePruning {
+		e.pruneTriples(plan, tps)
+	}
+	res.Stats.Prune = time.Since(tPrune)
+	for _, st := range tps {
+		res.Stats.AfterPruning += st.count()
+	}
+	// Re-check the empty-master shortcut after pruning.
+	for _, st := range tps {
+		if gosn.IsAbsoluteMaster(st.sn) && st.count() == 0 && st.mat != nil {
+			res.Stats.EmptyShortcut = true
+			return res, nil
+		}
+	}
+
+	// Lines 8-13: sort patterns and run the pipelined join. Without the
+	// full prune_triples pass (or with a non-standard jvar order) the
+	// per-pattern triple sets are not minimal, so nullification and
+	// best-match become mandatory (Lemma 3.1).
+	tJoin := time.Now()
+	stps := sortTPs(plan, tps)
+	nulreqd := plan.NeedsBestMatch || e.opts.DisablePruning || e.opts.NaiveJvarOrder
+	slaveFilters, rowFilters := splitFilters(b, gosn)
+
+	varIdx := make(map[sparql.Var]int, len(vars))
+	for i, v := range vars {
+		varIdx[v] = i
+	}
+	var rows []Row
+	var changed []bool
+	fanNullified := false
+	run := newJoinRun(e, plan, stps, vars, nulreqd, func(r *joinRun) bool {
+		// Cancellation check, amortized over emitted rows.
+		if r.emitted&1023 == 0 && ctx.Err() != nil {
+			return false
+		}
+		row := make(Row, len(vars))
+		for v := range r.bindings {
+			if r.state[v] == stBound {
+				if t, err := e.term(r.bindings[v]); err == nil {
+					row[v] = t
+				}
+			}
+		}
+		rowChanged := false
+		// Nullification for reordered cyclic plans.
+		if r.nulreqd {
+			if failed := r.nullification(); failed != nil {
+				for v, sn := range r.ownerSN {
+					if sn >= 0 && failed[sn] {
+						row[v] = rdf.Term{}
+					}
+				}
+				rowChanged = true
+			}
+		}
+		// FaN: scoped slave filters nullify their supernodes' bindings on
+		// failure; row filters reject the row.
+		for _, sf := range slaveFilters {
+			if !filterHolds(sf.expr, row, varIdx) {
+				if e.nullifyScope(row, r, sf.sns) {
+					rowChanged = true
+					fanNullified = true
+				}
+			}
+		}
+		for _, rf := range rowFilters {
+			if !filterHolds(rf.expr, row, varIdx) {
+				return true // drop the row, keep enumerating
+			}
+		}
+		rows = append(rows, row)
+		changed = append(changed, rowChanged)
+		return true
+	})
+	run.run()
+
+	if nulreqd || fanNullified {
+		rows, changed = dedupNullified(rows, changed)
+		rows = bestMatch(rows)
+		res.Stats.BestMatch = true
+	}
+	res.Rows = rows
+	res.Stats.Join = time.Since(tJoin)
+	return res, nil
+}
+
+// executeBranchStream runs one branch, streaming rows to fn when the plan
+// permits (no nullification/best-match pass needed). When best-match is
+// required it falls back to executeBranch and returns the materialized
+// result (non-nil) for the caller to replay; a nil result means rows were
+// streamed.
+func (e *Engine) executeBranchStream(b *algebra.Branch, vars []sparql.Var, fn func([]sparql.Var, Row) bool) (*Result, error) {
+	gosn, err := algebra.BuildGoSN(b.Tree)
+	if err != nil {
+		return nil, err
+	}
+	if viols := algebra.CheckWellDesigned(b.Tree, gosn); len(viols) > 0 {
+		algebra.TransformNWD(gosn, viols)
+	}
+	goj, err := algebra.BuildGoJ(gosn.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	counts := EstimateCounts(e.idx, gosn.Patterns)
+	plan := planner.BuildPlan(gosn, goj, counts)
+	nulreqd := plan.NeedsBestMatch || e.opts.DisablePruning || e.opts.NaiveJvarOrder
+	slaveFilters, rowFilters := splitFilters(b, gosn)
+	if nulreqd || len(slaveFilters) > 0 {
+		// A trailing best-match (or potential FaN nullification) makes the
+		// output non-streamable.
+		return e.executeBranch(b, vars)
+	}
+	if e.opts.NaiveJvarOrder && !plan.Greedy {
+		naiveOrders(plan)
+	}
+	tps := make([]*tpState, len(gosn.Patterns))
+	for i, pat := range gosn.Patterns {
+		st, err := e.load(pat, i, gosn.SNOfTP[i], plan, tps)
+		if err != nil {
+			return nil, err
+		}
+		if !e.opts.DisableActivePruning {
+			e.activePrune(st, tps, plan)
+		}
+		tps[i] = st
+		if gosn.IsAbsoluteMaster(st.sn) && st.count() == 0 && (st.mat != nil || !st.present) {
+			return nil, nil // empty result, nothing to stream
+		}
+	}
+	if !e.opts.DisablePruning {
+		e.pruneTriples(plan, tps)
+	}
+	for _, st := range tps {
+		if gosn.IsAbsoluteMaster(st.sn) && st.count() == 0 && st.mat != nil {
+			return nil, nil
+		}
+	}
+	stps := sortTPs(plan, tps)
+	varIdx := make(map[sparql.Var]int, len(vars))
+	for i, v := range vars {
+		varIdx[v] = i
+	}
+	run := newJoinRun(e, plan, stps, vars, false, func(r *joinRun) bool {
+		row := make(Row, len(vars))
+		for v := range r.bindings {
+			if r.state[v] == stBound {
+				if t, err := e.term(r.bindings[v]); err == nil {
+					row[v] = t
+				}
+			}
+		}
+		for _, rf := range rowFilters {
+			if !filterHolds(rf.expr, row, varIdx) {
+				return true
+			}
+		}
+		return fn(vars, row)
+	})
+	run.run()
+	return nil, nil
+}
+
+// activePrune masks a freshly loaded pattern with the bindings of already
+// loaded patterns that share a join variable and are masters or peers of it
+// (Section 5 init), and vice versa for already loaded slaves of the new
+// pattern.
+func (e *Engine) activePrune(st *tpState, loaded []*tpState, plan *planner.Plan) {
+	for _, prev := range loaded {
+		if prev == nil || prev.mat == nil || st.mat == nil {
+			continue
+		}
+		for _, v := range st.vars() {
+			if _, isJ := plan.GoJ.VarIdx[v]; !isJ {
+				continue
+			}
+			if _, _, ok := prev.axisOf(v); !ok {
+				continue
+			}
+			if plan.GoSN.TPIsMasterOf(prev.idx, st.idx) || plan.GoSN.TPArePeers(prev.idx, st.idx) {
+				e.semiJoin(v, st, prev)
+			}
+			if plan.GoSN.TPIsMasterOf(st.idx, prev.idx) || plan.GoSN.TPArePeers(prev.idx, st.idx) {
+				e.semiJoin(v, prev, st)
+			}
+		}
+	}
+}
+
+type scopedFilterSet struct {
+	expr sparql.Expr
+	sns  map[int]bool
+}
+
+// splitFilters classifies the branch filters: a filter whose scope includes
+// an absolute master rejects whole rows; one scoped to slave supernodes
+// nullifies them (FaN).
+func splitFilters(b *algebra.Branch, gosn *algebra.GoSN) (slave, row []scopedFilterSet) {
+	for _, sf := range b.Filters {
+		sns := map[int]bool{}
+		coversMaster := false
+		for sn := sf.From; sn < sf.To && sn < gosn.NumSupernodes(); sn++ {
+			sns[sn] = true
+			if gosn.IsAbsoluteMaster(sn) {
+				coversMaster = true
+			}
+		}
+		fs := scopedFilterSet{expr: sf.Expr, sns: sns}
+		if coversMaster {
+			row = append(row, fs)
+		} else {
+			slave = append(slave, fs)
+		}
+	}
+	return slave, row
+}
+
+func filterHolds(expr sparql.Expr, row Row, varIdx map[sparql.Var]int) bool {
+	return evalFilter(expr, func(v sparql.Var) rdf.Term {
+		if i, ok := varIdx[v]; ok {
+			return row[i]
+		}
+		return rdf.Term{}
+	}) == tvTrue
+}
+
+// nullifyScope nulls the variables owned by the given supernodes and
+// cascades to dependent slaves, mirroring nullification. It reports whether
+// anything was nulled.
+func (e *Engine) nullifyScope(row Row, r *joinRun, sns map[int]bool) bool {
+	failed := map[int]bool{}
+	for sn := range sns {
+		failed[sn] = true
+	}
+	r.cascadeFailures(failed)
+	any := false
+	for v, sn := range r.ownerSN {
+		if sn >= 0 && failed[sn] && !row[v].IsZero() {
+			row[v] = rdf.Term{}
+			any = true
+		}
+	}
+	return any
+}
+
+// naiveOrders replaces the plan orders with a single arbitrary-rooted
+// bottom-up/top-down pass over each GoJ component (the jvar-order
+// ablation).
+func naiveOrders(plan *planner.Plan) {
+	var bu, td []int
+	for _, comp := range plan.GoJ.Components() {
+		tree := plan.GoJ.GetTree(comp, comp[0])
+		bu = append(bu, tree.BottomUp()...)
+		td = append(td, tree.TopDown()...)
+	}
+	plan.OrderBU, plan.OrderTD = bu, td
+}
+
+func sum(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// project reduces the rows to the SELECTed variables, in SELECT order.
+func (res *Result) project(q *sparql.Query) {
+	idx := make([]int, 0, len(q.Select))
+	varPos := map[sparql.Var]int{}
+	for i, v := range res.Vars {
+		varPos[v] = i
+	}
+	newVars := make([]sparql.Var, 0, len(q.Select))
+	for _, v := range q.Select {
+		if p, ok := varPos[v]; ok {
+			idx = append(idx, p)
+			newVars = append(newVars, v)
+		}
+	}
+	for i, r := range res.Rows {
+		nr := make(Row, len(idx))
+		for k, p := range idx {
+			nr[k] = r[p]
+		}
+		res.Rows[i] = nr
+	}
+	res.Vars = newVars
+}
+
+// distinct removes duplicate rows, preserving first occurrences.
+func (res *Result) distinct() {
+	seen := map[string]bool{}
+	out := res.Rows[:0]
+	for _, r := range res.Rows {
+		k := r.key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	res.Rows = out
+	res.Stats.Results = len(out)
+}
+
+// ExecuteStream executes a query and hands each result row to fn as the
+// multi-way join produces it, avoiding result materialization for the
+// common streaming-friendly case (single union-free branch, no best-match,
+// SELECT *). Queries outside that case are materialized internally and
+// replayed to fn. fn returning false stops the enumeration.
+func (e *Engine) ExecuteStream(q *sparql.Query, fn func(vars []sparql.Var, row Row) bool) error {
+	tree, err := algebra.FromQuery(q)
+	if err != nil {
+		return err
+	}
+	branches, err := algebra.NormalizeUNF(tree)
+	if err != nil {
+		return err
+	}
+	streamable := len(branches) == 1 && q.SelectAll() && !q.Distinct
+	if streamable {
+		b := branches[0]
+		if err := b.CheckSafeFilters(); err != nil {
+			return err
+		}
+		b.SubstituteCheapFilters()
+		vars := algebra.SortedVars(b.Tree)
+		res, err := e.executeBranchStream(b, vars, fn)
+		if err != nil || res == nil {
+			return err
+		}
+		// res non-nil means the branch could not stream (best-match was
+		// required); replay the materialized rows.
+		for _, row := range res.Rows {
+			if !fn(res.Vars, row) {
+				return nil
+			}
+		}
+		return nil
+	}
+	res, err := e.Execute(q)
+	if err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		if !fn(res.Vars, row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ExecuteString parses and executes a query in one step.
+func (e *Engine) ExecuteString(src string) (*Result, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(q)
+}
+
+// Describe returns a human-readable plan summary, used by the CLI.
+func (e *Engine) Describe(q *sparql.Query) (string, error) {
+	tree, err := algebra.FromQuery(q)
+	if err != nil {
+		return "", err
+	}
+	branches, err := algebra.NormalizeUNF(tree)
+	if err != nil {
+		return "", err
+	}
+	out := ""
+	for i, b := range branches {
+		gosn, err := algebra.BuildGoSN(b.Tree)
+		if err != nil {
+			return "", err
+		}
+		goj, err := algebra.BuildGoJ(gosn.Patterns)
+		if err != nil {
+			return "", err
+		}
+		plan := planner.BuildPlan(gosn, goj, EstimateCounts(e.idx, gosn.Patterns))
+		out += fmt.Sprintf("branch %d: %s\n  GoSN: %s\n  cyclic=%v greedy=%v best-match=%v\n",
+			i, b.Tree.Serialize(), gosn, plan.Cyclic, plan.Greedy, plan.NeedsBestMatch)
+	}
+	return out, nil
+}

@@ -1,0 +1,456 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/rdf"
+	"repro/internal/ref"
+	"repro/internal/sparql"
+)
+
+// figure32Graph is the sample data of Figure 3.2.
+func figure32Graph() *rdf.Graph {
+	g := rdf.NewGraph()
+	for _, tr := range []rdf.Triple{
+		rdf.T("Julia", "actedIn", "Seinfeld"),
+		rdf.T("Julia", "actedIn", "Veep"),
+		rdf.T("Julia", "actedIn", "NewAdvOldChristine"),
+		rdf.T("Julia", "actedIn", "CurbYourEnthu"),
+		rdf.T("Larry", "actedIn", "CurbYourEnthu"),
+		rdf.T("Jerry", "hasFriend", "Julia"),
+		rdf.T("Jerry", "hasFriend", "Larry"),
+		rdf.T("Seinfeld", "location", "NewYorkCity"),
+		rdf.T("Veep", "location", "D.C."),
+		rdf.T("CurbYourEnthu", "location", "LosAngeles"),
+		rdf.T("NewAdvOldChristine", "location", "Jersey"),
+	} {
+		g.Add(tr)
+	}
+	return g
+}
+
+func engineOver(t *testing.T, g *rdf.Graph, opts Options) *Engine {
+	t.Helper()
+	idx, err := bitmat.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(idx, opts)
+}
+
+const q2 = `
+	PREFIX : <>
+	SELECT * WHERE {
+		<Jerry> <hasFriend> ?friend .
+		OPTIONAL {
+			?friend <actedIn> ?sitcom .
+			?sitcom <location> <NewYorkCity> . }}`
+
+// rowsAsStrings renders result rows canonically for comparisons.
+func rowsAsStrings(res *Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		s := ""
+		for k, term := range r {
+			if k > 0 {
+				s += "|"
+			}
+			if term.IsZero() {
+				s += "NULL"
+			} else {
+				s += term.String()
+			}
+		}
+		out[i] = s
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestFigure32FinalResults(t *testing.T) {
+	// The query of Figure 3.2 has exactly two results: (Julia, Seinfeld)
+	// and (Larry, NULL).
+	e := engineOver(t, figure32Graph(), Options{})
+	res, err := e.ExecuteString(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowsAsStrings(res)
+	want := []string{"<Julia>|<Seinfeld>", "<Larry>|NULL"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+	if res.Stats.BestMatch {
+		t.Error("acyclic Q2 must not need best-match (Lemma 3.3)")
+	}
+	if res.Stats.NullResults != 1 {
+		t.Errorf("NullResults = %d, want 1", res.Stats.NullResults)
+	}
+}
+
+func TestExample1PruningToMinimal(t *testing.T) {
+	// Example-1 of Section 3.1: after prune_triples, tp1 keeps 2 triples,
+	// tp2 keeps only (Julia actedIn Seinfeld), tp3 keeps 1.
+	// AfterPruning therefore sums to 2 + 1 + 1 = 4.
+	e := engineOver(t, figure32Graph(), Options{})
+	res, err := e.ExecuteString(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial: tp1=2, tp2=5, tp3=1 -> 8.
+	if res.Stats.InitialTriples != 8 {
+		t.Errorf("InitialTriples = %d, want 8", res.Stats.InitialTriples)
+	}
+	if res.Stats.AfterPruning > 4 {
+		t.Errorf("AfterPruning = %d, want <= 4 (minimality)", res.Stats.AfterPruning)
+	}
+}
+
+func TestPruningDisabledSameResults(t *testing.T) {
+	// The prune ablation must not change results, only work.
+	e1 := engineOver(t, figure32Graph(), Options{})
+	e2 := engineOver(t, figure32Graph(), Options{DisablePruning: true, DisableActivePruning: true})
+	r1, err := e1.ExecuteString(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e2.ExecuteString(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rowsAsStrings(r1), rowsAsStrings(r2)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("ablation changed results: %v vs %v", a, b)
+	}
+}
+
+func TestBGPOnlyQuery(t *testing.T) {
+	e := engineOver(t, figure32Graph(), Options{})
+	res, err := e.ExecuteString(`
+		SELECT * WHERE {
+			?friend <actedIn> ?sitcom .
+			?sitcom <location> <NewYorkCity> . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowsAsStrings(res)
+	if len(got) != 1 || got[0] != "<Julia>|<Seinfeld>" {
+		t.Fatalf("rows = %v", got)
+	}
+}
+
+func TestEmptyMasterShortcut(t *testing.T) {
+	e := engineOver(t, figure32Graph(), Options{})
+	res, err := e.ExecuteString(`
+		SELECT * WHERE {
+			<Nobody> <hasFriend> ?friend .
+			OPTIONAL { ?friend <actedIn> ?sitcom . } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %d, want 0", len(res.Rows))
+	}
+	if !res.Stats.EmptyShortcut {
+		t.Error("init must short-circuit on an empty absolute master")
+	}
+}
+
+func TestEmptySlaveGivesNulls(t *testing.T) {
+	e := engineOver(t, figure32Graph(), Options{})
+	res, err := e.ExecuteString(`
+		SELECT * WHERE {
+			<Jerry> <hasFriend> ?friend .
+			OPTIONAL { ?friend <noSuchPredicate> ?x . } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowsAsStrings(res)
+	want := []string{"<Julia>|NULL", "<Larry>|NULL"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+}
+
+func TestProjectionAndDistinct(t *testing.T) {
+	e := engineOver(t, figure32Graph(), Options{})
+	res, err := e.ExecuteString(`SELECT ?friend WHERE {
+		<Jerry> <hasFriend> ?friend .
+		OPTIONAL { ?friend <actedIn> ?sitcom . } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Julia acted in 4 sitcoms, Larry in 1 -> 5 rows projected to ?friend.
+	if len(res.Rows) != 5 || len(res.Vars) != 1 {
+		t.Fatalf("rows = %d vars = %v", len(res.Rows), res.Vars)
+	}
+	res2, err := e.ExecuteString(`SELECT DISTINCT ?friend WHERE {
+		<Jerry> <hasFriend> ?friend .
+		OPTIONAL { ?friend <actedIn> ?sitcom . } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != 2 {
+		t.Fatalf("distinct rows = %d, want 2", len(res2.Rows))
+	}
+}
+
+func TestSingleRowTPShapes(t *testing.T) {
+	e := engineOver(t, figure32Graph(), Options{})
+	cases := []struct {
+		src  string
+		want int
+	}{
+		// (?v :p :o)
+		{`SELECT * WHERE { ?who <actedIn> <CurbYourEnthu> . }`, 2},
+		// (:s :p ?v)
+		{`SELECT * WHERE { <Julia> <actedIn> ?sitcom . }`, 4},
+		// (:s ?p ?o)
+		{`SELECT * WHERE { <Jerry> ?p ?o . }`, 2},
+		// (?s ?p :o)
+		{`SELECT * WHERE { ?s ?p <CurbYourEnthu> . }`, 2},
+		// (:s ?p :o)
+		{`SELECT * WHERE { <Julia> ?p <Veep> . }`, 1},
+		// all fixed, present
+		{`SELECT * WHERE { <Julia> <actedIn> <Veep> . }`, 1},
+		// all fixed, absent
+		{`SELECT * WHERE { <Larry> <actedIn> <Veep> . }`, 0},
+	}
+	for _, c := range cases {
+		res, err := e.ExecuteString(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if len(res.Rows) != c.want {
+			t.Errorf("%s: rows = %d, want %d", c.src, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestThreeVarPatternRejected(t *testing.T) {
+	e := engineOver(t, figure32Graph(), Options{})
+	if _, err := e.ExecuteString(`SELECT * WHERE { ?s ?p ?o . }`); err == nil {
+		t.Error("three-variable patterns are unsupported (as in the paper)")
+	}
+}
+
+func TestSelfJoinPattern(t *testing.T) {
+	g := figure32Graph()
+	g.Add(rdf.T("Narcissus", "admires", "Narcissus"))
+	g.Add(rdf.T("Echo", "admires", "Narcissus"))
+	e := engineOver(t, g, Options{})
+	res, err := e.ExecuteString(`SELECT * WHERE { ?x <admires> ?x . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowsAsStrings(res)
+	if len(got) != 1 || got[0] != "<Narcissus>" {
+		t.Fatalf("rows = %v", got)
+	}
+}
+
+func TestNestedOptionals(t *testing.T) {
+	// P1 OPT (P2 OPT P3): friends, their sitcoms, and the sitcoms'
+	// locations.
+	e := engineOver(t, figure32Graph(), Options{})
+	res, err := e.ExecuteString(`
+		SELECT * WHERE {
+			<Jerry> <hasFriend> ?friend .
+			OPTIONAL {
+				?friend <actedIn> ?sitcom .
+				OPTIONAL { ?sitcom <location> ?loc . }
+			}
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Julia: 4 sitcoms each with a location; Larry: 1 sitcom with location.
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5: %v", len(res.Rows), rowsAsStrings(res))
+	}
+	for _, r := range res.Rows {
+		if r.NullCount() != 0 {
+			t.Errorf("unexpected NULL in %v", rowsAsStrings(res))
+		}
+	}
+}
+
+func TestFilterOnMaster(t *testing.T) {
+	e := engineOver(t, figure32Graph(), Options{})
+	res, err := e.ExecuteString(`
+		SELECT * WHERE {
+			<Jerry> <hasFriend> ?friend .
+			OPTIONAL { ?friend <actedIn> ?sitcom . }
+			FILTER (?friend != <Larry>)
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rowsAsStrings(res) {
+		if s[:7] == "<Larry>" {
+			t.Errorf("Larry row survived the filter: %v", s)
+		}
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (Julia's sitcoms)", len(res.Rows))
+	}
+}
+
+func TestFilterInsideOptionalNullifies(t *testing.T) {
+	// The FaN path: a filter scoped to the optional must not drop master
+	// rows, only null the optional part.
+	e := engineOver(t, figure32Graph(), Options{})
+	res, err := e.ExecuteString(`
+		SELECT * WHERE {
+			<Jerry> <hasFriend> ?friend .
+			OPTIONAL { ?friend <actedIn> ?sitcom . FILTER (?sitcom = <Seinfeld>) }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowsAsStrings(res)
+	want := []string{"<Julia>|<Seinfeld>", "<Larry>|NULL"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+}
+
+func TestUnionQuery(t *testing.T) {
+	e := engineOver(t, figure32Graph(), Options{})
+	res, err := e.ExecuteString(`
+		SELECT * WHERE {
+			{ <Jerry> <hasFriend> ?x . } UNION { ?x <location> <NewYorkCity> . }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowsAsStrings(res)
+	want := []string{"<Julia>", "<Larry>", "<Seinfeld>"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+}
+
+func TestCyclicQueryLemma34(t *testing.T) {
+	// A cyclic query whose slave has a single jvar: greedy order, no
+	// best-match (Lemma 3.4).
+	g := rdf.NewGraph()
+	g.Add(rdf.T("a1", "p", "b1"))
+	g.Add(rdf.T("b1", "q", "c1"))
+	g.Add(rdf.T("c1", "r", "a1"))
+	g.Add(rdf.T("a1", "extra", "x1"))
+	g.Add(rdf.T("a2", "p", "b2"))
+	g.Add(rdf.T("b2", "q", "c2"))
+	// a2's triangle is incomplete: no (c2 r a2).
+	e := engineOver(t, g, Options{})
+	res, err := e.ExecuteString(`
+		SELECT * WHERE {
+			?a <p> ?b . ?b <q> ?c . ?c <r> ?a .
+			OPTIONAL { ?a <extra> ?x . }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowsAsStrings(res)
+	want := []string{"<a1>|<b1>|<c1>|<x1>"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+	if res.Stats.BestMatch {
+		t.Error("single-jvar slave must avoid best-match (Lemma 3.4)")
+	}
+}
+
+func TestCyclicQueryNeedsBestMatch(t *testing.T) {
+	// Cyclic with a 2-jvar slave: nullification and best-match fire.
+	g := rdf.NewGraph()
+	g.Add(rdf.T("a1", "p", "b1"))
+	g.Add(rdf.T("b1", "q", "c1"))
+	g.Add(rdf.T("c1", "r", "a1"))
+	g.Add(rdf.T("a1", "s", "b1")) // slave matches
+	g.Add(rdf.T("a2", "p", "b2"))
+	g.Add(rdf.T("b2", "q", "c2"))
+	g.Add(rdf.T("c2", "r", "a2"))
+	// slave does not match a2/b2.
+	e := engineOver(t, g, Options{})
+	res, err := e.ExecuteString(`
+		SELECT * WHERE {
+			?a <p> ?b . ?b <q> ?c . ?c <r> ?a .
+			OPTIONAL { ?a <s> ?b . }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.BestMatch {
+		t.Error("two-jvar slave in a cyclic query must use best-match")
+	}
+	got := rowsAsStrings(res)
+	want := []string{"<a1>|<b1>|<c1>", "<a2>|<b2>|<c2>"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+}
+
+// diffAgainstRef compares the engine against the reference evaluator on a
+// query over a graph.
+func diffAgainstRef(t *testing.T, g *rdf.Graph, src string) {
+	t.Helper()
+	e := engineOver(t, g, Options{})
+	res, err := e.ExecuteString(src)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps, vars, err := ref.New(g).Execute(q)
+	if err != nil {
+		t.Fatalf("ref: %v", err)
+	}
+	wantKeys := ref.SortedKeys(maps, vars)
+	gotKeys := make([]string, len(res.Rows))
+	pos := map[sparql.Var]int{}
+	for i, v := range res.Vars {
+		pos[v] = i
+	}
+	for i, r := range res.Rows {
+		s := ""
+		for k, v := range vars {
+			if k > 0 {
+				s += "|"
+			}
+			if p, ok := pos[v]; ok && !r[p].IsZero() {
+				s += r[p].String()
+			} else {
+				s += "NULL"
+			}
+		}
+		gotKeys[i] = s
+	}
+	sort.Strings(gotKeys)
+	if fmt.Sprint(gotKeys) != fmt.Sprint(wantKeys) {
+		t.Fatalf("engine vs ref mismatch on %s\n got: %v\nwant: %v", src, gotKeys, wantKeys)
+	}
+}
+
+func TestDifferentialSmallQueries(t *testing.T) {
+	g := figure32Graph()
+	queries := []string{
+		q2,
+		`SELECT * WHERE { ?a <actedIn> ?b . }`,
+		`SELECT * WHERE { ?a <actedIn> ?b . ?b <location> ?c . }`,
+		`SELECT * WHERE { <Jerry> <hasFriend> ?f . OPTIONAL { ?f <actedIn> ?s . OPTIONAL { ?s <location> ?l . } } }`,
+		`SELECT * WHERE { ?f <actedIn> ?s . OPTIONAL { ?s <location> <NewYorkCity> . } }`,
+		`SELECT * WHERE { ?s <location> ?l . OPTIONAL { ?a <actedIn> ?s . } }`,
+		`SELECT * WHERE { <Jerry> <hasFriend> ?f . OPTIONAL { ?f <actedIn> ?s . } OPTIONAL { ?f <location> ?l . } }`,
+		`SELECT * WHERE { { <Jerry> <hasFriend> ?x . } UNION { ?x <location> <NewYorkCity> . } }`,
+		`SELECT * WHERE { ?a <hasFriend> ?f . ?f <actedIn> ?s . FILTER (?s != <Veep>) }`,
+	}
+	for _, src := range queries {
+		diffAgainstRef(t, g, src)
+	}
+}

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"strconv"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// tv is the three-valued logic of SPARQL filter evaluation: true, false, or
+// error (type errors and unbound variables).
+type tv int8
+
+const (
+	tvFalse tv = iota
+	tvTrue
+	tvError
+)
+
+func tvOf(b bool) tv {
+	if b {
+		return tvTrue
+	}
+	return tvFalse
+}
+
+// evalFilter evaluates a safe filter expression against a row. lookup maps
+// a variable to its term; a zero term means NULL/unbound.
+func evalFilter(e sparql.Expr, lookup func(sparql.Var) rdf.Term) tv {
+	switch x := e.(type) {
+	case sparql.Bound:
+		return tvOf(!lookup(x.V).IsZero())
+	case sparql.Not:
+		switch evalFilter(x.E, lookup) {
+		case tvTrue:
+			return tvFalse
+		case tvFalse:
+			return tvTrue
+		default:
+			return tvError
+		}
+	case sparql.Logical:
+		l := evalFilter(x.L, lookup)
+		r := evalFilter(x.R, lookup)
+		if x.Op == sparql.OpAnd {
+			// error && false = false; error && true = error.
+			if l == tvFalse || r == tvFalse {
+				return tvFalse
+			}
+			if l == tvError || r == tvError {
+				return tvError
+			}
+			return tvTrue
+		}
+		// error || true = true; error || false = error.
+		if l == tvTrue || r == tvTrue {
+			return tvTrue
+		}
+		if l == tvError || r == tvError {
+			return tvError
+		}
+		return tvFalse
+	case sparql.Cmp:
+		lt, lok := evalTerm(x.L, lookup)
+		rt, rok := evalTerm(x.R, lookup)
+		if !lok || !rok {
+			return tvError
+		}
+		return compareTerms(x.Op, lt, rt)
+	case sparql.ExprVar:
+		// A bare variable as a boolean: effective boolean value of its term.
+		t := lookup(x.V)
+		if t.IsZero() {
+			return tvError
+		}
+		return tvOf(t.Value != "" && t.Value != "false" && t.Value != "0")
+	case sparql.ExprTerm:
+		return tvOf(x.Term.Value != "" && x.Term.Value != "false" && x.Term.Value != "0")
+	}
+	return tvError
+}
+
+func evalTerm(e sparql.Expr, lookup func(sparql.Var) rdf.Term) (rdf.Term, bool) {
+	switch x := e.(type) {
+	case sparql.ExprVar:
+		t := lookup(x.V)
+		return t, !t.IsZero()
+	case sparql.ExprTerm:
+		return x.Term, true
+	}
+	return rdf.Term{}, false
+}
+
+// compareTerms applies a comparison operator: numerically when both sides
+// are numeric literals, by string value otherwise. Cross-kind equality is
+// false, cross-kind ordering an error.
+func compareTerms(op sparql.CmpOp, l, r rdf.Term) tv {
+	if ln, lok := numeric(l); lok {
+		if rn, rok := numeric(r); rok {
+			switch op {
+			case sparql.OpEq:
+				return tvOf(ln == rn)
+			case sparql.OpNe:
+				return tvOf(ln != rn)
+			case sparql.OpLt:
+				return tvOf(ln < rn)
+			case sparql.OpLe:
+				return tvOf(ln <= rn)
+			case sparql.OpGt:
+				return tvOf(ln > rn)
+			case sparql.OpGe:
+				return tvOf(ln >= rn)
+			}
+		}
+	}
+	switch op {
+	case sparql.OpEq:
+		return tvOf(l == r)
+	case sparql.OpNe:
+		return tvOf(l != r)
+	}
+	if l.Kind != r.Kind {
+		return tvError
+	}
+	switch op {
+	case sparql.OpLt:
+		return tvOf(l.Value < r.Value)
+	case sparql.OpLe:
+		return tvOf(l.Value <= r.Value)
+	case sparql.OpGt:
+		return tvOf(l.Value > r.Value)
+	case sparql.OpGe:
+		return tvOf(l.Value >= r.Value)
+	}
+	return tvError
+}
+
+func numeric(t rdf.Term) (float64, bool) {
+	if t.Kind != rdf.Literal {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(t.Value, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+func lookupFrom(m map[sparql.Var]rdf.Term) func(sparql.Var) rdf.Term {
+	return func(v sparql.Var) rdf.Term { return m[v] }
+}
+
+func TestEvalFilterComparisons(t *testing.T) {
+	env := lookupFrom(map[sparql.Var]rdf.Term{
+		"a": rdf.NewTypedLiteral("5", "http://www.w3.org/2001/XMLSchema#integer"),
+		"b": rdf.NewTypedLiteral("7.5", "http://www.w3.org/2001/XMLSchema#decimal"),
+		"s": rdf.NewLiteral("hello"),
+		"i": rdf.NewIRI("http://x"),
+	})
+	cases := []struct {
+		expr sparql.Expr
+		want tv
+	}{
+		{sparql.Cmp{Op: sparql.OpLt, L: sparql.ExprVar{V: "a"}, R: sparql.ExprVar{V: "b"}}, tvTrue},
+		{sparql.Cmp{Op: sparql.OpGe, L: sparql.ExprVar{V: "a"}, R: sparql.ExprVar{V: "b"}}, tvFalse},
+		{sparql.Cmp{Op: sparql.OpEq, L: sparql.ExprVar{V: "a"}, R: sparql.ExprTerm{Term: rdf.NewTypedLiteral("5.0", "")}}, tvTrue}, // numeric equality
+		{sparql.Cmp{Op: sparql.OpNe, L: sparql.ExprVar{V: "s"}, R: sparql.ExprTerm{Term: rdf.NewLiteral("hello")}}, tvFalse},
+		{sparql.Cmp{Op: sparql.OpEq, L: sparql.ExprVar{V: "i"}, R: sparql.ExprTerm{Term: rdf.NewIRI("http://x")}}, tvTrue},
+		// Cross-kind equality is false, cross-kind ordering an error.
+		{sparql.Cmp{Op: sparql.OpEq, L: sparql.ExprVar{V: "i"}, R: sparql.ExprVar{V: "s"}}, tvFalse},
+		{sparql.Cmp{Op: sparql.OpLt, L: sparql.ExprVar{V: "i"}, R: sparql.ExprVar{V: "s"}}, tvError},
+		// Unbound variable: error.
+		{sparql.Cmp{Op: sparql.OpEq, L: sparql.ExprVar{V: "zz"}, R: sparql.ExprVar{V: "a"}}, tvError},
+		// String ordering.
+		{sparql.Cmp{Op: sparql.OpLt, L: sparql.ExprVar{V: "s"}, R: sparql.ExprTerm{Term: rdf.NewLiteral("world")}}, tvTrue},
+	}
+	for i, c := range cases {
+		if got := evalFilter(c.expr, env); got != c.want {
+			t.Errorf("case %d (%s): got %v, want %v", i, c.expr, got, c.want)
+		}
+	}
+}
+
+func TestEvalFilterThreeValuedLogic(t *testing.T) {
+	env := lookupFrom(map[sparql.Var]rdf.Term{
+		"x": rdf.NewLiteral("1"),
+	})
+	errE := sparql.Cmp{Op: sparql.OpLt, L: sparql.ExprVar{V: "unbound"}, R: sparql.ExprVar{V: "x"}}
+	trueE := sparql.Cmp{Op: sparql.OpEq, L: sparql.ExprVar{V: "x"}, R: sparql.ExprVar{V: "x"}}
+	falseE := sparql.Cmp{Op: sparql.OpNe, L: sparql.ExprVar{V: "x"}, R: sparql.ExprVar{V: "x"}}
+
+	cases := []struct {
+		expr sparql.Expr
+		want tv
+	}{
+		// error && false = false (SPARQL 17.2).
+		{sparql.Logical{Op: sparql.OpAnd, L: errE, R: falseE}, tvFalse},
+		// error && true = error.
+		{sparql.Logical{Op: sparql.OpAnd, L: errE, R: trueE}, tvError},
+		// error || true = true.
+		{sparql.Logical{Op: sparql.OpOr, L: errE, R: trueE}, tvTrue},
+		// error || false = error.
+		{sparql.Logical{Op: sparql.OpOr, L: errE, R: falseE}, tvError},
+		// !error = error.
+		{sparql.Not{E: errE}, tvError},
+		{sparql.Not{E: trueE}, tvFalse},
+		{sparql.Not{E: falseE}, tvTrue},
+	}
+	for i, c := range cases {
+		if got := evalFilter(c.expr, env); got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestEvalFilterBound(t *testing.T) {
+	env := lookupFrom(map[sparql.Var]rdf.Term{"x": rdf.NewIRI("v")})
+	if evalFilter(sparql.Bound{V: "x"}, env) != tvTrue {
+		t.Error("bound(?x) must be true for a bound var")
+	}
+	if evalFilter(sparql.Bound{V: "y"}, env) != tvFalse {
+		t.Error("bound(?y) must be false (not error) for NULL")
+	}
+	// !bound(?y): the standard way to test for missing optional parts.
+	if evalFilter(sparql.Not{E: sparql.Bound{V: "y"}}, env) != tvTrue {
+		t.Error("!bound(?y) must be true")
+	}
+}
+
+func TestCompareTermsNumericVsString(t *testing.T) {
+	// "10" < "9" as strings but 10 > 9 numerically: literals that parse as
+	// numbers compare numerically.
+	l := rdf.NewLiteral("10")
+	r := rdf.NewLiteral("9")
+	if compareTerms(sparql.OpLt, l, r) != tvFalse {
+		t.Error("numeric literals must compare numerically")
+	}
+	// Explicitly non-numeric strings compare lexicographically.
+	if compareTerms(sparql.OpLt, rdf.NewLiteral("abc"), rdf.NewLiteral("abd")) != tvTrue {
+		t.Error("string comparison broken")
+	}
+}
+
+func TestCanonicalBinding(t *testing.T) {
+	// Shared-band object IDs canonicalize to the subject space.
+	shared := 10
+	b := canonical(SpaceO, 5, shared)
+	if b.Space != SpaceS || b.ID != 5 {
+		t.Errorf("canonical(O,5) = %+v, want {S 5}", b)
+	}
+	b2 := canonical(SpaceO, 15, shared)
+	if b2.Space != SpaceO || b2.ID != 15 {
+		t.Errorf("canonical(O,15) = %+v, want {O 15}", b2)
+	}
+	b3 := canonical(SpaceS, 15, shared)
+	if b3.Space != SpaceS {
+		t.Errorf("canonical(S,15) = %+v", b3)
+	}
+	if canonical(SpaceP, 3, shared).Space != SpaceP {
+		t.Error("predicate space must pass through")
+	}
+}
+
+func TestAxisIndex(t *testing.T) {
+	shared := 10
+	cases := []struct {
+		b     Binding
+		axis  Space
+		want  int
+		valid bool
+	}{
+		{Binding{SpaceS, 5}, SpaceS, 4, true},
+		{Binding{SpaceS, 5}, SpaceO, 4, true},   // shared band crosses
+		{Binding{SpaceS, 15}, SpaceO, 0, false}, // subject-only ID on O axis
+		{Binding{SpaceO, 15}, SpaceO, 14, true},
+		{Binding{SpaceO, 15}, SpaceS, 0, false},
+		{Binding{SpaceP, 2}, SpaceP, 1, true},
+		{Binding{SpaceP, 2}, SpaceS, 0, false},
+	}
+	for i, c := range cases {
+		got, ok := axisIndex(c.b, c.axis, shared)
+		if ok != c.valid || (ok && got != c.want) {
+			t.Errorf("case %d: axisIndex(%+v, %v) = (%d,%v), want (%d,%v)",
+				i, c.b, c.axis, got, ok, c.want, c.valid)
+		}
+	}
+}
+
+func TestSpaceString(t *testing.T) {
+	if SpaceS.String() != "S" || SpaceO.String() != "O" || SpaceP.String() != "P" || SpaceNone.String() != "-" {
+		t.Error("Space stringers broken")
+	}
+}

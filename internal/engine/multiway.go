@@ -1,0 +1,376 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/planner"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// sortTPs computes stps (Section 5.1): triple patterns of absolute master
+// supernodes first, ascending by remaining triple count; then the rest in
+// descending master-slave hierarchy, selective peers first. The order
+// guarantees a master's bindings enter vmap before its slaves'.
+func sortTPs(plan *planner.Plan, tps []*tpState) []*tpState {
+	var masters, rest []*tpState
+	for _, st := range tps {
+		if plan.GoSN.IsAbsoluteMaster(st.sn) {
+			masters = append(masters, st)
+		} else {
+			rest = append(rest, st)
+		}
+	}
+	sort.SliceStable(masters, func(i, j int) bool { return masters[i].count() < masters[j].count() })
+	// Slave supernode order comes from the plan (masters before slaves,
+	// selective peers first); patterns inside a supernode sort by count.
+	rank := map[int]int{}
+	for i, sn := range plan.SlaveOrder {
+		rank[sn] = i
+	}
+	sort.SliceStable(rest, func(i, j int) bool {
+		ri, rj := rank[rest[i].sn], rank[rest[j].sn]
+		if ri != rj {
+			return ri < rj
+		}
+		return rest[i].count() < rest[j].count()
+	})
+	return append(masters, rest...)
+}
+
+// Variable binding states in the join.
+const (
+	stUnbound uint8 = iota
+	stBound
+	stNull
+)
+
+// joinRun is the per-execution state of the multi-way pipelined join
+// (Algorithm 5.4). All hot-path state is integer-indexed: variables map to
+// dense IDs, patterns to their position in stps.
+type joinRun struct {
+	eng  *Engine
+	plan *planner.Plan
+	stps []*tpState
+
+	vars   []sparql.Var // dense variable universe
+	varIDs map[sparql.Var]int
+
+	// Per-pattern precomputation, indexed by stps position.
+	tpVars   [][]int // dense var IDs of each pattern's axis variables
+	rowVarID []int   // -1 if the row axis carries no variable
+	colVarID []int
+	isAbs    []bool  // absolute-master pattern
+	masterOf [][]int // stps positions that are masters of this pattern
+	snOf     []int
+
+	// Per-variable run state.
+	bindings []Binding
+	state    []uint8
+	ownerSN  []int // supernode that first bound the var; -1 when unbound
+
+	visited  []bool
+	matched  []uint8 // 0 unknown, 1 matched, 2 nulled
+	nVisited int
+
+	nulreqd bool
+	emit    func(*joinRun) bool // returns false to stop enumeration
+	stopped bool
+	emitted int64 // rows handed to emit so far (for amortized checks)
+}
+
+func newJoinRun(e *Engine, plan *planner.Plan, stps []*tpState, vars []sparql.Var, nulreqd bool, emit func(*joinRun) bool) *joinRun {
+	r := &joinRun{
+		eng:     e,
+		plan:    plan,
+		stps:    stps,
+		vars:    vars,
+		varIDs:  make(map[sparql.Var]int, len(vars)),
+		nulreqd: nulreqd,
+		emit:    emit,
+	}
+	for i, v := range vars {
+		r.varIDs[v] = i
+	}
+	n := len(stps)
+	r.tpVars = make([][]int, n)
+	r.rowVarID = make([]int, n)
+	r.colVarID = make([]int, n)
+	r.isAbs = make([]bool, n)
+	r.masterOf = make([][]int, n)
+	r.snOf = make([]int, n)
+	for i, st := range stps {
+		r.rowVarID[i], r.colVarID[i] = -1, -1
+		if st.rowVar != "" {
+			r.rowVarID[i] = r.varIDs[st.rowVar]
+			r.tpVars[i] = append(r.tpVars[i], r.rowVarID[i])
+		}
+		if st.colVar != "" && st.colVar != st.rowVar {
+			r.colVarID[i] = r.varIDs[st.colVar]
+			r.tpVars[i] = append(r.tpVars[i], r.colVarID[i])
+		} else if st.colVar != "" {
+			r.colVarID[i] = r.varIDs[st.colVar]
+		}
+		r.isAbs[i] = plan.GoSN.IsAbsoluteMaster(st.sn)
+		r.snOf[i] = st.sn
+		for j, other := range stps {
+			if j != i && plan.GoSN.TPIsMasterOf(other.idx, st.idx) {
+				r.masterOf[i] = append(r.masterOf[i], j)
+			}
+		}
+	}
+	r.bindings = make([]Binding, len(vars))
+	r.state = make([]uint8, len(vars))
+	r.ownerSN = make([]int, len(vars))
+	for i := range r.ownerSN {
+		r.ownerSN[i] = -1
+	}
+	r.visited = make([]bool, n)
+	r.matched = make([]uint8, n)
+	return r
+}
+
+// run drives the recursion.
+func (r *joinRun) run() {
+	r.recurse()
+}
+
+// pickNext selects the next pattern: the first unvisited one (in stps
+// order) all of whose masters are visited, preferring one with a bound or
+// nulled variable; the first eligible one otherwise (Cartesian fallback).
+func (r *joinRun) pickNext() int {
+	firstEligible := -1
+	for i := range r.stps {
+		if r.visited[i] {
+			continue
+		}
+		eligible := true
+		for _, m := range r.masterOf[i] {
+			if !r.visited[m] {
+				eligible = false
+				break
+			}
+		}
+		if !eligible {
+			continue
+		}
+		if firstEligible < 0 {
+			firstEligible = i
+		}
+		for _, v := range r.tpVars[i] {
+			if r.state[v] != stUnbound {
+				return i
+			}
+		}
+	}
+	return firstEligible
+}
+
+func (r *joinRun) recurse() {
+	if r.stopped {
+		return
+	}
+	if r.nVisited == len(r.stps) {
+		if !r.emit(r) {
+			r.stopped = true
+		}
+		r.emitted++
+		return
+	}
+	i := r.pickNext()
+	if i < 0 {
+		return
+	}
+	st := r.stps[i]
+	r.visited[i] = true
+	r.nVisited++
+	defer func() {
+		r.visited[i] = false
+		r.nVisited--
+		r.matched[i] = 0
+	}()
+
+	if st.mat == nil { // zero-variable pattern
+		switch {
+		case st.present:
+			r.matched[i] = 1
+			r.recurse()
+		case r.isAbs[i]:
+			// An absolute master cannot be NULL: rollback.
+		default:
+			r.matched[i] = 2
+			r.recurse()
+		}
+		return
+	}
+
+	if r.enumerate(i, st) {
+		return
+	}
+	if r.isAbs[i] {
+		return // rollback (Algorithm 5.4 line 28)
+	}
+	// Slave with no matching triple: bind its unbound variables to NULL and
+	// continue (lines 29-32).
+	var nulled []int
+	for _, v := range r.tpVars[i] {
+		if r.state[v] == stUnbound {
+			r.state[v] = stNull
+			r.ownerSN[v] = r.snOf[i]
+			nulled = append(nulled, v)
+		}
+	}
+	r.matched[i] = 2
+	r.recurse()
+	for _, v := range nulled {
+		r.state[v] = stUnbound
+		r.ownerSN[v] = -1
+	}
+}
+
+// enumerate iterates the triples of pattern i consistent with the current
+// bindings, recursing per triple. It reports whether any triple matched.
+// NULL-bound variables match nothing (null-intolerant probing).
+func (r *joinRun) enumerate(i int, st *tpState) bool {
+	shared := r.eng.dict.NumShared()
+	rowBoundIdx, rowBound := -1, false
+	colBoundIdx, colBound := -1, false
+	rv, cv := r.rowVarID[i], r.colVarID[i]
+	selfJoin := rv >= 0 && rv == cv
+
+	if rv >= 0 {
+		switch r.state[rv] {
+		case stNull:
+			return false
+		case stBound:
+			idx, ok := axisIndex(r.bindings[rv], st.rowSpace, shared)
+			if !ok {
+				return false
+			}
+			rowBoundIdx, rowBound = idx, true
+		}
+	}
+	if cv >= 0 && !selfJoin {
+		switch r.state[cv] {
+		case stNull:
+			return false
+		case stBound:
+			idx, ok := axisIndex(r.bindings[cv], st.colSpace, shared)
+			if !ok {
+				return false
+			}
+			colBoundIdx, colBound = idx, true
+		}
+	}
+	oneVar := st.rowVar == "" // single-row matrix: only the column axis binds
+
+	any := false
+	visit := func(rowIdx, colIdx int) bool {
+		any = true
+		bound0, bound1 := -1, -1
+		if !oneVar && rv >= 0 && r.state[rv] == stUnbound {
+			r.bindings[rv] = canonical(st.rowSpace, rdf.ID(rowIdx+1), shared)
+			r.state[rv] = stBound
+			r.ownerSN[rv] = r.snOf[i]
+			bound0 = rv
+		}
+		if cv >= 0 && r.state[cv] == stUnbound {
+			r.bindings[cv] = canonical(st.colSpace, rdf.ID(colIdx+1), shared)
+			r.state[cv] = stBound
+			r.ownerSN[cv] = r.snOf[i]
+			bound1 = cv
+		}
+		r.matched[i] = 1
+		r.recurse()
+		if bound0 >= 0 {
+			r.state[bound0] = stUnbound
+			r.ownerSN[bound0] = -1
+		}
+		if bound1 >= 0 {
+			r.state[bound1] = stUnbound
+			r.ownerSN[bound1] = -1
+		}
+		return !r.stopped
+	}
+
+	switch {
+	case oneVar:
+		row := st.mat.Row(0)
+		if row == nil {
+			return false
+		}
+		if colBound {
+			if row.Test(colBoundIdx) {
+				visit(0, colBoundIdx)
+			}
+			return any
+		}
+		row.ForEach(func(c int) bool { return visit(0, c) })
+	case rowBound && (colBound || selfJoin):
+		target := colBoundIdx
+		if selfJoin {
+			target = rowBoundIdx
+		}
+		if st.mat.Test(rowBoundIdx, target) {
+			visit(rowBoundIdx, target)
+		}
+	case rowBound:
+		row := st.mat.Row(rowBoundIdx)
+		if row == nil {
+			return false
+		}
+		row.ForEach(func(c int) bool { return visit(rowBoundIdx, c) })
+	case colBound:
+		// Column probe through the cached transpose (built once per
+		// execution, after pruning has shrunk the matrix).
+		col := st.transpose().Row(colBoundIdx)
+		if col == nil {
+			return false
+		}
+		col.ForEach(func(rr int) bool { return visit(rr, colBoundIdx) })
+	default:
+		st.mat.ForEach(func(rr, c int) bool { return visit(rr, c) })
+	}
+	return any
+}
+
+// nullification (Section 3.1 / Algorithm 5.4 line 3) restores consistency
+// with the original join order: a slave supernode with any unmatched
+// pattern fails as a whole; every variable owned by a failed supernode is
+// nulled, and failures cascade to supernodes that consumed those bindings.
+// It returns the failed supernode set (nil when nothing changed).
+func (r *joinRun) nullification() map[int]bool {
+	failed := map[int]bool{}
+	for i := range r.stps {
+		if r.matched[i] == 2 && !r.isAbs[i] {
+			failed[r.snOf[i]] = true
+		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	r.cascadeFailures(failed)
+	return failed
+}
+
+// cascadeFailures extends the failed set to supernodes that consumed
+// bindings owned by failed supernodes.
+func (r *joinRun) cascadeFailures(failed map[int]bool) {
+	changed := true
+	for changed {
+		changed = false
+		for i := range r.stps {
+			if failed[r.snOf[i]] || r.isAbs[i] {
+				continue
+			}
+			for _, v := range r.tpVars[i] {
+				owner := r.ownerSN[v]
+				if owner >= 0 && owner != r.snOf[i] && failed[owner] {
+					failed[r.snOf[i]] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}

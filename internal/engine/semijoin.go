@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/planner"
+	"repro/internal/sparql"
+)
+
+// intersectFolds ANDs two fold projections that may live in different ID
+// spaces. Folds over the same space intersect bit-wise; an S-dimension fold
+// against an O-dimension fold can only match inside the shared band, so the
+// result is truncated to it (Appendix D's common S-O identifier assignment
+// makes that a prefix AND).
+func (e *Engine) intersectFolds(a *bitvec.Bits, aSpace Space, b *bitvec.Bits, bSpace Space) *bitvec.Bits {
+	if aSpace == bSpace {
+		out := a.Clone()
+		out.AndCompat(b)
+		return out
+	}
+	mixedSO := (aSpace == SpaceS && bSpace == SpaceO) || (aSpace == SpaceO && bSpace == SpaceS)
+	if !mixedSO {
+		// P never joins S or O (enforced by the GoJ); empty intersection.
+		return bitvec.NewBits(0)
+	}
+	shared := e.dict.NumShared()
+	out := bitvec.NewBits(shared)
+	out.SetAll()
+	out.AndCompat(a)
+	out.AndCompat(b)
+	return out
+}
+
+// semiJoin implements Algorithm 5.2: tpj <semijoin on ?j> tpi. The bindings
+// of ?j are projected out of both BitMats with fold, intersected, and the
+// result unfolds tpj so that only triples whose ?j binding survives remain.
+func (e *Engine) semiJoin(j sparql.Var, slave, master *tpState) {
+	fm, ms, ok := master.foldVar(j)
+	if !ok {
+		return
+	}
+	fs, ss, ok := slave.foldVar(j)
+	if !ok {
+		return
+	}
+	beta := e.intersectFolds(fm, ms, fs, ss)
+	// beta is a subset of the slave's own projection; an equal population
+	// means the semi-join removes nothing, so the unfold can be skipped.
+	if beta.Count() == fs.Count() {
+		return
+	}
+	// Express the mask in the slave's axis space: masks shorter than the
+	// axis clear everything beyond them, which is exactly right for
+	// shared-band intersections.
+	slave.unfoldVar(j, e.maskForSpace(beta, ms, ss))
+}
+
+// clusteredSemiJoin implements Algorithm 5.3 over the patterns sharing ?j:
+// the intersection of all their ?j projections unfolds every one of them.
+func (e *Engine) clusteredSemiJoin(j sparql.Var, tps []*tpState) {
+	if len(tps) < 2 {
+		return
+	}
+	var beta *bitvec.Bits
+	var betaSpace Space
+	folds := make([]*bitvec.Bits, len(tps))
+	for i, st := range tps {
+		f, space, ok := st.foldVar(j)
+		if !ok {
+			continue
+		}
+		folds[i] = f
+		if beta == nil {
+			beta, betaSpace = f.Clone(), space
+			continue
+		}
+		beta = e.intersectFolds(beta, betaSpace, f, space)
+		if betaSpace != space {
+			betaSpace = SpaceS // shared band indexes live in the S prefix
+		}
+	}
+	if beta == nil {
+		return
+	}
+	betaCount := beta.Count()
+	for i, st := range tps {
+		_, space, ok := st.axisOf(j)
+		if !ok {
+			continue
+		}
+		// Skip the unfold when the intersection keeps every binding of
+		// this pattern (identity mask).
+		if folds[i] != nil && folds[i].Count() == betaCount {
+			continue
+		}
+		st.unfoldVar(j, e.maskForSpace(beta, betaSpace, space))
+	}
+}
+
+// maskForSpace adapts a mask computed in maskSpace for unfolding an axis in
+// axisSpace. Same space (or a shared-band mask) passes through; a genuinely
+// incompatible pairing yields an empty mask.
+func (e *Engine) maskForSpace(mask *bitvec.Bits, maskSpace, axisSpace Space) *bitvec.Bits {
+	if maskSpace == axisSpace {
+		return mask
+	}
+	soPair := (maskSpace == SpaceS && axisSpace == SpaceO) || (maskSpace == SpaceO && axisSpace == SpaceS)
+	if soPair {
+		// Restrict to the shared band: bits beyond it cannot denote the
+		// same term in the other dimension.
+		shared := e.dict.NumShared()
+		if mask.Len() <= shared {
+			return mask
+		}
+		out := bitvec.NewBits(shared)
+		out.SetAll()
+		out.AndCompat(mask)
+		return out
+	}
+	return bitvec.NewBits(0)
+}
+
+// pruneTriples implements Algorithm 3.2: one pass over orderbu and one over
+// ordertd; at each join variable, first master-to-slave semi-joins, then
+// clustered-semi-joins within each peer group.
+func (e *Engine) pruneTriples(plan *planner.Plan, tps []*tpState) {
+	pass := func(order []int) {
+		for _, jIdx := range order {
+			j := plan.GoJ.Vars[jIdx]
+			holders := plan.GoJ.TPsOfVar[jIdx]
+			// Master-slave semi-joins (lines 2-5 / 10-13).
+			for _, ti := range holders {
+				for _, tj := range holders {
+					if ti == tj {
+						continue
+					}
+					if plan.GoSN.TPIsMasterOf(ti, tj) {
+						e.semiJoin(j, tps[tj], tps[ti])
+					}
+				}
+			}
+			// Clustered-semi-joins within each peer class (lines 6-8 / 14-16).
+			seenClass := map[int]bool{}
+			for _, t := range holders {
+				sn := plan.GoSN.SNOfTP[t]
+				class := plan.GoSN.Peers(sn)[0] // class representative
+				if seenClass[class] {
+					continue
+				}
+				seenClass[class] = true
+				var group []*tpState
+				for _, t2 := range holders {
+					if plan.GoSN.ArePeers(plan.GoSN.SNOfTP[t2], sn) {
+						group = append(group, tps[t2])
+					}
+				}
+				e.clusteredSemiJoin(j, group)
+			}
+		}
+	}
+	pass(plan.OrderBU)
+	pass(plan.OrderTD)
+}

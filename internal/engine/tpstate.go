@@ -1,0 +1,336 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/bitvec"
+	"repro/internal/planner"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// tpState is the query-time state of one triple pattern: its BitMat slice
+// and the mapping from matrix axes to variables.
+type tpState struct {
+	idx int // global pattern index
+	pat sparql.TriplePattern
+	sn  int // supernode ID
+
+	// mat holds the triples matching the pattern. One-variable patterns
+	// use a 1 x N matrix whose single row spans the variable's dimension;
+	// zero-variable patterns leave mat nil and use present.
+	mat *bitmat.Matrix
+
+	rowVar, colVar     sparql.Var // "" when the axis carries no variable
+	rowSpace, colSpace Space
+
+	present bool // zero-variable patterns: whether the triple exists
+
+	// trans caches the transpose for column-bound probes in the multi-way
+	// join. It is built lazily after pruning (when the matrix is small), so
+	// a probe against the non-row axis costs one row read instead of a
+	// full-matrix scan.
+	trans *bitmat.Matrix
+}
+
+// transpose returns the cached transpose, building it on first use.
+func (t *tpState) transpose() *bitmat.Matrix {
+	if t.trans == nil {
+		t.trans = t.mat.Transpose()
+	}
+	return t.trans
+}
+
+// count returns the number of triples currently associated with the
+// pattern.
+func (t *tpState) count() int64 {
+	if t.mat == nil {
+		if t.present {
+			return 1
+		}
+		return 0
+	}
+	return t.mat.Count()
+}
+
+// vars returns the axis variables in row, col order (skipping empty ones).
+func (t *tpState) vars() []sparql.Var {
+	var out []sparql.Var
+	if t.rowVar != "" {
+		out = append(out, t.rowVar)
+	}
+	if t.colVar != "" && t.colVar != t.rowVar {
+		out = append(out, t.colVar)
+	}
+	return out
+}
+
+// node returns the concrete ID of a pattern position, or 0 for variables
+// and for terms unknown to the dictionary.
+func (e *Engine) nodeID(n sparql.Node, space Space) rdf.ID {
+	if n.IsVar {
+		return 0
+	}
+	switch space {
+	case SpaceS:
+		return e.dict.SubjectID(n.Term)
+	case SpaceO:
+		return e.dict.ObjectID(n.Term)
+	case SpaceP:
+		return e.dict.PredicateID(n.Term)
+	}
+	return 0
+}
+
+// EstimateCounts returns the exact number of index triples matching each
+// pattern, computed from index metadata without materializing BitMats
+// (Section 4: the condensed per-BitMat metadata makes selectivity cheap).
+func EstimateCounts(idx *bitmat.Index, patterns []sparql.TriplePattern) []int64 {
+	dict := idx.Dictionary()
+	counts := make([]int64, len(patterns))
+	for i, tp := range patterns {
+		var s, p, o rdf.ID
+		known := true
+		if !tp.S.IsVar {
+			if s = dict.SubjectID(tp.S.Term); s == 0 {
+				known = false
+			}
+		}
+		if !tp.P.IsVar {
+			if p = dict.PredicateID(tp.P.Term); p == 0 {
+				known = false
+			}
+		}
+		if !tp.O.IsVar {
+			if o = dict.ObjectID(tp.O.Term); o == 0 {
+				known = false
+			}
+		}
+		if !known {
+			counts[i] = 0
+			continue
+		}
+		switch {
+		case s == 0 && p != 0 && o == 0:
+			counts[i] = int64(idx.PredicateCardinality(p))
+		case s != 0 && p != 0 && o == 0:
+			counts[i] = int64(idx.RowPO(p, s).Count())
+		case s == 0 && p != 0 && o != 0:
+			counts[i] = int64(idx.RowPS(p, o).Count())
+		case s != 0 && p == 0 && o == 0:
+			counts[i] = int64(idx.SubjectCardinality(s))
+		case s == 0 && p == 0 && o != 0:
+			counts[i] = int64(idx.ObjectCardinality(o))
+		case s != 0 && p != 0 && o != 0:
+			if idx.Contains(s, p, o) {
+				counts[i] = 1
+			}
+		case s != 0 && p == 0 && o != 0:
+			counts[i] = int64(idx.RowP(s, o).Count())
+		default: // all three variable
+			counts[i] = idx.NumTriples()
+		}
+	}
+	return counts
+}
+
+// loadMask computes the active-pruning mask for variable v on an axis of
+// the given space: the intersection of the v-projections of already loaded
+// patterns that are masters or peers of pattern idx (Section 5: "while
+// loading BMtp2, we use the bindings of ?friend in BMtp1 to actively prune
+// the triples in BMtp2 while loading it"). nil means no restriction.
+func (e *Engine) loadMask(v sparql.Var, axisSpace Space, idx int, loaded []*tpState, plan *planner.Plan) *bitvec.Bits {
+	if _, isJ := plan.GoJ.VarIdx[v]; !isJ {
+		return nil
+	}
+	var acc *bitvec.Bits
+	var accSpace Space
+	for _, prev := range loaded {
+		if prev == nil || prev.mat == nil {
+			continue
+		}
+		if !plan.GoSN.TPIsMasterOf(prev.idx, idx) && !plan.GoSN.TPArePeers(prev.idx, idx) {
+			continue
+		}
+		f, space, ok := prev.foldVar(v)
+		if !ok {
+			continue
+		}
+		if acc == nil {
+			acc, accSpace = f.Clone(), space
+			continue
+		}
+		acc = e.intersectFolds(acc, accSpace, f, space)
+		if accSpace != space {
+			accSpace = SpaceS
+		}
+	}
+	if acc == nil {
+		return nil
+	}
+	return e.maskForSpace(acc, accSpace, axisSpace)
+}
+
+// load materializes the BitMat for one pattern, choosing the orientation
+// per the plan (Section 5's init rules) and applying active-pruning masks
+// from the already loaded patterns. It returns an error for patterns with
+// three variables, which the paper's system does not handle either.
+func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Plan, loaded []*tpState) (*tpState, error) {
+	st := &tpState{idx: idx, pat: tp, sn: sn}
+	dict := e.dict
+	sVar, pVar, oVar := tp.S.IsVar, tp.P.IsVar, tp.O.IsVar
+
+	// Resolve fixed positions; unknown terms mean an empty pattern.
+	var s, p, o rdf.ID
+	unknown := false
+	if !sVar {
+		if s = dict.SubjectID(tp.S.Term); s == 0 {
+			unknown = true
+		}
+	}
+	if !pVar {
+		if p = dict.PredicateID(tp.P.Term); p == 0 {
+			unknown = true
+		}
+	}
+	if !oVar {
+		if o = dict.ObjectID(tp.O.Term); o == 0 {
+			unknown = true
+		}
+	}
+
+	switch {
+	case sVar && !pVar && oVar:
+		// (?a :p ?b): S-O or O-S BitMat of p, oriented by orderbu.
+		if tp.S.Var == tp.O.Var {
+			// Self join (?x :p ?x): the diagonal within the shared band,
+			// reduced to a single row over the subject dimension.
+			st.colVar, st.colSpace = tp.S.Var, SpaceS
+			st.rowSpace = SpaceNone
+			diag := bitmat.NewMatrix(1, dict.NumSubjects())
+			if !unknown {
+				so := e.idx.MatSO(p)
+				var pos []uint32
+				for i := 1; i <= dict.NumShared(); i++ {
+					if so.Test(i-1, i-1) {
+						pos = append(pos, uint32(i-1))
+					}
+				}
+				if len(pos) > 0 {
+					diag.SetRow(0, bitvec.RowFromPositions(dict.NumSubjects(), pos))
+				}
+			}
+			st.mat = diag
+			return st, nil
+		}
+		rowVar, _ := plan.RowVar(tp)
+		if rowVar == tp.S.Var {
+			st.rowVar, st.rowSpace = tp.S.Var, SpaceS
+			st.colVar, st.colSpace = tp.O.Var, SpaceO
+		} else {
+			st.rowVar, st.rowSpace = tp.O.Var, SpaceO
+			st.colVar, st.colSpace = tp.S.Var, SpaceS
+		}
+		if unknown {
+			if rowVar == tp.S.Var {
+				st.mat = bitmat.NewMatrix(dict.NumSubjects(), dict.NumObjects())
+			} else {
+				st.mat = bitmat.NewMatrix(dict.NumObjects(), dict.NumSubjects())
+			}
+			return st, nil
+		}
+		var rowMask, colMask *bitvec.Bits
+		if !e.opts.DisableActivePruning {
+			rowMask = e.loadMask(st.rowVar, st.rowSpace, idx, loaded, plan)
+			colMask = e.loadMask(st.colVar, st.colSpace, idx, loaded, plan)
+		}
+		if rowVar == tp.S.Var {
+			st.mat = e.idx.MatSOFiltered(p, rowMask, colMask)
+		} else {
+			st.mat = e.idx.MatOSFiltered(p, rowMask, colMask)
+		}
+	case sVar && !pVar && !oVar:
+		// (?var :p :o): one row of the P-S BitMat of o (Section 5).
+		if unknown {
+			st.mat = bitmat.NewMatrix(1, dict.NumSubjects())
+		} else {
+			st.mat = e.idx.RowPS(p, o)
+		}
+		st.colVar, st.colSpace = tp.S.Var, SpaceS
+		st.rowSpace = SpaceNone
+	case !sVar && !pVar && oVar:
+		// (:s :p ?var): one row of the P-O BitMat of s.
+		if unknown {
+			st.mat = bitmat.NewMatrix(1, dict.NumObjects())
+		} else {
+			st.mat = e.idx.RowPO(p, s)
+		}
+		st.colVar, st.colSpace = tp.O.Var, SpaceO
+		st.rowSpace = SpaceNone
+	case !sVar && pVar && oVar:
+		// (:s ?p ?o): the P-O BitMat of s; the predicate variable rides the
+		// row axis (never a join variable, enforced by the GoJ).
+		if unknown {
+			st.mat = bitmat.NewMatrix(dict.NumPredicates(), dict.NumObjects())
+		} else {
+			st.mat = e.idx.MatPO(s)
+		}
+		st.rowVar, st.rowSpace = tp.P.Var, SpaceP
+		st.colVar, st.colSpace = tp.O.Var, SpaceO
+	case sVar && pVar && !oVar:
+		// (?s ?p :o): the P-S BitMat of o.
+		if unknown {
+			st.mat = bitmat.NewMatrix(dict.NumPredicates(), dict.NumSubjects())
+		} else {
+			st.mat = e.idx.MatPS(o)
+		}
+		st.rowVar, st.rowSpace = tp.P.Var, SpaceP
+		st.colVar, st.colSpace = tp.S.Var, SpaceS
+	case !sVar && pVar && !oVar:
+		// (:s ?p :o): the predicates linking s to o.
+		if unknown {
+			st.mat = bitmat.NewMatrix(1, dict.NumPredicates())
+		} else {
+			st.mat = e.idx.RowP(s, o)
+		}
+		st.colVar, st.colSpace = tp.P.Var, SpaceP
+		st.rowSpace = SpaceNone
+	case !sVar && !pVar && !oVar:
+		st.present = !unknown && e.idx.Contains(s, p, o)
+	default:
+		return nil, fmt.Errorf("engine: pattern %s with three variables is not supported", tp)
+	}
+	return st, nil
+}
+
+// axisOf returns the axis carrying variable v and its space.
+func (t *tpState) axisOf(v sparql.Var) (bitmat.Axis, Space, bool) {
+	if t.rowVar == v && t.rowVar != "" {
+		return bitmat.Rows, t.rowSpace, true
+	}
+	if t.colVar == v && t.colVar != "" {
+		return bitmat.Cols, t.colSpace, true
+	}
+	return 0, SpaceNone, false
+}
+
+// foldVar projects the bindings of v out of the pattern's matrix.
+func (t *tpState) foldVar(v sparql.Var) (*bitvec.Bits, Space, bool) {
+	axis, space, ok := t.axisOf(v)
+	if !ok || t.mat == nil {
+		return nil, SpaceNone, false
+	}
+	return t.mat.Fold(axis), space, true
+}
+
+// unfoldVar masks the bindings of v in the pattern's matrix. The mask may
+// be shorter than the axis (a shared-band intersection); missing bits are
+// treated as 0.
+func (t *tpState) unfoldVar(v sparql.Var, mask *bitvec.Bits) {
+	axis, _, ok := t.axisOf(v)
+	if !ok || t.mat == nil {
+		return
+	}
+	t.mat.Unfold(mask, axis)
+}

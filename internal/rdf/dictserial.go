@@ -1,0 +1,171 @@
+package rdf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Dictionary wire format, little-endian:
+//
+//	magic "LBRDICT1"
+//	u32 numShared, u32 numSubjects, u32 numObjects, u32 numPredicates
+//	then the terms: the shared band once, subject-only terms, object-only
+//	terms, predicates — each as u8 kind, u32 lens + bytes for value,
+//	datatype, lang.
+//
+// The Appendix-D layout is reconstructed exactly: shared terms take IDs
+// 1..numShared on both dimensions.
+
+var dictMagic = []byte("LBRDICT1")
+
+func writeTerm(w *bufio.Writer, t Term) error {
+	if err := w.WriteByte(byte(t.Kind)); err != nil {
+		return err
+	}
+	for _, s := range []string{t.Value, t.Datatype, t.Lang} {
+		var b4 [4]byte
+		binary.LittleEndian.PutUint32(b4[:], uint32(len(s)))
+		if _, err := w.Write(b4[:]); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readTerm(r *bufio.Reader) (Term, error) {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return Term{}, err
+	}
+	if kind > byte(Blank) {
+		return Term{}, fmt.Errorf("rdf: corrupt term kind %d", kind)
+	}
+	var parts [3]string
+	for i := range parts {
+		var b4 [4]byte
+		if _, err := io.ReadFull(r, b4[:]); err != nil {
+			return Term{}, err
+		}
+		n := binary.LittleEndian.Uint32(b4[:])
+		if n > 1<<24 {
+			return Term{}, fmt.Errorf("rdf: implausible term length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return Term{}, err
+		}
+		parts[i] = string(buf)
+	}
+	return Term{Kind: TermKind(kind), Value: parts[0], Datatype: parts[1], Lang: parts[2]}, nil
+}
+
+// WriteTo serializes the dictionary.
+func (d *Dictionary) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(dictMagic); err != nil {
+		return 0, err
+	}
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(d.numSO))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(d.subjects)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(d.objects)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(d.predicates)))
+	if _, err := bw.Write(hdr); err != nil {
+		return 0, err
+	}
+	// Shared band once, then the dimension-specific tails.
+	for i := 0; i < d.numSO; i++ {
+		if err := writeTerm(bw, d.subjects[i]); err != nil {
+			return 0, err
+		}
+	}
+	for i := d.numSO; i < len(d.subjects); i++ {
+		if err := writeTerm(bw, d.subjects[i]); err != nil {
+			return 0, err
+		}
+	}
+	for i := d.numSO; i < len(d.objects); i++ {
+		if err := writeTerm(bw, d.objects[i]); err != nil {
+			return 0, err
+		}
+	}
+	for _, t := range d.predicates {
+		if err := writeTerm(bw, t); err != nil {
+			return 0, err
+		}
+	}
+	return 0, bw.Flush()
+}
+
+// ReadDictionary deserializes a dictionary written by WriteTo.
+func ReadDictionary(r io.Reader) (*Dictionary, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(dictMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != string(dictMagic) {
+		return nil, fmt.Errorf("rdf: bad dictionary magic %q", magic)
+	}
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, err
+	}
+	nShared := int(binary.LittleEndian.Uint32(hdr[0:]))
+	nSubj := int(binary.LittleEndian.Uint32(hdr[4:]))
+	nObj := int(binary.LittleEndian.Uint32(hdr[8:]))
+	nPred := int(binary.LittleEndian.Uint32(hdr[12:]))
+	if nShared > nSubj || nShared > nObj {
+		return nil, fmt.Errorf("rdf: corrupt dictionary header (%d shared > %d/%d)", nShared, nSubj, nObj)
+	}
+	d := &Dictionary{
+		subjects:    make([]Term, 0, nSubj),
+		objects:     make([]Term, 0, nObj),
+		predicates:  make([]Term, 0, nPred),
+		subjectID:   make(map[string]ID, nSubj),
+		objectID:    make(map[string]ID, nObj),
+		predicateID: make(map[string]ID, nPred),
+		numSO:       nShared,
+	}
+	for i := 0; i < nShared; i++ {
+		t, err := readTerm(br)
+		if err != nil {
+			return nil, err
+		}
+		d.subjects = append(d.subjects, t)
+		d.objects = append(d.objects, t)
+		id := ID(len(d.subjects))
+		d.subjectID[t.Key()] = id
+		d.objectID[t.Key()] = id
+	}
+	for i := nShared; i < nSubj; i++ {
+		t, err := readTerm(br)
+		if err != nil {
+			return nil, err
+		}
+		d.subjects = append(d.subjects, t)
+		d.subjectID[t.Key()] = ID(len(d.subjects))
+	}
+	for i := nShared; i < nObj; i++ {
+		t, err := readTerm(br)
+		if err != nil {
+			return nil, err
+		}
+		d.objects = append(d.objects, t)
+		d.objectID[t.Key()] = ID(len(d.objects))
+	}
+	for i := 0; i < nPred; i++ {
+		t, err := readTerm(br)
+		if err != nil {
+			return nil, err
+		}
+		d.predicates = append(d.predicates, t)
+		d.predicateID[t.Key()] = ID(len(d.predicates))
+	}
+	return d, nil
+}

@@ -1,0 +1,106 @@
+package rdf
+
+import (
+	"sort"
+)
+
+// Graph is an in-memory collection of triples with duplicate suppression.
+// It is the loading-time representation; querying happens against the
+// BitMat index built from it.
+type Graph struct {
+	triples []Triple
+	seen    map[tripleKey]struct{}
+}
+
+type tripleKey struct{ s, p, o string }
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{seen: map[tripleKey]struct{}{}}
+}
+
+// Add inserts a triple, ignoring exact duplicates. It reports whether the
+// triple was new.
+func (g *Graph) Add(tr Triple) bool {
+	k := tripleKey{tr.S.Key(), tr.P.Key(), tr.O.Key()}
+	if _, dup := g.seen[k]; dup {
+		return false
+	}
+	g.seen[k] = struct{}{}
+	g.triples = append(g.triples, tr)
+	return true
+}
+
+// AddAll inserts every triple of trs and returns the number inserted.
+func (g *Graph) AddAll(trs []Triple) int {
+	n := 0
+	for _, tr := range trs {
+		if g.Add(tr) {
+			n++
+		}
+	}
+	return n
+}
+
+// Len reports the number of distinct triples.
+func (g *Graph) Len() int { return len(g.triples) }
+
+// Triples returns the triples in insertion order. The slice is shared; do
+// not mutate it.
+func (g *Graph) Triples() []Triple { return g.triples }
+
+// Contains reports whether the graph holds the exact triple.
+func (g *Graph) Contains(tr Triple) bool {
+	_, ok := g.seen[tripleKey{tr.S.Key(), tr.P.Key(), tr.O.Key()}]
+	return ok
+}
+
+// Stats summarizes the graph the way Table 6.1 of the paper does.
+type Stats struct {
+	Triples    int
+	Subjects   int
+	Predicates int
+	Objects    int
+	Shared     int // |Vs ∩ Vo|
+}
+
+// Stats computes dataset characteristics.
+func (g *Graph) Stats() Stats {
+	b := NewDictionaryBuilder()
+	for _, tr := range g.triples {
+		b.Add(tr)
+	}
+	d := b.Build()
+	return Stats{
+		Triples:    len(g.triples),
+		Subjects:   d.NumSubjects(),
+		Predicates: d.NumPredicates(),
+		Objects:    d.NumObjects(),
+		Shared:     d.NumShared(),
+	}
+}
+
+// Dictionary builds the Appendix-D dictionary for the graph's current
+// contents.
+func (g *Graph) Dictionary() *Dictionary {
+	b := NewDictionaryBuilder()
+	for _, tr := range g.triples {
+		b.Add(tr)
+	}
+	return b.Build()
+}
+
+// Predicates returns the distinct predicate terms sorted by their
+// N-Triples rendering, useful for generators and diagnostics.
+func (g *Graph) Predicates() []Term {
+	set := map[string]Term{}
+	for _, tr := range g.triples {
+		set[tr.P.Key()] = tr.P
+	}
+	out := make([]Term, 0, len(set))
+	for _, t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}

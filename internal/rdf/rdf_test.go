@@ -1,0 +1,287 @@
+package rdf
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// sampleGraph returns the data of Figure 3.2 of the paper, which is also
+// the basis of the Figure 4.1 bitcube test in internal/bitmat.
+func sampleGraph() *Graph {
+	g := NewGraph()
+	for _, tr := range []Triple{
+		T("Julia", "actedIn", "Seinfeld"),
+		T("Julia", "actedIn", "Veep"),
+		T("Julia", "actedIn", "NewAdvOldChristine"),
+		T("Julia", "actedIn", "CurbYourEnthu"),
+		T("Larry", "actedIn", "CurbYourEnthu"),
+		T("Jerry", "hasFriend", "Julia"),
+		T("Jerry", "hasFriend", "Larry"),
+		T("Seinfeld", "location", "NewYorkCity"),
+		T("Veep", "location", "D.C."),
+		T("CurbYourEnthu", "location", "LosAngeles"),
+		T("NewAdvOldChristine", "location", "Jersey"),
+	} {
+		g.Add(tr)
+	}
+	return g
+}
+
+func TestGraphDedup(t *testing.T) {
+	g := NewGraph()
+	if !g.Add(T("a", "p", "b")) {
+		t.Fatal("first Add must report new")
+	}
+	if g.Add(T("a", "p", "b")) {
+		t.Fatal("duplicate Add must report false")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	if !g.Contains(T("a", "p", "b")) || g.Contains(T("a", "p", "c")) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestGraphStatsSample(t *testing.T) {
+	st := sampleGraph().Stats()
+	// Subjects: Julia, Larry, Jerry, Seinfeld, Veep, CurbYourEnthu,
+	// NewAdvOldChristine = 7.
+	// Objects: Seinfeld, Veep, NewAdvOldChristine, CurbYourEnthu, Julia,
+	// Larry, NewYorkCity, D.C., LosAngeles, Jersey = 10.
+	// Shared: Julia, Larry, Seinfeld, Veep, CurbYourEnthu,
+	// NewAdvOldChristine = 6.
+	if st.Triples != 11 || st.Subjects != 7 || st.Objects != 10 || st.Predicates != 3 || st.Shared != 6 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestDictionaryAppendixDLayout(t *testing.T) {
+	d := sampleGraph().Dictionary()
+	if d.NumShared() != 6 {
+		t.Fatalf("NumShared = %d, want 6", d.NumShared())
+	}
+	// Every shared term must have equal S and O IDs within 1..|Vso|.
+	for _, name := range []string{"Julia", "Larry", "Seinfeld", "Veep", "CurbYourEnthu", "NewAdvOldChristine"} {
+		term := NewIRI(name)
+		s, o := d.SubjectID(term), d.ObjectID(term)
+		if s == 0 || o == 0 || s != o || int(s) > d.NumShared() {
+			t.Errorf("%s: S=%d O=%d shared=%d", name, s, o, d.NumShared())
+		}
+		if !d.SharedID(s, o) {
+			t.Errorf("SharedID(%d,%d) should be true for %s", s, o, name)
+		}
+	}
+	// Subject-only terms get IDs above the shared band.
+	jerry := d.SubjectID(NewIRI("Jerry"))
+	if int(jerry) <= d.NumShared() {
+		t.Errorf("Jerry ID %d must be above shared band %d", jerry, d.NumShared())
+	}
+	if d.ObjectID(NewIRI("Jerry")) != 0 {
+		t.Error("Jerry never occurs as object")
+	}
+	// Object-only terms likewise.
+	nyc := d.ObjectID(NewIRI("NewYorkCity"))
+	if int(nyc) <= d.NumShared() {
+		t.Errorf("NewYorkCity ID %d must be above shared band", nyc)
+	}
+	if d.SubjectID(NewIRI("NewYorkCity")) != 0 {
+		t.Error("NewYorkCity never occurs as subject")
+	}
+}
+
+func TestDictionaryRoundTrip(t *testing.T) {
+	g := sampleGraph()
+	d := g.Dictionary()
+	for _, tr := range g.Triples() {
+		enc, err := d.Encode(tr)
+		if err != nil {
+			t.Fatalf("Encode(%s): %v", tr, err)
+		}
+		back, err := d.Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if back != tr {
+			t.Fatalf("round trip %s -> %+v -> %s", tr, enc, back)
+		}
+	}
+}
+
+func TestDictionaryUnknownTerms(t *testing.T) {
+	d := sampleGraph().Dictionary()
+	if _, err := d.Encode(T("nobody", "actedIn", "Seinfeld")); err == nil {
+		t.Error("unknown subject must fail")
+	}
+	if _, err := d.Encode(T("Julia", "nosuch", "Seinfeld")); err == nil {
+		t.Error("unknown predicate must fail")
+	}
+	if _, err := d.Decode(IDTriple{S: 999, P: 1, O: 1}); err == nil {
+		t.Error("out-of-range decode must fail")
+	}
+	if _, err := d.Subject(0); err == nil {
+		t.Error("ID 0 is reserved")
+	}
+}
+
+func TestDictionaryDeterministic(t *testing.T) {
+	g := sampleGraph()
+	d1, d2 := g.Dictionary(), g.Dictionary()
+	for _, tr := range g.Triples() {
+		e1, _ := d1.Encode(tr)
+		e2, _ := d2.Encode(tr)
+		if e1 != e2 {
+			t.Fatalf("non-deterministic encoding for %s: %+v vs %+v", tr, e1, e2)
+		}
+	}
+}
+
+func TestDictionaryDistinguishesKinds(t *testing.T) {
+	g := NewGraph()
+	g.Add(Triple{S: NewIRI("x"), P: NewIRI("p"), O: NewIRI("v")})
+	g.Add(Triple{S: NewIRI("x"), P: NewIRI("p"), O: NewLiteral("v")})
+	g.Add(Triple{S: NewIRI("x"), P: NewIRI("p"), O: NewTypedLiteral("v", "dt")})
+	g.Add(Triple{S: NewIRI("x"), P: NewIRI("p"), O: NewLangLiteral("v", "en")})
+	d := g.Dictionary()
+	ids := map[ID]bool{}
+	for _, o := range []Term{NewIRI("v"), NewLiteral("v"), NewTypedLiteral("v", "dt"), NewLangLiteral("v", "en")} {
+		id := d.ObjectID(o)
+		if id == 0 {
+			t.Fatalf("missing object ID for %s", o)
+		}
+		if ids[id] {
+			t.Fatalf("ID collision between term kinds at %d", id)
+		}
+		ids[id] = true
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	g := NewGraph()
+	g.Add(T("http://ex.org/s", "http://ex.org/p", "http://ex.org/o"))
+	g.Add(TL("http://ex.org/s", "http://ex.org/name", `say "hi"`))
+	g.Add(Triple{S: NewBlank("b1"), P: NewIRI("http://ex.org/p"), O: NewLangLiteral("bonjour", "fr")})
+	g.Add(Triple{S: NewIRI("http://ex.org/s"), P: NewIRI("http://ex.org/age"), O: NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer")})
+	g.Add(Triple{S: NewIRI("http://ex.org/s"), P: NewIRI("http://ex.org/note"), O: NewLiteral("line1\nline2\ttab\\slash")})
+
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != g.Len() {
+		t.Fatalf("round trip %d triples, want %d", back.Len(), g.Len())
+	}
+	for _, tr := range g.Triples() {
+		if !back.Contains(tr) {
+			t.Errorf("missing %s after round trip", tr)
+		}
+	}
+}
+
+func TestNTriplesSkipsCommentsAndBlank(t *testing.T) {
+	in := "# comment\n\n<a> <p> <b> .\n  \n# another\n<a> <p> \"lit\" .\n"
+	g, err := ReadNTriples(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("parsed %d triples, want 2", g.Len())
+	}
+}
+
+func TestNTriplesErrors(t *testing.T) {
+	bad := []string{
+		"<a> <p>",                      // missing object
+		"<a> \"lit\" <b> .",            // literal predicate
+		"<a> <p> <b> . extra",          // trailing garbage
+		"<unterminated <p> <b> .",      // IRI containing < but missing >
+		"<a> <p> \"unterminated .",     // unterminated literal
+		"_: <p> <b> .",                 // empty blank label
+		"<a> <p> \"x\\q\" .",           // unknown escape
+		"<a> <p> \"x\"^^<unterminated", // unterminated datatype
+	}
+	for _, line := range bad {
+		if _, err := ReadNTriples(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("expected error for %q", line)
+		}
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://x/y"), "<http://x/y>"},
+		{NewBlank("n1"), "_:n1"},
+		{NewLiteral("plain"), `"plain"`},
+		{NewLangLiteral("hi", "en"), `"hi"@en`},
+		{NewTypedLiteral("1", "http://t"), `"1"^^<http://t>`},
+		{NewLiteral("a\"b"), `"a\"b"`},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String(%v) = %s, want %s", c.term, got, c.want)
+		}
+	}
+}
+
+func TestTermKeyUniqueness(t *testing.T) {
+	terms := []Term{
+		NewIRI("v"), NewLiteral("v"), NewBlank("v"),
+		NewTypedLiteral("v", "d"), NewLangLiteral("v", "en"),
+		NewLangLiteral("v", "de"), NewTypedLiteral("v", "d2"),
+	}
+	seen := map[string]Term{}
+	for _, tm := range terms {
+		if prev, dup := seen[tm.Key()]; dup {
+			t.Errorf("Key collision: %v and %v", prev, tm)
+		}
+		seen[tm.Key()] = tm
+	}
+}
+
+func TestQuickDictionaryBijective(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		for i := 0; i < int(n)+1; i++ {
+			g.Add(T(
+				fmt.Sprintf("s%d", rng.Intn(20)),
+				fmt.Sprintf("p%d", rng.Intn(5)),
+				fmt.Sprintf("o%d", rng.Intn(20))))
+		}
+		d := g.Dictionary()
+		for _, tr := range g.Triples() {
+			enc, err := d.Encode(tr)
+			if err != nil {
+				return false
+			}
+			back, err := d.Decode(enc)
+			if err != nil || back != tr {
+				return false
+			}
+		}
+		// Shared prefix property: for every ID in 1..NumShared, the S and O
+		// dimensions must resolve to the same term.
+		for id := 1; id <= d.NumShared(); id++ {
+			s, _ := d.Subject(ID(id))
+			o, _ := d.Object(ID(id))
+			if s != o {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

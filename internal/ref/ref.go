@@ -1,0 +1,400 @@
+// Package ref is a deliberately naive reference evaluator implementing the
+// W3C SPARQL algebra directly over mapping sets (bag semantics, compatible-
+// mapping joins, left-joins as join-plus-difference). It exists purely as a
+// correctness oracle for differential tests against the LBR engine and the
+// relational baseline; nothing here is optimized.
+package ref
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Mapping is one solution mapping: variable to term. Absent variables are
+// unbound.
+type Mapping map[sparql.Var]rdf.Term
+
+// clone copies a mapping.
+func (m Mapping) clone() Mapping {
+	c := make(Mapping, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// compatible reports whether two mappings agree on every shared variable.
+func compatible(a, b Mapping) bool {
+	for k, v := range a {
+		if w, ok := b[k]; ok && w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// merge unions two compatible mappings.
+func merge(a, b Mapping) Mapping {
+	c := a.clone()
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Evaluator evaluates queries against a graph.
+type Evaluator struct {
+	g *rdf.Graph
+}
+
+// New returns an evaluator over g.
+func New(g *rdf.Graph) *Evaluator { return &Evaluator{g: g} }
+
+// Execute evaluates a parsed query and returns the mappings plus the
+// deterministic variable universe of the query.
+func (ev *Evaluator) Execute(q *sparql.Query) ([]Mapping, []sparql.Var, error) {
+	tree, err := algebra.FromQuery(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	maps, err := ev.eval(tree)
+	if err != nil {
+		return nil, nil, err
+	}
+	vars := algebra.SortedVars(tree)
+	if !q.SelectAll() {
+		maps = project(maps, q.Select)
+		vars = append([]sparql.Var(nil), q.Select...)
+	}
+	if q.Distinct {
+		maps = distinct(maps, vars)
+	}
+	return maps, vars, nil
+}
+
+func project(maps []Mapping, keep []sparql.Var) []Mapping {
+	keepSet := map[sparql.Var]bool{}
+	for _, v := range keep {
+		keepSet[v] = true
+	}
+	out := make([]Mapping, len(maps))
+	for i, m := range maps {
+		p := Mapping{}
+		for k, v := range m {
+			if keepSet[k] {
+				p[k] = v
+			}
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func distinct(maps []Mapping, vars []sparql.Var) []Mapping {
+	seen := map[string]bool{}
+	var out []Mapping
+	for _, m := range maps {
+		k := Key(m, vars)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (ev *Evaluator) eval(t algebra.Tree) ([]Mapping, error) {
+	switch n := t.(type) {
+	case *algebra.Leaf:
+		return ev.evalBGP(n.Patterns)
+	case *algebra.Join:
+		l, err := ev.eval(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.eval(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return joinMaps(l, r), nil
+	case *algebra.LeftJoin:
+		l, err := ev.eval(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.eval(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return leftJoinMaps(l, r), nil
+	case *algebra.UnionT:
+		var out []Mapping
+		for _, a := range n.Alts {
+			m, err := ev.eval(a)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m...)
+		}
+		return out, nil
+	case *algebra.FilterT:
+		child, err := ev.eval(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		var out []Mapping
+		for _, m := range child {
+			if holds(n.Expr, m) {
+				out = append(out, m)
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("ref: unknown node %T", t)
+}
+
+func (ev *Evaluator) evalBGP(pats []sparql.TriplePattern) ([]Mapping, error) {
+	maps := []Mapping{{}}
+	for _, tp := range pats {
+		var next []Mapping
+		for _, m := range maps {
+			for _, tr := range ev.g.Triples() {
+				if nm, ok := matchPattern(tp, tr, m); ok {
+					next = append(next, nm)
+				}
+			}
+		}
+		maps = next
+	}
+	return maps, nil
+}
+
+func matchPattern(tp sparql.TriplePattern, tr rdf.Triple, m Mapping) (Mapping, bool) {
+	out := m
+	cloned := false
+	bind := func(n sparql.Node, t rdf.Term) bool {
+		if !n.IsVar {
+			return n.Term == t
+		}
+		if v, ok := out[n.Var]; ok {
+			return v == t
+		}
+		if !cloned {
+			out = out.clone()
+			cloned = true
+		}
+		out[n.Var] = t
+		return true
+	}
+	if !bind(tp.S, tr.S) || !bind(tp.P, tr.P) || !bind(tp.O, tr.O) {
+		return nil, false
+	}
+	return out, true
+}
+
+func joinMaps(l, r []Mapping) []Mapping {
+	var out []Mapping
+	for _, a := range l {
+		for _, b := range r {
+			if compatible(a, b) {
+				out = append(out, merge(a, b))
+			}
+		}
+	}
+	return out
+}
+
+// leftJoinMaps implements Omega1 leftjoin Omega2 = (Omega1 join Omega2)
+// union (Omega1 minus Omega2).
+func leftJoinMaps(l, r []Mapping) []Mapping {
+	var out []Mapping
+	for _, a := range l {
+		matched := false
+		for _, b := range r {
+			if compatible(a, b) {
+				out = append(out, merge(a, b))
+				matched = true
+			}
+		}
+		if !matched {
+			out = append(out, a.clone())
+		}
+	}
+	return out
+}
+
+// holds evaluates a filter with the same three-valued semantics as the
+// engine: only a definite true keeps the mapping.
+func holds(e sparql.Expr, m Mapping) bool {
+	v := evalExpr(e, m)
+	return v == 1
+}
+
+// evalExpr: 1 = true, 0 = false, -1 = error.
+func evalExpr(e sparql.Expr, m Mapping) int {
+	switch x := e.(type) {
+	case sparql.Bound:
+		if _, ok := m[x.V]; ok {
+			return 1
+		}
+		return 0
+	case sparql.Not:
+		switch evalExpr(x.E, m) {
+		case 1:
+			return 0
+		case 0:
+			return 1
+		default:
+			return -1
+		}
+	case sparql.Logical:
+		l, r := evalExpr(x.L, m), evalExpr(x.R, m)
+		if x.Op == sparql.OpAnd {
+			if l == 0 || r == 0 {
+				return 0
+			}
+			if l == -1 || r == -1 {
+				return -1
+			}
+			return 1
+		}
+		if l == 1 || r == 1 {
+			return 1
+		}
+		if l == -1 || r == -1 {
+			return -1
+		}
+		return 0
+	case sparql.Cmp:
+		lt, lok := termOf(x.L, m)
+		rt, rok := termOf(x.R, m)
+		if !lok || !rok {
+			return -1
+		}
+		return compareRef(x.Op, lt, rt)
+	case sparql.ExprVar:
+		if t, ok := m[x.V]; ok {
+			if t.Value != "" && t.Value != "false" && t.Value != "0" {
+				return 1
+			}
+			return 0
+		}
+		return -1
+	case sparql.ExprTerm:
+		if x.Term.Value != "" && x.Term.Value != "false" && x.Term.Value != "0" {
+			return 1
+		}
+		return 0
+	}
+	return -1
+}
+
+func termOf(e sparql.Expr, m Mapping) (rdf.Term, bool) {
+	switch x := e.(type) {
+	case sparql.ExprVar:
+		t, ok := m[x.V]
+		return t, ok
+	case sparql.ExprTerm:
+		return x.Term, true
+	}
+	return rdf.Term{}, false
+}
+
+func compareRef(op sparql.CmpOp, l, r rdf.Term) int {
+	b2i := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	if lf, lok := numRef(l); lok {
+		if rf, rok := numRef(r); rok {
+			switch op {
+			case sparql.OpEq:
+				return b2i(lf == rf)
+			case sparql.OpNe:
+				return b2i(lf != rf)
+			case sparql.OpLt:
+				return b2i(lf < rf)
+			case sparql.OpLe:
+				return b2i(lf <= rf)
+			case sparql.OpGt:
+				return b2i(lf > rf)
+			case sparql.OpGe:
+				return b2i(lf >= rf)
+			}
+		}
+	}
+	switch op {
+	case sparql.OpEq:
+		return b2i(l == r)
+	case sparql.OpNe:
+		return b2i(l != r)
+	}
+	if l.Kind != r.Kind {
+		return -1
+	}
+	switch op {
+	case sparql.OpLt:
+		return b2i(l.Value < r.Value)
+	case sparql.OpLe:
+		return b2i(l.Value <= r.Value)
+	case sparql.OpGt:
+		return b2i(l.Value > r.Value)
+	case sparql.OpGe:
+		return b2i(l.Value >= r.Value)
+	}
+	return -1
+}
+
+func numRef(t rdf.Term) (float64, bool) {
+	if t.Kind != rdf.Literal {
+		return 0, false
+	}
+	var f float64
+	n, err := fmt.Sscanf(t.Value, "%g", &f)
+	if n != 1 || err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// Key renders a mapping as a canonical string over the given variable
+// order; unbound variables render as the NULL marker. Differential tests
+// compare multisets of keys.
+func Key(m Mapping, vars []sparql.Var) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		if t, ok := m[v]; ok {
+			parts[i] = t.String()
+		} else {
+			parts[i] = "NULL"
+		}
+	}
+	return join(parts, "|")
+}
+
+// SortedKeys returns the sorted multiset of mapping keys.
+func SortedKeys(maps []Mapping, vars []sparql.Var) []string {
+	out := make([]string, len(maps))
+	for i, m := range maps {
+		out[i] = Key(m, vars)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func join(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}

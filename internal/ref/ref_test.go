@@ -1,0 +1,170 @@
+package ref
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+func sampleGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	for _, tr := range []rdf.Triple{
+		rdf.T("Julia", "actedIn", "Seinfeld"),
+		rdf.T("Julia", "actedIn", "Veep"),
+		rdf.T("Larry", "actedIn", "CurbYourEnthu"),
+		rdf.T("Jerry", "hasFriend", "Julia"),
+		rdf.T("Jerry", "hasFriend", "Larry"),
+		rdf.T("Seinfeld", "location", "NewYorkCity"),
+	} {
+		g.Add(tr)
+	}
+	return g
+}
+
+func exec(t *testing.T, g *rdf.Graph, src string) ([]Mapping, []sparql.Var) {
+	t.Helper()
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps, vars, err := New(g).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return maps, vars
+}
+
+func TestRefBGP(t *testing.T) {
+	maps, vars := exec(t, sampleGraph(), `SELECT * WHERE { ?a <actedIn> ?s . }`)
+	if len(maps) != 3 {
+		t.Fatalf("mappings = %d, want 3", len(maps))
+	}
+	keys := SortedKeys(maps, vars)
+	want := []string{"<Julia>|<Seinfeld>", "<Julia>|<Veep>", "<Larry>|<CurbYourEnthu>"}
+	if fmt.Sprint(keys) != fmt.Sprint(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestRefLeftJoinSemantics(t *testing.T) {
+	maps, vars := exec(t, sampleGraph(), `
+		SELECT * WHERE {
+			<Jerry> <hasFriend> ?f .
+			OPTIONAL { ?f <actedIn> ?s . ?s <location> <NewYorkCity> . } }`)
+	keys := SortedKeys(maps, vars)
+	want := []string{"<Julia>|<Seinfeld>", "<Larry>|NULL"}
+	if fmt.Sprint(keys) != fmt.Sprint(want) {
+		t.Fatalf("keys = %v, want %v", keys, want)
+	}
+}
+
+func TestRefBagSemantics(t *testing.T) {
+	// Two paths to the same binding: union keeps both (bags).
+	g := rdf.NewGraph()
+	g.Add(rdf.T("a", "p", "b"))
+	maps, _ := exec(t, g, `
+		SELECT * WHERE { { ?x <p> ?y . } UNION { ?x <p> ?y . } }`)
+	if len(maps) != 2 {
+		t.Fatalf("bag union must keep duplicates, got %d", len(maps))
+	}
+}
+
+func TestRefCompatibleMappingJoin(t *testing.T) {
+	// Unbound variables are compatible with anything (the SPARQL quirk
+	// that separates well-designed from non-well-designed queries).
+	a := Mapping{"x": rdf.NewIRI("1")}
+	b := Mapping{"y": rdf.NewIRI("2")}
+	if !compatible(a, b) {
+		t.Error("disjoint mappings are compatible")
+	}
+	c := Mapping{"x": rdf.NewIRI("other")}
+	if compatible(a, c) {
+		t.Error("conflicting mappings are incompatible")
+	}
+	m := merge(a, b)
+	if len(m) != 2 || m["x"].Value != "1" || m["y"].Value != "2" {
+		t.Errorf("merge = %v", m)
+	}
+}
+
+func TestRefFilter(t *testing.T) {
+	maps, _ := exec(t, sampleGraph(), `
+		SELECT * WHERE { ?a <actedIn> ?s . FILTER (?s != <Veep>) }`)
+	if len(maps) != 2 {
+		t.Fatalf("filtered mappings = %d, want 2", len(maps))
+	}
+}
+
+func TestRefFilterUnboundIsError(t *testing.T) {
+	// A filter over an unbound variable errors, which drops the mapping.
+	maps, _ := exec(t, sampleGraph(), `
+		SELECT * WHERE {
+			<Jerry> <hasFriend> ?f .
+			OPTIONAL { ?f <actedIn> ?s . ?s <location> <NewYorkCity> . }
+			FILTER (?s != <Veep>)
+		}`)
+	// Julia keeps Seinfeld; Larry's row has unbound ?s -> error -> dropped.
+	if len(maps) != 1 {
+		t.Fatalf("mappings = %d, want 1", len(maps))
+	}
+	// But bound(?s) handles it.
+	maps2, _ := exec(t, sampleGraph(), `
+		SELECT * WHERE {
+			<Jerry> <hasFriend> ?f .
+			OPTIONAL { ?f <actedIn> ?s . ?s <location> <NewYorkCity> . }
+			FILTER (!bound(?s) || ?s != <Veep>)
+		}`)
+	if len(maps2) != 2 {
+		t.Fatalf("mappings with bound() = %d, want 2", len(maps2))
+	}
+}
+
+func TestRefProjectionAndDistinct(t *testing.T) {
+	maps, vars := exec(t, sampleGraph(), `SELECT ?a WHERE { ?a <actedIn> ?s . }`)
+	if len(vars) != 1 || vars[0] != "a" {
+		t.Fatalf("vars = %v", vars)
+	}
+	if len(maps) != 3 {
+		t.Fatalf("projected mappings = %d", len(maps))
+	}
+	maps2, _ := exec(t, sampleGraph(), `SELECT DISTINCT ?a WHERE { ?a <actedIn> ?s . }`)
+	if len(maps2) != 2 {
+		t.Fatalf("distinct mappings = %d, want 2", len(maps2))
+	}
+}
+
+func TestRefVariablePredicate(t *testing.T) {
+	maps, _ := exec(t, sampleGraph(), `SELECT * WHERE { <Jerry> ?p ?o . }`)
+	if len(maps) != 2 {
+		t.Fatalf("mappings = %d, want 2", len(maps))
+	}
+}
+
+func TestRefNestedOptionalPartialMatch(t *testing.T) {
+	// The subtle SPARQL case: an OPTIONAL group matches as a whole or not
+	// at all.
+	g := rdf.NewGraph()
+	g.Add(rdf.T("m", "p", "a"))
+	g.Add(rdf.T("a", "q", "b"))
+	// No r-edge from b: OPTIONAL { a q b . b r c } must NOT bind ?y=b.
+	maps, vars := exec(t, g, `
+		SELECT * WHERE {
+			?m <p> ?x .
+			OPTIONAL { ?x <q> ?y . ?y <r> ?z . }
+		}`)
+	keys := SortedKeys(maps, vars)
+	want := []string{"<m>|<a>|NULL|NULL"}
+	if fmt.Sprint(keys) != fmt.Sprint(want) {
+		t.Fatalf("keys = %v, want %v", keys, want)
+	}
+}
+
+func TestRefKeyRendering(t *testing.T) {
+	m := Mapping{"a": rdf.NewIRI("x")}
+	key := Key(m, []sparql.Var{"a", "b"})
+	if key != "<x>|NULL" {
+		t.Errorf("Key = %q", key)
+	}
+}

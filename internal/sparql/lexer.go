@@ -1,0 +1,285 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokKeyword
+	tokVar     // ?name
+	tokIRI     // <...>
+	tokPName   // prefix:local or :local
+	tokLiteral // "..." with optional @lang or ^^<iri>
+	tokNumber
+	tokBlank // _:label
+	tokPunct // { } ( ) . ; , and operators
+	tokStar
+	tokA // the 'a' keyword = rdf:type
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	// literal parts
+	litValue, litLang, litType string
+	pos                        int
+}
+
+func (t token) String() string {
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "WHERE": true, "OPTIONAL": true, "UNION": true,
+	"FILTER": true, "PREFIX": true, "DISTINCT": true, "BOUND": true,
+	"ORDER": true, "BY": true, "LIMIT": true, "OFFSET": true,
+	"ASC": true, "DESC": true, "ASK": true,
+}
+
+type lexer struct {
+	src  string
+	i    int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipWS()
+		if l.i >= len(l.src) {
+			l.emit(token{kind: tokEOF, pos: l.i})
+			return l.toks, nil
+		}
+		start := l.i
+		c := l.src[l.i]
+		switch {
+		case c == '?' || c == '$':
+			l.i++
+			name := l.ident()
+			if name == "" {
+				return nil, fmt.Errorf("sparql: empty variable name at %d", start)
+			}
+			l.emit(token{kind: tokVar, text: name, pos: start})
+		case c == '<' && l.looksLikeIRI():
+			end := strings.IndexByte(l.src[l.i:], '>')
+			l.emit(token{kind: tokIRI, text: l.src[l.i+1 : l.i+end], pos: start})
+			l.i += end + 1
+		case c == '"':
+			tok, err := l.literal()
+			if err != nil {
+				return nil, err
+			}
+			l.emit(tok)
+		case c == '_' && l.i+1 < len(l.src) && l.src[l.i+1] == ':':
+			l.i += 2
+			name := l.ident()
+			if name == "" {
+				return nil, fmt.Errorf("sparql: empty blank node label at %d", start)
+			}
+			l.emit(token{kind: tokBlank, text: name, pos: start})
+		case c == '{' || c == '}' || c == '(' || c == ')' || c == '.' || c == ';' || c == ',':
+			l.i++
+			l.emit(token{kind: tokPunct, text: string(c), pos: start})
+		case c == '*':
+			l.i++
+			l.emit(token{kind: tokStar, text: "*", pos: start})
+		case c == '=':
+			l.i++
+			l.emit(token{kind: tokPunct, text: "=", pos: start})
+		case c == '!':
+			if l.peekAt(1) == '=' {
+				l.i += 2
+				l.emit(token{kind: tokPunct, text: "!=", pos: start})
+			} else {
+				l.i++
+				l.emit(token{kind: tokPunct, text: "!", pos: start})
+			}
+		case c == '<' || c == '>':
+			if l.peekAt(1) == '=' {
+				l.i += 2
+				l.emit(token{kind: tokPunct, text: string(c) + "=", pos: start})
+			} else {
+				l.i++
+				l.emit(token{kind: tokPunct, text: string(c), pos: start})
+			}
+		case c == '&' && l.peekAt(1) == '&':
+			l.i += 2
+			l.emit(token{kind: tokPunct, text: "&&", pos: start})
+		case c == '|' && l.peekAt(1) == '|':
+			l.i += 2
+			l.emit(token{kind: tokPunct, text: "||", pos: start})
+		case c == '#':
+			for l.i < len(l.src) && l.src[l.i] != '\n' {
+				l.i++
+			}
+		case c >= '0' && c <= '9' || (c == '-' && l.peekAt(1) >= '0' && l.peekAt(1) <= '9'):
+			l.i++
+			for l.i < len(l.src) && (l.src[l.i] >= '0' && l.src[l.i] <= '9' || l.src[l.i] == '.') {
+				// A trailing '.' is a statement terminator, not part of the
+				// number, unless followed by a digit.
+				if l.src[l.i] == '.' && !(l.i+1 < len(l.src) && l.src[l.i+1] >= '0' && l.src[l.i+1] <= '9') {
+					break
+				}
+				l.i++
+			}
+			l.emit(token{kind: tokNumber, text: l.src[start:l.i], pos: start})
+		default:
+			word := l.identColon()
+			if word == "" {
+				return nil, fmt.Errorf("sparql: unexpected character %q at %d", c, start)
+			}
+			upper := strings.ToUpper(word)
+			switch {
+			case keywords[upper]:
+				l.emit(token{kind: tokKeyword, text: upper, pos: start})
+			case word == "a":
+				l.emit(token{kind: tokA, text: "a", pos: start})
+			case strings.Contains(word, ":"):
+				l.emit(token{kind: tokPName, text: word, pos: start})
+			case word == "true" || word == "false":
+				l.emit(token{kind: tokLiteral, text: word, litValue: word,
+					litType: "http://www.w3.org/2001/XMLSchema#boolean", pos: start})
+			default:
+				return nil, fmt.Errorf("sparql: unexpected identifier %q at %d", word, start)
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(t token) { l.toks = append(l.toks, t) }
+
+// looksLikeIRI disambiguates '<' between an IRI reference and the
+// less-than operator: it is an IRI only if a '>' follows before any
+// whitespace or quote.
+func (l *lexer) looksLikeIRI() bool {
+	for j := l.i + 1; j < len(l.src); j++ {
+		switch l.src[j] {
+		case '>':
+			return true
+		case ' ', '\t', '\n', '\r', '"', '<':
+			return false
+		}
+	}
+	return false
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.i+off < len(l.src) {
+		return l.src[l.i+off]
+	}
+	return 0
+}
+
+func (l *lexer) skipWS() {
+	for l.i < len(l.src) {
+		c := l.src[l.i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.i++
+			continue
+		}
+		break
+	}
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+// ident consumes a plain identifier (letters, digits, underscore, dash).
+func (l *lexer) ident() string {
+	start := l.i
+	for l.i < len(l.src) {
+		r := rune(l.src[l.i])
+		if !isIdentRune(r) {
+			break
+		}
+		l.i++
+	}
+	return l.src[start:l.i]
+}
+
+// identColon consumes an identifier that may contain at most one ':' (a
+// prefixed name). A leading ':' is allowed (default prefix). The local part
+// may contain '.' when followed by an identifier character.
+func (l *lexer) identColon() string {
+	start := l.i
+	sawColon := false
+	for l.i < len(l.src) {
+		c := l.src[l.i]
+		r := rune(c)
+		if isIdentRune(r) {
+			l.i++
+			continue
+		}
+		if c == ':' && !sawColon {
+			sawColon = true
+			l.i++
+			continue
+		}
+		if c == '.' && sawColon && l.i+1 < len(l.src) && isIdentRune(rune(l.src[l.i+1])) {
+			l.i++
+			continue
+		}
+		break
+	}
+	return l.src[start:l.i]
+}
+
+func (l *lexer) literal() (token, error) {
+	start := l.i
+	var sb strings.Builder
+	l.i++ // opening quote
+	for l.i < len(l.src) {
+		c := l.src[l.i]
+		if c == '"' {
+			l.i++
+			tok := token{kind: tokLiteral, pos: start}
+			// Optional language tag or datatype.
+			if l.i < len(l.src) && l.src[l.i] == '@' {
+				l.i++
+				tok.litLang = l.ident()
+			} else if strings.HasPrefix(l.src[l.i:], "^^<") {
+				l.i += 3
+				end := strings.IndexByte(l.src[l.i:], '>')
+				if end < 0 {
+					return token{}, fmt.Errorf("sparql: unterminated datatype IRI at %d", l.i)
+				}
+				tok.litType = l.src[l.i : l.i+end]
+				l.i += end + 1
+			}
+			tok.litValue = sb.String()
+			tok.text = tok.litValue
+			return tok, nil
+		}
+		if c == '\\' {
+			if l.i+1 >= len(l.src) {
+				return token{}, fmt.Errorf("sparql: dangling escape at %d", l.i)
+			}
+			l.i++
+			switch l.src[l.i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			default:
+				return token{}, fmt.Errorf("sparql: unknown escape \\%c at %d", l.src[l.i], l.i)
+			}
+			l.i++
+			continue
+		}
+		sb.WriteByte(c)
+		l.i++
+	}
+	return token{}, fmt.Errorf("sparql: unterminated literal at %d", start)
+}

@@ -1,0 +1,152 @@
+package sparql
+
+import (
+	"testing"
+)
+
+func lexOK(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func kinds(toks []token) []tokenKind {
+	out := make([]tokenKind, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.kind)
+	}
+	return out
+}
+
+func TestLexIRIVsLessThan(t *testing.T) {
+	// '<' starts an IRI only when a '>' follows without whitespace.
+	toks := lexOK(t, `FILTER (?a < 5 && ?b < ?c)`)
+	for _, tk := range toks {
+		if tk.kind == tokIRI {
+			t.Fatalf("comparison lexed as IRI: %v", tk)
+		}
+	}
+	toks2 := lexOK(t, `?a <http://x> ?b`)
+	if toks2[1].kind != tokIRI || toks2[1].text != "http://x" {
+		t.Fatalf("IRI not recognized: %v", toks2[1])
+	}
+	// Mixed on one line.
+	toks3 := lexOK(t, `?s <http://p> ?o . FILTER (?o <= 3)`)
+	sawIRI, sawLE := false, false
+	for _, tk := range toks3 {
+		if tk.kind == tokIRI {
+			sawIRI = true
+		}
+		if tk.kind == tokPunct && tk.text == "<=" {
+			sawLE = true
+		}
+	}
+	if !sawIRI || !sawLE {
+		t.Fatalf("mixed lexing failed: iri=%v le=%v", sawIRI, sawLE)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lexOK(t, `= != < <= > >= && || !`)
+	want := []string{"=", "!=", "<", "<=", ">", ">=", "&&", "||", "!"}
+	for i, w := range want {
+		if toks[i].kind != tokPunct || toks[i].text != w {
+			t.Errorf("token %d = %v, want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks := lexOK(t, `42 3.25 -7`)
+	for i, want := range []string{"42", "3.25", "-7"} {
+		if toks[i].kind != tokNumber || toks[i].text != want {
+			t.Errorf("number %d = %v, want %s", i, toks[i], want)
+		}
+	}
+	// A trailing dot is a statement terminator, not a decimal point.
+	toks2 := lexOK(t, `?x <p> 5 .`)
+	if toks2[2].kind != tokNumber || toks2[2].text != "5" {
+		t.Errorf("number before dot = %v", toks2[2])
+	}
+	if toks2[3].kind != tokPunct || toks2[3].text != "." {
+		t.Errorf("terminator = %v", toks2[3])
+	}
+}
+
+func TestLexLiteralForms(t *testing.T) {
+	toks := lexOK(t, `"plain" "tagged"@en "typed"^^<http://dt>`)
+	if toks[0].litValue != "plain" || toks[0].litLang != "" {
+		t.Errorf("plain = %+v", toks[0])
+	}
+	if toks[1].litLang != "en" {
+		t.Errorf("lang = %+v", toks[1])
+	}
+	if toks[2].litType != "http://dt" {
+		t.Errorf("typed = %+v", toks[2])
+	}
+}
+
+func TestLexPNameWithDots(t *testing.T) {
+	// Local names can contain interior dots (e.g. version-like names).
+	toks := lexOK(t, `ub:Course1.2 ?rest`)
+	if toks[0].kind != tokPName || toks[0].text != "ub:Course1.2" {
+		t.Fatalf("pname = %v", toks[0])
+	}
+	// A bare identifier without a colon is not a token.
+	if _, err := lex(`bareword`); err == nil {
+		t.Error("bare identifiers must be rejected")
+	}
+}
+
+func TestLexBooleans(t *testing.T) {
+	toks := lexOK(t, `true false`)
+	for i, want := range []string{"true", "false"} {
+		if toks[i].kind != tokLiteral || toks[i].litValue != want {
+			t.Errorf("boolean %d = %+v", i, toks[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		`"unterminated`,
+		`? <p> ?o`, // empty variable name
+		`"bad\qescape"`,
+		`@@@`,
+		`_: foo`, // empty blank label
+	}
+	for _, src := range bad {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexBlankNodes(t *testing.T) {
+	toks := lexOK(t, `_:b1 <p> _:b2`)
+	if toks[0].kind != tokBlank || toks[0].text != "b1" {
+		t.Errorf("blank = %v", toks[0])
+	}
+	if toks[2].kind != tokBlank || toks[2].text != "b2" {
+		t.Errorf("blank = %v", toks[2])
+	}
+}
+
+func TestLexEOFAlwaysLast(t *testing.T) {
+	for _, src := range []string{"", "  ", "# only a comment", "?x"} {
+		toks := lexOK(t, src)
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Errorf("lex(%q) must end with EOF: %v", src, kinds(toks))
+		}
+	}
+}
+
+func TestLexDefaultPrefix(t *testing.T) {
+	toks := lexOK(t, `:localName`)
+	if toks[0].kind != tokPName || toks[0].text != ":localName" {
+		t.Fatalf("default-prefix name = %v", toks[0])
+	}
+}

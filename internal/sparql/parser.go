@@ -1,0 +1,501 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// RDFType is the IRI that the 'a' keyword abbreviates.
+const RDFType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+// Parse parses a SELECT query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prefixes: map[string]string{}}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errf("trailing input %s", p.cur())
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks     []token
+	i        int
+	prefixes map[string]string
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+func (p *parser) atPunct(s string) bool {
+	return p.cur().kind == tokPunct && p.cur().text == s
+}
+
+func (p *parser) atKeyword(s string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == s
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.atPunct(s) {
+		return p.errf("expected %q, got %s", s, p.cur())
+	}
+	p.i++
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sparql: at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) query() (*Query, error) {
+	q := &Query{Prefixes: p.prefixes}
+	for p.atKeyword("PREFIX") {
+		p.i++
+		if !p.at(tokPName) {
+			return nil, p.errf("expected prefix name, got %s", p.cur())
+		}
+		name := p.next().text
+		if !strings.HasSuffix(name, ":") {
+			return nil, p.errf("prefix declaration %q must end with ':'", name)
+		}
+		if !p.at(tokIRI) {
+			return nil, p.errf("expected IRI after PREFIX %s", name)
+		}
+		p.prefixes[strings.TrimSuffix(name, ":")] = p.next().text
+	}
+	switch {
+	case p.atKeyword("ASK"):
+		p.i++
+		q.Ask = true
+		// WHERE is optional for ASK.
+		if p.atKeyword("WHERE") {
+			p.i++
+		}
+	case p.atKeyword("SELECT"):
+		p.i++
+		if p.atKeyword("DISTINCT") {
+			p.i++
+			q.Distinct = true
+		}
+		switch {
+		case p.at(tokStar):
+			p.i++
+		case p.at(tokVar):
+			for p.at(tokVar) {
+				q.Select = append(q.Select, Var(p.next().text))
+			}
+		default:
+			return nil, p.errf("expected variable list or *, got %s", p.cur())
+		}
+		if !p.atKeyword("WHERE") {
+			return nil, p.errf("expected WHERE, got %s", p.cur())
+		}
+		p.i++
+	default:
+		return nil, p.errf("expected SELECT or ASK, got %s", p.cur())
+	}
+	g, err := p.group()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = g
+	q.Limit, q.Offset = -1, -1
+	if q.Ask {
+		return q, nil
+	}
+	if err := p.solutionModifiers(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// solutionModifiers parses the optional ORDER BY, LIMIT and OFFSET tail.
+func (p *parser) solutionModifiers(q *Query) error {
+	if p.atKeyword("ORDER") {
+		p.i++
+		if !p.atKeyword("BY") {
+			return p.errf("expected BY after ORDER")
+		}
+		p.i++
+		for {
+			switch {
+			case p.at(tokVar):
+				q.OrderBy = append(q.OrderBy, OrderKey{Var: Var(p.next().text)})
+			case p.atKeyword("ASC"), p.atKeyword("DESC"):
+				desc := p.next().text == "DESC"
+				if err := p.expectPunct("("); err != nil {
+					return err
+				}
+				if !p.at(tokVar) {
+					return p.errf("ASC/DESC takes a variable")
+				}
+				q.OrderBy = append(q.OrderBy, OrderKey{Var: Var(p.next().text), Desc: desc})
+				if err := p.expectPunct(")"); err != nil {
+					return err
+				}
+			default:
+				if len(q.OrderBy) == 0 {
+					return p.errf("expected sort key after ORDER BY")
+				}
+				return p.numericModifiers(q)
+			}
+		}
+	}
+	return p.numericModifiers(q)
+}
+
+func (p *parser) numericModifiers(q *Query) error {
+	for {
+		switch {
+		case p.atKeyword("LIMIT"):
+			p.i++
+			n, err := p.nonNegative("LIMIT")
+			if err != nil {
+				return err
+			}
+			q.Limit = n
+		case p.atKeyword("OFFSET"):
+			p.i++
+			n, err := p.nonNegative("OFFSET")
+			if err != nil {
+				return err
+			}
+			q.Offset = n
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) nonNegative(kw string) (int, error) {
+	if !p.at(tokNumber) {
+		return 0, p.errf("%s takes a non-negative integer, got %s", kw, p.cur())
+	}
+	t := p.next()
+	n := 0
+	for _, c := range t.text {
+		if c < '0' || c > '9' {
+			return 0, p.errf("%s takes a non-negative integer, got %q", kw, t.text)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}
+
+// group parses "{ ... }".
+func (p *parser) group() (Group, error) {
+	var g Group
+	if err := p.expectPunct("{"); err != nil {
+		return g, err
+	}
+	for !p.atPunct("}") {
+		switch {
+		case p.at(tokEOF):
+			return g, p.errf("unterminated group")
+		case p.atKeyword("OPTIONAL"):
+			p.i++
+			sub, err := p.group()
+			if err != nil {
+				return g, err
+			}
+			g.Elements = append(g.Elements, Optional{Group: sub})
+		case p.atKeyword("FILTER"):
+			p.i++
+			e, err := p.filterExpr()
+			if err != nil {
+				return g, err
+			}
+			g.Elements = append(g.Elements, Filter{Expr: e})
+			// An optional '.' may follow a filter.
+			if p.atPunct(".") {
+				p.i++
+			}
+		case p.atPunct("{"):
+			// Sub-group, possibly the head of a UNION chain.
+			sub, err := p.group()
+			if err != nil {
+				return g, err
+			}
+			if p.atKeyword("UNION") {
+				alts := []Group{sub}
+				for p.atKeyword("UNION") {
+					p.i++
+					alt, err := p.group()
+					if err != nil {
+						return g, err
+					}
+					alts = append(alts, alt)
+				}
+				g.Elements = append(g.Elements, Union{Alternatives: alts})
+			} else {
+				g.Elements = append(g.Elements, SubGroup{Group: sub})
+			}
+			if p.atPunct(".") {
+				p.i++
+			}
+		default:
+			tb, err := p.triplesBlock()
+			if err != nil {
+				return g, err
+			}
+			g.Elements = append(g.Elements, tb)
+		}
+	}
+	p.i++ // consume '}'
+	return g, nil
+}
+
+// triplesBlock parses consecutive triple patterns, honouring the ';' and
+// ',' shorthand.
+func (p *parser) triplesBlock() (TriplesBlock, error) {
+	var tb TriplesBlock
+	for {
+		subj, ok, err := p.node()
+		if err != nil {
+			return tb, err
+		}
+		if !ok {
+			break
+		}
+		for {
+			pred, ok, err := p.nodeAllowA()
+			if err != nil {
+				return tb, err
+			}
+			if !ok {
+				return tb, p.errf("expected predicate, got %s", p.cur())
+			}
+			for {
+				obj, ok, err := p.node()
+				if err != nil {
+					return tb, err
+				}
+				if !ok {
+					return tb, p.errf("expected object, got %s", p.cur())
+				}
+				tb.Patterns = append(tb.Patterns, TriplePattern{S: subj, P: pred, O: obj})
+				if p.atPunct(",") {
+					p.i++
+					continue
+				}
+				break
+			}
+			if p.atPunct(";") {
+				p.i++
+				// A dangling ';' before '.' or '}' is tolerated.
+				if p.atPunct(".") || p.atPunct("}") {
+					break
+				}
+				continue
+			}
+			break
+		}
+		if p.atPunct(".") {
+			p.i++
+			continue
+		}
+		break
+	}
+	if len(tb.Patterns) == 0 {
+		return tb, p.errf("expected triple pattern, got %s", p.cur())
+	}
+	return tb, nil
+}
+
+// node parses a term or variable. ok=false (with nil error) means the
+// current token cannot start a node.
+func (p *parser) node() (Node, bool, error) {
+	switch p.cur().kind {
+	case tokVar:
+		return V(p.next().text), true, nil
+	case tokIRI:
+		return IRINode(p.next().text), true, nil
+	case tokPName:
+		iri, err := p.expandPName(p.cur().text)
+		if err != nil {
+			return Node{}, false, err
+		}
+		p.i++
+		return IRINode(iri), true, nil
+	case tokBlank:
+		return TermNode(rdf.NewBlank(p.next().text)), true, nil
+	case tokLiteral:
+		t := p.next()
+		term := rdf.Term{Kind: rdf.Literal, Value: t.litValue, Lang: t.litLang, Datatype: t.litType}
+		return TermNode(term), true, nil
+	case tokNumber:
+		t := p.next()
+		dt := "http://www.w3.org/2001/XMLSchema#integer"
+		if strings.Contains(t.text, ".") {
+			dt = "http://www.w3.org/2001/XMLSchema#decimal"
+		}
+		return TermNode(rdf.NewTypedLiteral(t.text, dt)), true, nil
+	}
+	return Node{}, false, nil
+}
+
+// nodeAllowA is node() plus the 'a' keyword.
+func (p *parser) nodeAllowA() (Node, bool, error) {
+	if p.at(tokA) {
+		p.i++
+		return IRINode(RDFType), true, nil
+	}
+	return p.node()
+}
+
+func (p *parser) expandPName(pname string) (string, error) {
+	colon := strings.IndexByte(pname, ':')
+	if colon < 0 {
+		return "", p.errf("malformed prefixed name %q", pname)
+	}
+	prefix, local := pname[:colon], pname[colon+1:]
+	base, ok := p.prefixes[prefix]
+	if !ok {
+		return "", p.errf("undeclared prefix %q", prefix)
+	}
+	return base + local, nil
+}
+
+// filterExpr parses "( expr )" or a bare builtin call.
+func (p *parser) filterExpr() (Expr, error) {
+	if p.atPunct("(") {
+		p.i++
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.primaryExpr()
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("||") {
+		p.i++
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Logical{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("&&") {
+		p.i++
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Logical{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokPunct {
+		switch p.cur().text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			op := CmpOp(p.next().text)
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return Cmp{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.atPunct("!") {
+		p.i++
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: e}, nil
+	}
+	return p.primaryExpr()
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	switch p.cur().kind {
+	case tokPunct:
+		if p.atPunct("(") {
+			p.i++
+			e, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokKeyword:
+		if p.atKeyword("BOUND") {
+			p.i++
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			if !p.at(tokVar) {
+				return nil, p.errf("bound() takes a variable, got %s", p.cur())
+			}
+			v := Var(p.next().text)
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return Bound{V: v}, nil
+		}
+	case tokVar:
+		return ExprVar{V: Var(p.next().text)}, nil
+	case tokIRI:
+		return ExprTerm{Term: rdf.NewIRI(p.next().text)}, nil
+	case tokPName:
+		iri, err := p.expandPName(p.cur().text)
+		if err != nil {
+			return nil, err
+		}
+		p.i++
+		return ExprTerm{Term: rdf.NewIRI(iri)}, nil
+	case tokLiteral:
+		t := p.next()
+		return ExprTerm{Term: rdf.Term{Kind: rdf.Literal, Value: t.litValue, Lang: t.litLang, Datatype: t.litType}}, nil
+	case tokNumber:
+		t := p.next()
+		dt := "http://www.w3.org/2001/XMLSchema#integer"
+		if strings.Contains(t.text, ".") {
+			dt = "http://www.w3.org/2001/XMLSchema#decimal"
+		}
+		return ExprTerm{Term: rdf.NewTypedLiteral(t.text, dt)}, nil
+	}
+	return nil, p.errf("unexpected token %s in expression", p.cur())
+}

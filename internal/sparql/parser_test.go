@@ -1,0 +1,338 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseQ1Actors(t *testing.T) {
+	// Q1 from the paper's introduction.
+	q := mustParse(t, `
+		PREFIX : <http://ex.org/>
+		SELECT ?actor ?name ?addr ?email ?tele WHERE {
+			?actor :name ?name .
+			?actor :address ?addr .
+			OPTIONAL {
+				?actor :email ?email .
+				?actor :telephone ?tele . }}`)
+	if len(q.Select) != 5 || q.Select[0] != "actor" {
+		t.Fatalf("Select = %v", q.Select)
+	}
+	if len(q.Where.Elements) != 2 {
+		t.Fatalf("Where has %d elements, want 2", len(q.Where.Elements))
+	}
+	tb, ok := q.Where.Elements[0].(TriplesBlock)
+	if !ok || len(tb.Patterns) != 2 {
+		t.Fatalf("first element = %#v", q.Where.Elements[0])
+	}
+	if tb.Patterns[0].P.Term.Value != "http://ex.org/name" {
+		t.Errorf("prefix expansion gave %s", tb.Patterns[0].P.Term.Value)
+	}
+	opt, ok := q.Where.Elements[1].(Optional)
+	if !ok {
+		t.Fatalf("second element = %#v", q.Where.Elements[1])
+	}
+	if inner, ok := opt.Group.Elements[0].(TriplesBlock); !ok || len(inner.Patterns) != 2 {
+		t.Fatalf("optional inner = %#v", opt.Group.Elements[0])
+	}
+}
+
+func TestParseQ2Nested(t *testing.T) {
+	// Q2 from the paper: BGP with a nested OPT containing a 2-pattern BGP.
+	q := mustParse(t, `
+		PREFIX : <http://ex.org/>
+		SELECT ?friend ?sitcom WHERE {
+			:Jerry :hasFriend ?friend .
+			OPTIONAL {
+				?friend :actedIn ?sitcom .
+				?sitcom :location :NewYorkCity . }}`)
+	tb := q.Where.Elements[0].(TriplesBlock)
+	if tb.Patterns[0].S.IsVar || tb.Patterns[0].S.Term.Value != "http://ex.org/Jerry" {
+		t.Errorf("subject = %v", tb.Patterns[0].S)
+	}
+	if !tb.Patterns[0].O.IsVar || tb.Patterns[0].O.Var != "friend" {
+		t.Errorf("object = %v", tb.Patterns[0].O)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE { ?s <http://p> ?o . }`)
+	if !q.SelectAll() {
+		t.Error("SELECT * must report SelectAll")
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	q := mustParse(t, `SELECT DISTINCT ?s WHERE { ?s <http://p> ?o . }`)
+	if !q.Distinct || len(q.Select) != 1 {
+		t.Error("DISTINCT not parsed")
+	}
+}
+
+func TestParseAKeyword(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE { ?x a <http://ex.org/Person> . }`)
+	tb := q.Where.Elements[0].(TriplesBlock)
+	if tb.Patterns[0].P.Term.Value != RDFType {
+		t.Errorf("'a' expanded to %s", tb.Patterns[0].P.Term.Value)
+	}
+}
+
+func TestParsePredicateObjectLists(t *testing.T) {
+	q := mustParse(t, `
+		PREFIX ex: <http://ex.org/>
+		SELECT * WHERE { ?x ex:p1 ?a ; ex:p2 ?b , ?c . }`)
+	tb := q.Where.Elements[0].(TriplesBlock)
+	if len(tb.Patterns) != 3 {
+		t.Fatalf("got %d patterns, want 3", len(tb.Patterns))
+	}
+	for _, tp := range tb.Patterns {
+		if !tp.S.IsVar || tp.S.Var != "x" {
+			t.Errorf("shared subject lost: %s", tp)
+		}
+	}
+	if tb.Patterns[1].P.Term.Value != "http://ex.org/p2" || tb.Patterns[2].P.Term.Value != "http://ex.org/p2" {
+		t.Error("';' shorthand predicate wrong")
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	q := mustParse(t, `
+		PREFIX : <http://ex.org/>
+		SELECT * WHERE {
+			{ ?x :p ?y . } UNION { ?x :q ?y . } UNION { ?x :r ?y . }
+		}`)
+	u, ok := q.Where.Elements[0].(Union)
+	if !ok || len(u.Alternatives) != 3 {
+		t.Fatalf("union = %#v", q.Where.Elements[0])
+	}
+}
+
+func TestParseSubGroup(t *testing.T) {
+	q := mustParse(t, `
+		PREFIX : <http://ex.org/>
+		SELECT * WHERE {
+			{ ?x :p ?y . OPTIONAL { ?y :q ?z . } }
+			{ ?x :r ?w . }
+		}`)
+	if len(q.Where.Elements) != 2 {
+		t.Fatalf("want 2 subgroups, got %d", len(q.Where.Elements))
+	}
+	for _, el := range q.Where.Elements {
+		if _, ok := el.(SubGroup); !ok {
+			t.Errorf("element %#v is not a SubGroup", el)
+		}
+	}
+}
+
+func TestParseFilters(t *testing.T) {
+	q := mustParse(t, `
+		PREFIX : <http://ex.org/>
+		SELECT * WHERE {
+			?x :age ?a .
+			FILTER (?a >= 18 && ?a < 65)
+			FILTER (bound(?x) || ?a != 0)
+		}`)
+	if len(q.Where.Elements) != 3 {
+		t.Fatalf("want 3 elements, got %d", len(q.Where.Elements))
+	}
+	f1 := q.Where.Elements[1].(Filter)
+	lg, ok := f1.Expr.(Logical)
+	if !ok || lg.Op != OpAnd {
+		t.Fatalf("filter expr = %#v", f1.Expr)
+	}
+	if cmp, ok := lg.L.(Cmp); !ok || cmp.Op != OpGe {
+		t.Errorf("left cmp = %#v", lg.L)
+	}
+	f2 := q.Where.Elements[2].(Filter)
+	vars := ExprVars(f2.Expr)
+	if !vars["x"] || !vars["a"] {
+		t.Errorf("filter vars = %v", vars)
+	}
+}
+
+func TestParseFilterEqualsIRI(t *testing.T) {
+	q := mustParse(t, `
+		PREFIX : <http://ex.org/>
+		SELECT * WHERE { ?x :knows ?y . FILTER (?y = :Alice) }`)
+	f := q.Where.Elements[1].(Filter)
+	cmp := f.Expr.(Cmp)
+	if term, ok := cmp.R.(ExprTerm); !ok || term.Term.Value != "http://ex.org/Alice" {
+		t.Errorf("rhs = %#v", cmp.R)
+	}
+}
+
+func TestParseLiteralForms(t *testing.T) {
+	q := mustParse(t, `
+		PREFIX : <http://ex.org/>
+		SELECT * WHERE {
+			?x :name "Alice" .
+			?x :greet "hi"@en .
+			?x :age "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+			?x :score 3.5 .
+			?x :modified "2008-01-15" .
+		}`)
+	tb := q.Where.Elements[0].(TriplesBlock)
+	if tb.Patterns[0].O.Term != rdf.NewLiteral("Alice") {
+		t.Errorf("plain literal = %v", tb.Patterns[0].O.Term)
+	}
+	if tb.Patterns[1].O.Term.Lang != "en" {
+		t.Errorf("lang literal = %v", tb.Patterns[1].O.Term)
+	}
+	if tb.Patterns[2].O.Term.Datatype == "" {
+		t.Errorf("typed literal = %v", tb.Patterns[2].O.Term)
+	}
+	if tb.Patterns[3].O.Term.Datatype != "http://www.w3.org/2001/XMLSchema#decimal" {
+		t.Errorf("decimal literal = %v", tb.Patterns[3].O.Term)
+	}
+}
+
+func TestParseVariablePredicate(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE { <http://s> ?p ?o . }`)
+	tb := q.Where.Elements[0].(TriplesBlock)
+	if !tb.Patterns[0].P.IsVar {
+		t.Error("variable predicate lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct{ src, hint string }{
+		{`WHERE { ?s ?p ?o }`, "missing SELECT"},
+		{`SELECT ?s { ?s ?p ?o }`, "missing WHERE"},
+		{`SELECT ?s WHERE { ?s ?p }`, "incomplete triple"},
+		{`SELECT ?s WHERE { ?s ?p ?o`, "unterminated group"},
+		{`SELECT ?s WHERE { ?s ex:p ?o }`, "undeclared prefix"},
+		{`SELECT WHERE { ?s ?p ?o }`, "no projection"},
+		{`SELECT ?s WHERE { FILTER ( }`, "broken filter"},
+		{`SELECT ?s WHERE { OPTIONAL ?x }`, "OPTIONAL without group"},
+	}
+	for _, c := range bad {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("expected error for %s: %q", c.hint, c.src)
+		}
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	src := `
+		PREFIX : <http://ex.org/>
+		SELECT * WHERE {
+			?st :teachingAssistantOf ?course .
+			OPTIONAL { ?st :takesCourse ?course2 . ?pub1 :publicationAuthor ?st . }
+			{ ?prof :teacherOf ?course . ?st :advisor ?prof .
+			  OPTIONAL { ?prof :researchInterest ?resint . } }
+		}`
+	q1 := mustParse(t, src)
+	// The String rendering must itself parse to the same shape.
+	q2 := mustParse(t, q1.String())
+	if q1.String() != q2.String() {
+		t.Errorf("round trip differs:\n%s\n%s", q1.String(), q2.String())
+	}
+}
+
+func TestGroupVars(t *testing.T) {
+	q := mustParse(t, `
+		PREFIX : <http://ex.org/>
+		SELECT * WHERE {
+			?a :p ?b .
+			OPTIONAL { ?b :q ?c . }
+			{ ?a :r ?d . } UNION { ?a :s ?e . }
+			FILTER (?zz > 1)
+		}`)
+	vars := GroupVars(q.Where)
+	for _, v := range []Var{"a", "b", "c", "d", "e"} {
+		if !vars[v] {
+			t.Errorf("missing var %s", v)
+		}
+	}
+	if vars["zz"] {
+		t.Error("filter-only vars must not count as binding vars")
+	}
+}
+
+func TestParseCommentsIgnored(t *testing.T) {
+	q := mustParse(t, `
+		# leading comment
+		SELECT * WHERE {
+			?s <http://p> ?o . # trailing comment
+		}`)
+	if len(q.Where.Elements) != 1 {
+		t.Error("comments broke parsing")
+	}
+}
+
+func TestParseDollarVariables(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE { $s <http://p> $o . }`)
+	tb := q.Where.Elements[0].(TriplesBlock)
+	if !tb.Patterns[0].S.IsVar || tb.Patterns[0].S.Var != "s" {
+		t.Error("$-variables must parse like ?-variables")
+	}
+}
+
+func TestParseNumericObjects(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE { ?x <http://cap> 50000 . }`)
+	tb := q.Where.Elements[0].(TriplesBlock)
+	if tb.Patterns[0].O.Term.Value != "50000" {
+		t.Errorf("numeric object = %v", tb.Patterns[0].O.Term)
+	}
+}
+
+func TestParseLUBMQ4Shape(t *testing.T) {
+	// The shape of LUBM Q4 from Appendix E.1.
+	q := mustParse(t, `
+		PREFIX ub: <http://lubm.org/>
+		SELECT * WHERE {
+			?x ub:worksFor <http://www.Department9.University9999.edu> .
+			?x a ub:FullProfessor .
+			OPTIONAL { ?y ub:advisor ?x . ?x ub:teacherOf ?z . ?y ub:takesCourse ?z . }
+		}`)
+	if len(q.Where.Elements) != 2 {
+		t.Fatalf("elements = %d", len(q.Where.Elements))
+	}
+	opt := q.Where.Elements[1].(Optional)
+	inner := opt.Group.Elements[0].(TriplesBlock)
+	if len(inner.Patterns) != 3 {
+		t.Errorf("optional has %d patterns, want 3", len(inner.Patterns))
+	}
+}
+
+func TestParseKeywordCaseInsensitive(t *testing.T) {
+	q := mustParse(t, `select ?s where { ?s <http://p> ?o . optional { ?o <http://q> ?z . } }`)
+	if len(q.Where.Elements) != 2 {
+		t.Error("lower-case keywords must work")
+	}
+	if _, ok := q.Where.Elements[1].(Optional); !ok {
+		t.Error("lower-case optional not recognized")
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE { ?s <http://p> "a\"b\\c\nd" . }`)
+	tb := q.Where.Elements[0].(TriplesBlock)
+	if got := tb.Patterns[0].O.Term.Value; got != "a\"b\\c\nd" {
+		t.Errorf("escaped literal = %q", got)
+	}
+}
+
+func TestParseRejectsGarbageAfterQuery(t *testing.T) {
+	if _, err := Parse(`SELECT * WHERE { ?s <http://p> ?o . } garbage`); err == nil {
+		t.Error("trailing garbage must be rejected")
+	}
+}
+
+func TestParserErrMentionsOffset(t *testing.T) {
+	_, err := Parse(`SELECT ?s WHERE { ?s ?p }`)
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error should mention offset: %v", err)
+	}
+}

@@ -1,0 +1,311 @@
+// Package lbr is Left Bit Right: a SPARQL query processor for basic graph
+// patterns with nested OPTIONAL patterns (left-outer joins), implementing
+// the system of Atre, "Left Bit Right: For SPARQL Join Queries with
+// OPTIONAL Patterns (Left-outer-joins)" (SIGMOD 2015, arXiv:1304.7799).
+//
+// The engine indexes an RDF graph as compressed BitMats (Section 4 of the
+// paper), prunes the triples matching each triple pattern with semi-joins
+// and clustered-semi-joins scheduled over the graph of join variables
+// (Sections 3.2/3.3), and produces results with a multi-way pipelined join
+// (Section 5.1), avoiding the nullification and best-match operators
+// whenever the query's structure permits (Lemmas 3.3 and 3.4).
+//
+// Typical use:
+//
+//	store := lbr.NewStore()
+//	store.Add(lbr.TripleIRI("s", "p", "o"))
+//	if err := store.Build(); err != nil { ... }
+//	res, err := store.Query(`SELECT * WHERE { ?s <p> ?o . }`)
+package lbr
+
+import (
+	"context"
+	"io"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/bitmat"
+	"repro/internal/engine"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Term is an RDF term (IRI, literal, or blank node). The zero Term is the
+// NULL produced by OPTIONAL patterns.
+type Term = rdf.Term
+
+// Triple is one RDF statement.
+type Triple = rdf.Triple
+
+// Stats carries the per-query evaluation metrics of Section 6.1: init,
+// prune and join times, triple counts before and after pruning, and
+// whether best-match was needed.
+type Stats = engine.Stats
+
+// IRI builds an IRI term.
+func IRI(iri string) Term { return rdf.NewIRI(iri) }
+
+// Literal builds a plain literal term.
+func Literal(v string) Term { return rdf.NewLiteral(v) }
+
+// TripleIRI builds a triple of three IRIs.
+func TripleIRI(s, p, o string) Triple { return rdf.T(s, p, o) }
+
+// TripleLit builds a triple with a literal object.
+func TripleLit(s, p, lit string) Triple { return rdf.TL(s, p, lit) }
+
+// Options tune the engine; the zero value is the paper's configuration.
+// The Disable* switches exist for the ablation benchmarks.
+type Options struct {
+	DisablePruning       bool
+	DisableActivePruning bool
+	NaiveJvarOrder       bool
+}
+
+// Store holds an RDF graph and, after Build, its BitMat index.
+type Store struct {
+	graph *rdf.Graph
+	index *bitmat.Index
+	eng   *engine.Engine
+	opts  Options
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return NewStoreWithOptions(Options{}) }
+
+// NewStoreWithOptions returns an empty store with engine options.
+func NewStoreWithOptions(opts Options) *Store {
+	return &Store{graph: rdf.NewGraph(), opts: opts}
+}
+
+// Add inserts one triple. It reports whether the triple was new. Adding
+// after Build invalidates the index; call Build again before querying.
+func (s *Store) Add(t Triple) bool {
+	added := s.graph.Add(t)
+	if added {
+		s.index, s.eng = nil, nil
+	}
+	return added
+}
+
+// AddAll inserts triples and returns how many were new.
+func (s *Store) AddAll(ts []Triple) int {
+	n := s.graph.AddAll(ts)
+	if n > 0 {
+		s.index, s.eng = nil, nil
+	}
+	return n
+}
+
+// LoadNTriples reads N-Triples into the store, returning the number of
+// statements added.
+func (s *Store) LoadNTriples(r io.Reader) (int, error) {
+	g, err := rdf.ReadNTriples(r)
+	if err != nil {
+		return 0, err
+	}
+	return s.AddAll(g.Triples()), nil
+}
+
+// LoadGraph bulk-adds another graph's triples.
+func (s *Store) LoadGraph(g *rdf.Graph) int { return s.AddAll(g.Triples()) }
+
+// Len reports the number of distinct triples.
+func (s *Store) Len() int { return s.graph.Len() }
+
+// GraphStats summarizes the data the way Table 6.1 does.
+type GraphStats = rdf.Stats
+
+// Stats computes dataset characteristics.
+func (s *Store) Stats() GraphStats { return s.graph.Stats() }
+
+// Build constructs the dictionary and the BitMat index. It must be called
+// before Query, and again after any mutation.
+func (s *Store) Build() error {
+	idx, err := bitmat.Build(s.graph)
+	if err != nil {
+		return err
+	}
+	s.index = idx
+	s.eng = engine.New(idx, engine.Options{
+		DisablePruning:       s.opts.DisablePruning,
+		DisableActivePruning: s.opts.DisableActivePruning,
+		NaiveJvarOrder:       s.opts.NaiveJvarOrder,
+	})
+	return nil
+}
+
+// Built reports whether the index is current.
+func (s *Store) Built() bool { return s.eng != nil }
+
+// Result is a materialized query result. Columns align with Vars; a zero
+// Term is a NULL.
+type Result struct {
+	Vars  []string
+	rows  []engine.Row
+	Stats Stats
+}
+
+// Len reports the number of result rows.
+func (r *Result) Len() int { return len(r.rows) }
+
+// Row returns row i.
+func (r *Result) Row(i int) []Term { return r.rows[i] }
+
+// Iterate calls fn for each row as a variable-to-term map (NULL columns
+// are omitted). Iteration stops early if fn returns false.
+func (r *Result) Iterate(fn func(map[string]Term) bool) {
+	for _, row := range r.rows {
+		m := make(map[string]Term, len(r.Vars))
+		for i, v := range r.Vars {
+			if !row[i].IsZero() {
+				m[v] = row[i]
+			}
+		}
+		if !fn(m) {
+			return
+		}
+	}
+}
+
+// String renders the result as a readable table.
+func (r *Result) String() string {
+	var sb strings.Builder
+	for i, v := range r.Vars {
+		if i > 0 {
+			sb.WriteByte('\t')
+		}
+		sb.WriteString("?" + v)
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.rows {
+		for i, t := range row {
+			if i > 0 {
+				sb.WriteByte('\t')
+			}
+			if t.IsZero() {
+				sb.WriteString("NULL")
+			} else {
+				sb.WriteString(t.String())
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Query parses and executes a SPARQL query.
+func (s *Store) Query(src string) (*Result, error) {
+	return s.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query with cancellation: a done context aborts the
+// multi-way join and returns ctx.Err().
+func (s *Store) QueryContext(ctx context.Context, src string) (*Result, error) {
+	if s.eng == nil {
+		if err := s.Build(); err != nil {
+			return nil, err
+		}
+	}
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.eng.ExecuteContext(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	vars := make([]string, len(res.Vars))
+	for i, v := range res.Vars {
+		vars[i] = string(v)
+	}
+	return &Result{Vars: vars, rows: res.Rows, Stats: res.Stats}, nil
+}
+
+// Ask evaluates an ASK query (or the WHERE pattern of any query) as an
+// existence check, stopping at the first solution.
+func (s *Store) Ask(src string) (bool, error) {
+	if s.eng == nil {
+		if err := s.Build(); err != nil {
+			return false, err
+		}
+	}
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return false, err
+	}
+	return s.eng.Ask(q)
+}
+
+// Explain returns a plan summary: the serialized tree, the GoSN edges, and
+// the classification flags of each union-free branch.
+func (s *Store) Explain(src string) (string, error) {
+	if s.eng == nil {
+		if err := s.Build(); err != nil {
+			return "", err
+		}
+	}
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return s.eng.Describe(q)
+}
+
+// BaselinePolicy selects a comparator engine for QueryBaseline.
+type BaselinePolicy int
+
+const (
+	// MonetDBLike evaluates the query tree as written (bulk column-store
+	// style).
+	MonetDBLike BaselinePolicy = iota
+	// VirtuosoLike reorders patterns by selectivity and pushes selective
+	// bindings sideways.
+	VirtuosoLike
+)
+
+// QueryBaseline executes the query on the relational comparator engine,
+// for benchmarking against LBR.
+func (s *Store) QueryBaseline(src string, policy BaselinePolicy) (*Result, error) {
+	if s.index == nil {
+		if err := s.Build(); err != nil {
+			return nil, err
+		}
+	}
+	pol := baseline.OriginalOrder
+	if policy == VirtuosoLike {
+		pol = baseline.SelectiveMaster
+	}
+	res, err := baseline.New(s.index, pol).ExecuteString(src)
+	if err != nil {
+		return nil, err
+	}
+	vars := make([]string, len(res.Vars))
+	for i, v := range res.Vars {
+		vars[i] = string(v)
+	}
+	rows := make([]engine.Row, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = engine.Row(r)
+	}
+	return &Result{Vars: vars, rows: rows}, nil
+}
+
+// IndexSizes reports the on-disk footprint of the full BitMat family under
+// the hybrid codec and under pure RLE (the Section 4 comparison).
+func (s *Store) IndexSizes() (bitmat.SizeReport, error) {
+	if s.index == nil {
+		if err := s.Build(); err != nil {
+			return bitmat.SizeReport{}, err
+		}
+	}
+	return s.index.Sizes(), nil
+}
+
+// WriteNTriples serializes the store's graph.
+func (s *Store) WriteNTriples(w io.Writer) error {
+	return rdf.WriteNTriples(w, s.graph)
+}
+
+// Version identifies the library release.
+const Version = "1.0.0"

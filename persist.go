@@ -1,0 +1,109 @@
+package lbr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/bitmat"
+	"repro/internal/engine"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Store snapshot format: a small header, the dictionary, then the index
+// pair tables. The raw triples are not stored; the index is the canonical
+// representation and the graph can be reconstructed from it on demand.
+var storeMagic = []byte("LBRSTOR1")
+
+// SaveIndex writes the built dictionary and index so a later process can
+// query without re-parsing N-Triples. Build is invoked first if needed.
+func (s *Store) SaveIndex(w io.Writer) error {
+	if s.index == nil {
+		if err := s.Build(); err != nil {
+			return err
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(storeMagic); err != nil {
+		return err
+	}
+	if _, err := s.index.Dictionary().WriteTo(bw); err != nil {
+		return err
+	}
+	if _, err := s.index.WriteTo(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// OpenIndex loads a snapshot written by SaveIndex into a queryable store.
+// The in-memory graph is reconstructed from the index so that Stats and
+// WriteNTriples keep working; mutation after loading re-indexes as usual.
+func OpenIndex(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(storeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != string(storeMagic) {
+		return nil, fmt.Errorf("lbr: bad store magic %q", magic)
+	}
+	dict, err := rdf.ReadDictionary(br)
+	if err != nil {
+		return nil, fmt.Errorf("lbr: dictionary: %w", err)
+	}
+	idx, err := bitmat.ReadIndex(br, dict)
+	if err != nil {
+		return nil, fmt.Errorf("lbr: index: %w", err)
+	}
+	st := NewStore()
+	// Rebuild the graph from the per-predicate tables.
+	for p := 1; p <= dict.NumPredicates(); p++ {
+		pred, err := dict.Predicate(rdf.ID(p))
+		if err != nil {
+			return nil, err
+		}
+		for _, pair := range idx.SOPairs(rdf.ID(p)) {
+			sTerm, err := dict.Subject(rdf.ID(pair.A))
+			if err != nil {
+				return nil, err
+			}
+			oTerm, err := dict.Object(rdf.ID(pair.B))
+			if err != nil {
+				return nil, err
+			}
+			st.graph.Add(rdf.Triple{S: sTerm, P: pred, O: oTerm})
+		}
+	}
+	st.index = idx
+	st.eng = engine.New(idx, engine.Options{})
+	return st, nil
+}
+
+// QueryStream executes a query and calls fn for every result row as it is
+// produced by the multi-way pipelined join, without materializing the
+// result set. fn returning false stops the enumeration early. Queries that
+// require best-match (cyclic with multi-jvar slaves) cannot stream — their
+// output needs a final subsumption pass — and fall back to materializing
+// internally before replaying rows to fn.
+func (s *Store) QueryStream(src string, fn func(map[string]Term) bool) error {
+	if s.eng == nil {
+		if err := s.Build(); err != nil {
+			return err
+		}
+	}
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return err
+	}
+	return s.eng.ExecuteStream(q, func(vars []sparql.Var, row engine.Row) bool {
+		m := make(map[string]Term, len(vars))
+		for i, v := range vars {
+			if !row[i].IsZero() {
+				m[string(v)] = row[i]
+			}
+		}
+		return fn(m)
+	})
+}

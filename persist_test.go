@@ -1,0 +1,155 @@
+package lbr
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveOpenIndexRoundTrip(t *testing.T) {
+	s := movieStore(t)
+	var buf bytes.Buffer
+	if err := s.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != s.Len() {
+		t.Fatalf("reloaded store has %d triples, want %d", s2.Len(), s.Len())
+	}
+	res, err := s2.Query(movieQ2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("reloaded store gives %d results, want 2", res.Len())
+	}
+	// Stats still work after reconstruction.
+	if st := s2.Stats(); st.Predicates != 3 {
+		t.Errorf("reloaded stats = %+v", st)
+	}
+}
+
+func TestSaveIndexAutoBuilds(t *testing.T) {
+	s := NewStore()
+	s.Add(TripleIRI("a", "p", "b"))
+	var buf bytes.Buffer
+	if err := s.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("nothing written")
+	}
+}
+
+func TestOpenIndexRejectsGarbage(t *testing.T) {
+	if _, err := OpenIndex(bytes.NewReader([]byte("not a store"))); err == nil {
+		t.Error("garbage input must be rejected")
+	}
+	// A truncated valid prefix must also fail cleanly.
+	s := movieStore(t)
+	var buf bytes.Buffer
+	if err := s.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenIndex(bytes.NewReader(buf.Bytes()[:buf.Len()/3])); err == nil {
+		t.Error("truncated snapshot must be rejected")
+	}
+}
+
+func TestQueryStream(t *testing.T) {
+	s := movieStore(t)
+	var rows []map[string]Term
+	err := s.QueryStream(movieQ2, func(m map[string]Term) bool {
+		rows = append(rows, m)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("streamed %d rows, want 2", len(rows))
+	}
+	// NULL columns are omitted from the map.
+	nullSeen := false
+	for _, m := range rows {
+		if _, ok := m["sitcom"]; !ok {
+			nullSeen = true
+			if m["friend"].Value != "Larry" {
+				t.Errorf("unexpected NULL row: %v", m)
+			}
+		}
+	}
+	if !nullSeen {
+		t.Error("expected one row with an omitted NULL column")
+	}
+}
+
+func TestQueryStreamEarlyStop(t *testing.T) {
+	s := movieStore(t)
+	n := 0
+	err := s.QueryStream(`SELECT * WHERE { ?a <actedIn> ?b . }`, func(map[string]Term) bool {
+		n++
+		return false // stop after the first row
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("early stop delivered %d rows, want 1", n)
+	}
+}
+
+func TestQueryStreamBestMatchFallback(t *testing.T) {
+	// A cyclic query with a multi-jvar slave needs best-match, so the
+	// stream falls back to materialize-then-replay; results must match the
+	// materialized Query path.
+	s := NewStore()
+	s.Add(TripleIRI("a1", "p", "b1"))
+	s.Add(TripleIRI("b1", "q", "c1"))
+	s.Add(TripleIRI("c1", "r", "a1"))
+	s.Add(TripleIRI("a1", "s", "b1"))
+	const q = `SELECT * WHERE {
+		?a <p> ?b . ?b <q> ?c . ?c <r> ?a .
+		OPTIONAL { ?a <s> ?b . } }`
+	res, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed int
+	if err := s.QueryStream(q, func(map[string]Term) bool {
+		streamed++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if streamed != res.Len() {
+		t.Fatalf("streamed %d, materialized %d", streamed, res.Len())
+	}
+}
+
+func TestQueryStreamUnionFallback(t *testing.T) {
+	s := movieStore(t)
+	var n int
+	err := s.QueryStream(`
+		SELECT * WHERE {
+			{ <Jerry> <hasFriend> ?x . } UNION { ?x <location> <NewYorkCity> . } }`,
+		func(map[string]Term) bool { n++; return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("union stream delivered %d rows, want 3", n)
+	}
+}
+
+func TestQueryStreamEmptyMaster(t *testing.T) {
+	s := movieStore(t)
+	n := 0
+	err := s.QueryStream(`SELECT * WHERE { <Nobody> <hasFriend> ?x . }`,
+		func(map[string]Term) bool { n++; return true })
+	if err != nil || n != 0 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+}
