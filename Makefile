@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt-check verify bench bench-parallel
+
+# The default target is the full tier-1 verification, race detector included.
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# verify is the one-command gate: build, static checks, and the test suite
+# under the race detector.
+verify: build vet fmt-check race
+
+# bench regenerates the paper's evaluation tables at the default scales.
+bench:
+	$(GO) run ./cmd/lbrbench -table all
+
+# bench-parallel refreshes the checked-in sequential-vs-parallel baseline.
+bench-parallel:
+	$(GO) run ./cmd/lbrbench -table parallel -lubm-univ 32 -runs 15 -workers 0 -json BENCH_parallel.json

@@ -31,6 +31,7 @@ func main() {
 		timing    = flag.Bool("timing", false, "print Tinit/Tprune/Ttotal after the results")
 		base      = flag.String("baseline", "", "run on a baseline engine instead: monetdb|virtuoso")
 		maxRows   = flag.Int("maxrows", 0, "print at most this many rows (0 = all)")
+		workers   = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		store, err = lbr.OpenIndex(f)
+		store, err = lbr.OpenIndexWithOptions(f, lbr.Options{Workers: *workers})
 		f.Close()
 		if err != nil {
 			fatal(err)
@@ -59,7 +60,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		store = lbr.NewStore()
+		store = lbr.NewStoreWithOptions(lbr.Options{Workers: *workers})
 		n, err := store.LoadNTriples(f)
 		f.Close()
 		if err != nil {

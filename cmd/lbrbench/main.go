@@ -8,12 +8,14 @@
 //	lbrbench -table 6.2 -lubm-univ 8
 //	lbrbench -table index-sizes
 //	lbrbench -table ablations
+//	lbrbench -table parallel -workers 8 -json BENCH_parallel.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bench"
@@ -24,12 +26,14 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "all", "which experiment: 6.1|6.2|6.3|6.4|index-sizes|ablations|crossover|all")
+		table    = flag.String("table", "all", "which experiment: 6.1|6.2|6.3|6.4|index-sizes|ablations|crossover|parallel|all")
 		lubmU    = flag.Int("lubm-univ", 16, "LUBM scale: universities")
 		uniprotP = flag.Int("uniprot-proteins", 20000, "UniProt scale: proteins")
 		dbpediaE = flag.Int("dbpedia-entities", 40000, "DBPedia scale: entities")
 		runs     = flag.Int("runs", 3, "timed repetitions per query (after one warm-up)")
 		verify   = flag.Bool("verify", true, "cross-check engines' results")
+		workers  = flag.Int("workers", 0, "worker goroutines for -table parallel (0 = GOMAXPROCS)")
+		jsonPath = flag.String("json", "", "write the -table parallel comparison to this JSON file")
 	)
 	flag.Parse()
 	opts := bench.RunOptions{Runs: *runs, Verify: *verify}
@@ -46,7 +50,7 @@ func main() {
 	var lubm, uniprot, dbpedia *bench.Dataset
 	build := func() {
 		var err error
-		if lubm == nil && want("6.1", "6.2", "index-sizes", "ablations") {
+		if lubm == nil && want("6.1", "6.2", "index-sizes", "ablations", "parallel") {
 			step("generating LUBM-like dataset (%d universities)", *lubmU)
 			lubm, err = bench.BuildLUBM(*lubmU)
 			check(err)
@@ -122,6 +126,27 @@ func main() {
 		runAblations(lubm, *runs)
 	}
 
+	if want("parallel") && lubm != nil {
+		w := *workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		step("running sequential-vs-parallel comparison (workers=%d)", w)
+		ms, err := bench.RunParallelTable(lubm, w, *runs)
+		check(err)
+		bench.FprintParallelTable(os.Stdout,
+			fmt.Sprintf("Parallel join: LUBM (%d triples), %d workers", lubm.Graph.Len(), w), ms)
+		fmt.Println()
+		if *jsonPath != "" {
+			rep := bench.NewParallelReport(w, *runs, ms)
+			f, err := os.Create(*jsonPath)
+			check(err)
+			check(bench.WriteParallelJSON(f, rep))
+			check(f.Close())
+			step("wrote %s", *jsonPath)
+		}
+	}
+
 	if want("crossover") {
 		step("running selectivity crossover sweep")
 		pts, err := bench.RunCrossover([]int{0, 1000, 5000, 20000, 80000}, *runs)
@@ -135,14 +160,16 @@ func main() {
 // on the LUBM workload.
 func runAblations(ds *bench.Dataset, runs int) {
 	fmt.Println("Ablations (LUBM Q1-Q3): total time per engine configuration")
+	// Workers pinned to 1 throughout: the ablations isolate the paper's
+	// design choices, so the parallel layer must not blur the comparison.
 	configs := []struct {
 		name string
 		opts engine.Options
 	}{
-		{"full (paper)", engine.Options{}},
-		{"no-prune", engine.Options{DisablePruning: true}},
-		{"no-active-prune", engine.Options{DisableActivePruning: true}},
-		{"naive-jvar-order", engine.Options{NaiveJvarOrder: true}},
+		{"full (paper)", engine.Options{Workers: 1}},
+		{"no-prune", engine.Options{DisablePruning: true, Workers: 1}},
+		{"no-active-prune", engine.Options{DisableActivePruning: true, Workers: 1}},
+		{"naive-jvar-order", engine.Options{NaiveJvarOrder: true, Workers: 1}},
 	}
 	fmt.Printf("%-18s", "config")
 	for _, q := range ds.Queries[:3] {

@@ -1,0 +1,167 @@
+package lbr
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// seedStore returns a store with a small social graph and a query that
+// exercises an OPTIONAL pattern against it.
+func seedStore() (*Store, string) {
+	s := NewStore()
+	for i := 0; i < 40; i++ {
+		p := fmt.Sprintf("p%02d", i)
+		s.Add(TripleIRI(p, "knows", fmt.Sprintf("p%02d", (i+1)%40)))
+		if i%2 == 0 {
+			s.Add(TripleLit(p, "mail", "m-"+p))
+		}
+	}
+	q := `SELECT * WHERE { ?x <knows> ?y . OPTIONAL { ?x <mail> ?m . } }`
+	return s, q
+}
+
+// TestConcurrentQueriesDuringMutation drives N reader goroutines through
+// Query/Ask/Explain while a writer keeps Adding triples and rebuilding.
+// Run with -race: the store must never let a query observe a half-built
+// index or two goroutines build one concurrently.
+func TestConcurrentQueriesDuringMutation(t *testing.T) {
+	s, q := seedStore()
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 8
+	const mutations = 60
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				switch i % 3 {
+				case 0:
+					if _, err := s.Query(q); err != nil {
+						errs <- fmt.Errorf("reader %d query: %w", r, err)
+						return
+					}
+				case 1:
+					if _, err := s.Ask(`ASK { ?x <knows> ?y . }`); err != nil {
+						errs <- fmt.Errorf("reader %d ask: %w", r, err)
+						return
+					}
+				default:
+					if _, err := s.Explain(q); err != nil {
+						errs <- fmt.Errorf("reader %d explain: %w", r, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	for i := 0; i < mutations; i++ {
+		s.Add(TripleIRI(fmt.Sprintf("new%03d", i), "knows", "p00"))
+		if i%10 == 9 {
+			if err := s.Build(); err != nil {
+				t.Errorf("rebuild %d: %v", i, err)
+			}
+		}
+		// Interleave reads from the writer too: lazy rebuild path.
+		if i%7 == 3 {
+			if _, err := s.Query(q); err != nil {
+				t.Errorf("writer query %d: %v", i, err)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// After the dust settles a final query must see every mutation.
+	res, err := s.Query(`SELECT * WHERE { ?x <knows> <p00> . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p39 knows p00 from the seed ring, plus the 60 new subjects.
+	if res.Len() != mutations+1 {
+		t.Fatalf("after mutations: %d rows, want %d", res.Len(), mutations+1)
+	}
+}
+
+// TestLazyBuildSingleFlight hammers an unbuilt store with concurrent
+// queries: every one must succeed against exactly one lazily built index
+// (the -race run would flag concurrent builds of the old code).
+func TestLazyBuildSingleFlight(t *testing.T) {
+	s, q := seedStore()
+	if s.Built() {
+		t.Fatal("store must start unbuilt")
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Query(q)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = res.Len()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("query %d saw %d rows, query 0 saw %d", i, results[i], results[0])
+		}
+	}
+	if !s.Built() {
+		t.Error("store must be built after lazy-build queries")
+	}
+}
+
+// TestWorkersOptionEndToEnd runs the same query at several worker counts
+// through the public API and checks identical materialized results.
+func TestWorkersOptionEndToEnd(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		s := NewStoreWithOptions(Options{Workers: workers})
+		for i := 0; i < 40; i++ {
+			p := fmt.Sprintf("p%02d", i)
+			s.Add(TripleIRI(p, "knows", fmt.Sprintf("p%02d", (i+1)%40)))
+			if i%2 == 0 {
+				s.Add(TripleLit(p, "mail", "m-"+p))
+			}
+		}
+		res, err := s.Query(`SELECT * WHERE { ?x <knows> ?y . OPTIONAL { ?x <mail> ?m . } }`)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := res.String()
+		if workers == 1 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d result differs from sequential:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}

@@ -48,7 +48,7 @@ func RunCrossover(sizes []int, runs int) ([]CrossoverPoint, error) {
 			return nil, err
 		}
 		pt := CrossoverPoint{ExtraActors: n, Triples: g.Len()}
-		lbrEng := engine.New(idx, engine.Options{})
+		lbrEng := engine.New(idx, engine.Options{Workers: 1})
 		virt := baseline.New(idx, baseline.SelectiveMaster)
 		monet := baseline.New(idx, baseline.OriginalOrder)
 		for i := 0; i <= runs; i++ {

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sparql"
+)
+
+// ParallelMeasurement compares sequential (Workers=1) and parallel
+// execution of one query over the same prebuilt index.
+type ParallelMeasurement struct {
+	Dataset string  `json:"dataset"`
+	Query   string  `json:"query"`
+	TSeqMS  float64 `json:"t_seq_ms"`
+	TParMS  float64 `json:"t_par_ms"`
+	Speedup float64 `json:"speedup"`
+	Results int     `json:"results"`
+	// Match is true when the parallel run returned byte-identical rows in
+	// the same order as the sequential run.
+	Match bool `json:"match"`
+}
+
+// ParallelReport is the JSON document lbrbench -json emits: the machine
+// shape, the configuration, and the per-query comparison.
+type ParallelReport struct {
+	CreatedAt    string                `json:"created_at"`
+	NumCPU       int                   `json:"num_cpu"`
+	GoMaxProcs   int                   `json:"gomaxprocs"`
+	Workers      int                   `json:"workers"`
+	Runs         int                   `json:"runs"`
+	Measurements []ParallelMeasurement `json:"measurements"`
+}
+
+// NewParallelReport stamps a report with the current machine shape.
+func NewParallelReport(workers, runs int, ms []ParallelMeasurement) ParallelReport {
+	return ParallelReport{
+		CreatedAt:    time.Now().UTC().Format(time.RFC3339),
+		NumCPU:       runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Workers:      workers,
+		Runs:         runs,
+		Measurements: ms,
+	}
+}
+
+// WriteParallelJSON serializes a report, indented for reviewable check-in.
+func WriteParallelJSON(w io.Writer, rep ParallelReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// RunParallelQuery measures one query sequentially and with the given
+// worker count, reporting the median of runs timed repetitions after one
+// discarded warm-up each.
+func RunParallelQuery(ds *Dataset, spec QuerySpec, workers, runs int) (ParallelMeasurement, error) {
+	m := ParallelMeasurement{Dataset: ds.Name, Query: spec.ID}
+	q, err := sparql.Parse(spec.SPARQL)
+	if err != nil {
+		return m, fmt.Errorf("%s/%s: %w", ds.Name, spec.ID, err)
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	seq := engine.New(ds.Index, engine.Options{Workers: 1})
+	par := engine.New(ds.Index, engine.Options{Workers: workers})
+
+	seqMS, seqRows, err := timeEngine(seq, q, runs)
+	if err != nil {
+		return m, fmt.Errorf("%s/%s sequential: %w", ds.Name, spec.ID, err)
+	}
+	parMS, parRows, err := timeEngine(par, q, runs)
+	if err != nil {
+		return m, fmt.Errorf("%s/%s workers=%d: %w", ds.Name, spec.ID, workers, err)
+	}
+	m.TSeqMS, m.TParMS = seqMS, parMS
+	if parMS > 0 {
+		m.Speedup = seqMS / parMS
+	}
+	m.Results = len(seqRows)
+	m.Match = equalStrings(seqRows, parRows)
+	return m, nil
+}
+
+// timeEngine runs q once as warm-up and then runs more times, returning
+// the median wall time in milliseconds and the exact rows (result order
+// preserved) of the warm-up execution.
+func timeEngine(e *engine.Engine, q *sparql.Query, runs int) (float64, []string, error) {
+	res, err := e.Execute(q)
+	if err != nil {
+		return 0, nil, err
+	}
+	rows := exactEngineRows(res)
+	times := make([]float64, runs)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if _, err := e.Execute(q); err != nil {
+			return 0, nil, err
+		}
+		times[i] = float64(time.Since(start).Microseconds()) / 1000.0
+	}
+	sort.Float64s(times)
+	return times[len(times)/2], rows, nil
+}
+
+// exactEngineRows renders rows in result order, without canonicalization:
+// the parallel engine promises order-identical output.
+func exactEngineRows(res *engine.Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		s := ""
+		for k, term := range r {
+			if k > 0 {
+				s += "|"
+			}
+			if term.IsZero() {
+				s += "NULL"
+			} else {
+				s += term.String()
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// RunParallelTable measures a dataset's full query set sequentially vs in
+// parallel.
+func RunParallelTable(ds *Dataset, workers, runs int) ([]ParallelMeasurement, error) {
+	out := make([]ParallelMeasurement, 0, len(ds.Queries))
+	for _, spec := range ds.Queries {
+		m, err := RunParallelQuery(ds, spec, workers, runs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// FprintParallelTable renders the sequential-vs-parallel comparison.
+func FprintParallelTable(w io.Writer, title string, ms []ParallelMeasurement) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-10s %-5s %12s %12s %8s %10s %6s\n",
+		"dataset", "query", "Tseq(ms)", "Tpar(ms)", "speedup", "#results", "same?")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%-10s %-5s %12.2f %12.2f %7.2fx %10d %6v\n",
+			m.Dataset, m.Query, m.TSeqMS, m.TParMS, m.Speedup, m.Results, yn(m.Match))
+	}
+}

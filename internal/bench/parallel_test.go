@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// TestParallelMatchesSequentialOnSuite runs the whole LUBM workload —
+// including the nested-OPTIONAL, best-match-requiring Q4/Q5 — at several
+// worker counts and demands byte-identical, order-identical rows.
+func TestParallelMatchesSequentialOnSuite(t *testing.T) {
+	// Big enough that the work threshold lets the parallel paths engage.
+	ds, err := BuildLUBM(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		ms, err := RunParallelTable(ds, workers, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != len(ds.Queries) {
+			t.Fatalf("workers=%d: measured %d queries, want %d", workers, len(ms), len(ds.Queries))
+		}
+		for _, m := range ms {
+			if !m.Match {
+				t.Errorf("workers=%d %s/%s: parallel rows differ from sequential", workers, m.Dataset, m.Query)
+			}
+			if m.TSeqMS < 0 || m.TParMS < 0 {
+				t.Errorf("%s/%s: negative timing", m.Dataset, m.Query)
+			}
+		}
+	}
+}
+
+func TestParallelReportJSONRoundTrip(t *testing.T) {
+	ds := tinyLUBM(t)
+	ms, err := RunParallelTable(ds, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewParallelReport(2, 1, ms)
+	if rep.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		t.Errorf("GoMaxProcs = %d", rep.GoMaxProcs)
+	}
+	var buf bytes.Buffer
+	if err := WriteParallelJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back ParallelReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Measurements) != len(ms) || back.Workers != 2 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

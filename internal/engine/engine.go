@@ -25,6 +25,11 @@ type Options struct {
 	// bottom-up/top-down pass rooted arbitrarily (the jvar-order ablation);
 	// it keeps correctness but loses the selectivity-driven pruning order.
 	NaiveJvarOrder bool
+	// Workers bounds the goroutines the engine uses for the parallel
+	// pruning and multi-way join phases. 0 means GOMAXPROCS; 1 forces the
+	// sequential code paths. Parallel execution returns the same rows in
+	// the same order as sequential execution.
+	Workers int
 }
 
 // Engine executes queries against one BitMat index.
@@ -345,54 +350,92 @@ func (e *Engine) executeBranchCtx(ctx context.Context, b *algebra.Branch, vars [
 	for i, v := range vars {
 		varIdx[v] = i
 	}
+	// joinChunk is one worker's share of the join output. With a single
+	// worker there is exactly one chunk; with several, each worker fills
+	// its own and the chunks concatenate — in partition order — to exactly
+	// the sequential output.
+	type joinChunk struct {
+		rows         []Row
+		changed      []bool
+		fanNullified bool
+	}
+	makeEmit := func(out *joinChunk) func(*joinRun) bool {
+		return func(r *joinRun) bool {
+			// Cancellation check, amortized over emitted rows.
+			if r.emitted&1023 == 0 && ctx.Err() != nil {
+				return false
+			}
+			row := make(Row, len(vars))
+			for v := range r.bindings {
+				if r.state[v] == stBound {
+					if t, err := e.term(r.bindings[v]); err == nil {
+						row[v] = t
+					}
+				}
+			}
+			rowChanged := false
+			// Nullification for reordered cyclic plans.
+			if r.nulreqd {
+				if failed := r.nullification(); failed != nil {
+					for v, sn := range r.ownerSN {
+						if sn >= 0 && failed[sn] {
+							row[v] = rdf.Term{}
+						}
+					}
+					rowChanged = true
+				}
+			}
+			// FaN: scoped slave filters nullify their supernodes' bindings on
+			// failure; row filters reject the row.
+			for _, sf := range slaveFilters {
+				if !filterHolds(sf.expr, row, varIdx) {
+					if e.nullifyScope(row, r, sf.sns) {
+						rowChanged = true
+						out.fanNullified = true
+					}
+				}
+			}
+			for _, rf := range rowFilters {
+				if !filterHolds(rf.expr, row, varIdx) {
+					return true // drop the row, keep enumerating
+				}
+			}
+			out.rows = append(out.rows, row)
+			out.changed = append(out.changed, rowChanged)
+			return true
+		}
+	}
+
+	nWorkers := e.workers()
+	rootTP, parts := rootPartitions(plan, stps, nWorkers)
+	var chunks []joinChunk
+	if len(parts) > 1 {
+		// Partitioned multi-way join: each worker enumerates a contiguous
+		// slice of the root pattern's surviving triples with its own
+		// joinRun state over the shared (now read-only) tpStates.
+		chunks = make([]joinChunk, len(parts))
+		fns := make([]func(), len(parts))
+		for k, p := range parts {
+			fns[k] = func() {
+				run := newJoinRun(e, plan, stps, vars, nulreqd, makeEmit(&chunks[k]))
+				run.restrictRoot(rootTP, p[0], p[1])
+				run.run()
+			}
+		}
+		runLimited(nWorkers, fns)
+	} else {
+		chunks = make([]joinChunk, 1)
+		run := newJoinRun(e, plan, stps, vars, nulreqd, makeEmit(&chunks[0]))
+		run.run()
+	}
 	var rows []Row
 	var changed []bool
 	fanNullified := false
-	run := newJoinRun(e, plan, stps, vars, nulreqd, func(r *joinRun) bool {
-		// Cancellation check, amortized over emitted rows.
-		if r.emitted&1023 == 0 && ctx.Err() != nil {
-			return false
-		}
-		row := make(Row, len(vars))
-		for v := range r.bindings {
-			if r.state[v] == stBound {
-				if t, err := e.term(r.bindings[v]); err == nil {
-					row[v] = t
-				}
-			}
-		}
-		rowChanged := false
-		// Nullification for reordered cyclic plans.
-		if r.nulreqd {
-			if failed := r.nullification(); failed != nil {
-				for v, sn := range r.ownerSN {
-					if sn >= 0 && failed[sn] {
-						row[v] = rdf.Term{}
-					}
-				}
-				rowChanged = true
-			}
-		}
-		// FaN: scoped slave filters nullify their supernodes' bindings on
-		// failure; row filters reject the row.
-		for _, sf := range slaveFilters {
-			if !filterHolds(sf.expr, row, varIdx) {
-				if e.nullifyScope(row, r, sf.sns) {
-					rowChanged = true
-					fanNullified = true
-				}
-			}
-		}
-		for _, rf := range rowFilters {
-			if !filterHolds(rf.expr, row, varIdx) {
-				return true // drop the row, keep enumerating
-			}
-		}
-		rows = append(rows, row)
-		changed = append(changed, rowChanged)
-		return true
-	})
-	run.run()
+	for i := range chunks {
+		rows = append(rows, chunks[i].rows...)
+		changed = append(changed, chunks[i].changed...)
+		fanNullified = fanNullified || chunks[i].fanNullified
+	}
 
 	if nulreqd || fanNullified {
 		rows, changed = dedupNullified(rows, changed)

@@ -77,6 +77,19 @@ type joinRun struct {
 	emit    func(*joinRun) bool // returns false to stop enumeration
 	stopped bool
 	emitted int64 // rows handed to emit so far (for amortized checks)
+
+	// Root partition (parallel join): when rootTP >= 0, the enumeration of
+	// that pattern — always the first one visited, with nothing bound — is
+	// restricted to [rootLo, rootHi) on its scan axis: row indices for
+	// two-variable patterns, column indices of the single row otherwise.
+	rootTP         int
+	rootLo, rootHi int
+}
+
+// restrictRoot limits the root pattern's enumeration to one partition, so
+// several joinRuns over the same stps cover disjoint slices of the result.
+func (r *joinRun) restrictRoot(tp, lo, hi int) {
+	r.rootTP, r.rootLo, r.rootHi = tp, lo, hi
 }
 
 func newJoinRun(e *Engine, plan *planner.Plan, stps []*tpState, vars []sparql.Var, nulreqd bool, emit func(*joinRun) bool) *joinRun {
@@ -127,6 +140,7 @@ func newJoinRun(e *Engine, plan *planner.Plan, stps []*tpState, vars []sparql.Va
 	}
 	r.visited = make([]bool, n)
 	r.matched = make([]uint8, n)
+	r.rootTP = -1
 	return r
 }
 
@@ -305,6 +319,10 @@ func (r *joinRun) enumerate(i int, st *tpState) bool {
 			}
 			return any
 		}
+		if i == r.rootTP {
+			row.ForEachRange(r.rootLo, r.rootHi, func(c int) bool { return visit(0, c) })
+			return any
+		}
 		row.ForEach(func(c int) bool { return visit(0, c) })
 	case rowBound && (colBound || selfJoin):
 		target := colBoundIdx
@@ -329,6 +347,16 @@ func (r *joinRun) enumerate(i int, st *tpState) bool {
 		}
 		col.ForEach(func(rr int) bool { return visit(rr, colBoundIdx) })
 	default:
+		if i == r.rootTP {
+			for rr := r.rootLo; rr < r.rootHi && !r.stopped; rr++ {
+				row := st.mat.Row(rr)
+				if row == nil {
+					continue
+				}
+				row.ForEach(func(c int) bool { return visit(rr, c) })
+			}
+			return any
+		}
 		st.mat.ForEach(func(rr, c int) bool { return visit(rr, c) })
 	}
 	return any

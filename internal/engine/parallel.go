@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/planner"
+)
+
+// parallelMinTriples gates the parallel code paths: a pruning level or a
+// multi-way join whose patterns hold fewer surviving triples than this
+// runs sequentially, since goroutine fan-out would cost more than the work
+// itself. A var (not const) so tests can force the parallel paths on small
+// fixtures.
+var parallelMinTriples int64 = 1024
+
+// workers resolves the effective worker-pool size: Options.Workers when
+// positive, GOMAXPROCS otherwise. A result of 1 selects the sequential
+// code paths everywhere.
+func (e *Engine) workers() int {
+	if e.opts.Workers > 0 {
+		return e.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runLimited executes fns with at most limit goroutines in flight. With
+// limit <= 1 (or a single function) it degenerates to an in-order
+// sequential loop, so callers need no separate sequential path.
+func runLimited(limit int, fns []func()) {
+	if limit <= 1 || len(fns) <= 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	if limit > len(fns) {
+		limit = len(fns)
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+// pruneOp is one semi-join or clustered-semi-join of a jvar level, with
+// the triple-pattern state it reads and mutates. reads includes writes.
+type pruneOp struct {
+	run    func()
+	reads  []int // tp indices whose matrices the op folds
+	writes []int // tp indices whose matrices the op unfolds
+}
+
+// conflicts reports whether two ops of the same level may not run
+// concurrently: one writes state the other reads or writes.
+func (a *pruneOp) conflicts(b *pruneOp) bool {
+	touches := func(set []int, i int) bool {
+		for _, x := range set {
+			if x == i {
+				return true
+			}
+		}
+		return false
+	}
+	for _, w := range a.writes {
+		if touches(b.reads, w) || touches(b.writes, w) {
+			return true
+		}
+	}
+	for _, w := range b.writes {
+		if touches(a.reads, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// scheduleWaves partitions ops into waves such that executing the waves in
+// order, with the ops inside one wave in any interleaving, is equivalent to
+// executing ops sequentially in slice order: an op lands in the first wave
+// after every earlier op that conflicts with it. Ops inside a wave are
+// pairwise conflict-free.
+func scheduleWaves(ops []*pruneOp) [][]*pruneOp {
+	waveOf := make([]int, len(ops))
+	nWaves := 0
+	for i, op := range ops {
+		w := 0
+		for j := 0; j < i; j++ {
+			if waveOf[j] >= w && op.conflicts(ops[j]) {
+				w = waveOf[j] + 1
+			}
+		}
+		waveOf[i] = w
+		if w+1 > nWaves {
+			nWaves = w + 1
+		}
+	}
+	waves := make([][]*pruneOp, nWaves)
+	for i, op := range ops {
+		waves[waveOf[i]] = append(waves[waveOf[i]], op)
+	}
+	return waves
+}
+
+// runOps executes one level's ops, fanning conflict-free waves across the
+// worker pool. With limit <= 1 the ops run sequentially in order, which is
+// byte-for-byte the pre-parallel behavior.
+func runOps(limit int, ops []*pruneOp) {
+	if limit <= 1 || len(ops) <= 1 {
+		for _, op := range ops {
+			op.run()
+		}
+		return
+	}
+	for _, wave := range scheduleWaves(ops) {
+		fns := make([]func(), len(wave))
+		for i, op := range wave {
+			fns[i] = op.run
+		}
+		runLimited(limit, fns)
+	}
+}
+
+// initialPattern returns the stps index the multi-way join visits first: in
+// stps order, the first pattern none of whose masters is in the query
+// (mirroring pickNext with nothing visited and nothing bound).
+func initialPattern(plan *planner.Plan, stps []*tpState) int {
+	for i, st := range stps {
+		free := true
+		for j, other := range stps {
+			if j != i && plan.GoSN.TPIsMasterOf(other.idx, st.idx) {
+				free = false
+				break
+			}
+		}
+		if free {
+			return i
+		}
+	}
+	return -1
+}
+
+// rootPartitions splits the root pattern's surviving triples into at most w
+// contiguous ranges over its enumeration axis (rows for two-variable
+// patterns, the single row's columns for one-variable patterns). Ranges are
+// half-open [lo, hi) and, concatenated in order, cover the full axis scan
+// order, so per-partition results concatenate to exactly the sequential
+// output. A nil result means the join is not worth (or not safe to)
+// partitioning: a single worker, a zero-variable root, or too few units.
+func rootPartitions(plan *planner.Plan, stps []*tpState, w int) (root int, parts [][2]int) {
+	if w <= 1 || len(stps) == 0 {
+		return -1, nil
+	}
+	var total int64
+	for _, st := range stps {
+		total += st.count()
+	}
+	if total < parallelMinTriples {
+		return -1, nil
+	}
+	root = initialPattern(plan, stps)
+	if root < 0 || stps[root].mat == nil {
+		return -1, nil
+	}
+	st := stps[root]
+	// visit enumerates the root's partition units (non-empty row indices,
+	// or the single row's set columns) in scan order; n is their count.
+	var n int
+	var visit func(func(int) bool)
+	if st.rowVar == "" {
+		row := st.mat.Row(0)
+		if row == nil {
+			return -1, nil
+		}
+		n = row.Count()
+		visit = func(fn func(int) bool) { row.ForEach(fn) }
+	} else {
+		st.mat.ForEachRow(func(int, *bitvec.Row) bool { n++; return true })
+		visit = func(fn func(int) bool) {
+			st.mat.ForEachRow(func(r int, _ *bitvec.Row) bool { return fn(r) })
+		}
+	}
+	if n < 2 {
+		return -1, nil
+	}
+	if w > n {
+		w = n
+	}
+	// One bounded walk collects only the 2w boundary units (each chunk's
+	// first and last) instead of materializing all n of them. With w <= n
+	// every chunk is non-empty, so the boundary indices are non-decreasing
+	// and each chunk's start follows the previous chunk's end.
+	bounds := make([]int, 0, 2*w)
+	for k := 0; k < w; k++ {
+		bounds = append(bounds, k*n/w, (k+1)*n/w-1)
+	}
+	vals := make([]int, len(bounds))
+	bi, idx := 0, 0
+	visit(func(u int) bool {
+		for bi < len(bounds) && bounds[bi] == idx {
+			vals[bi] = u
+			bi++
+		}
+		idx++
+		return bi < len(bounds)
+	})
+	parts = make([][2]int, 0, w)
+	for k := 0; k < w; k++ {
+		parts = append(parts, [2]int{vals[2*k], vals[2*k+1] + 1})
+	}
+	return root, parts
+}

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestRunLimitedRunsEverything(t *testing.T) {
+	for _, limit := range []int{0, 1, 2, 7, 64} {
+		var n atomic.Int64
+		fns := make([]func(), 33)
+		for i := range fns {
+			fns[i] = func() { n.Add(1) }
+		}
+		runLimited(limit, fns)
+		if n.Load() != 33 {
+			t.Fatalf("limit %d: ran %d fns, want 33", limit, n.Load())
+		}
+	}
+}
+
+func TestScheduleWavesSeparatesConflicts(t *testing.T) {
+	op := func(reads, writes []int) *pruneOp {
+		return &pruneOp{run: func() {}, reads: reads, writes: writes}
+	}
+	// op0 writes 1; op1 reads 1 (conflict with 0); op2 writes 2 (free);
+	// op3 reads 2 (conflict with 2); op4 reads 3 (free of all).
+	ops := []*pruneOp{
+		op([]int{0, 1}, []int{1}),
+		op([]int{1, 5}, []int{5}),
+		op([]int{2}, []int{2}),
+		op([]int{2, 6}, []int{6}),
+		op([]int{3}, nil),
+	}
+	waves := scheduleWaves(ops)
+	if len(waves) != 2 {
+		t.Fatalf("got %d waves, want 2", len(waves))
+	}
+	if len(waves[0]) != 3 || len(waves[1]) != 2 {
+		t.Fatalf("wave sizes = %d,%d, want 3,2", len(waves[0]), len(waves[1]))
+	}
+	// Pairwise conflict-freedom inside each wave.
+	for wi, wave := range waves {
+		for i := 0; i < len(wave); i++ {
+			for j := i + 1; j < len(wave); j++ {
+				if wave[i].conflicts(wave[j]) {
+					t.Errorf("wave %d holds conflicting ops %d,%d", wi, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestConflictsSymmetricCases(t *testing.T) {
+	w1 := &pruneOp{reads: []int{1, 2}, writes: []int{2}}
+	r1 := &pruneOp{reads: []int{2, 3}, writes: []int{3}}
+	free := &pruneOp{reads: []int{7}, writes: []int{7}}
+	if !w1.conflicts(r1) || !r1.conflicts(w1) {
+		t.Error("write-read overlap must conflict both ways")
+	}
+	if w1.conflicts(free) || free.conflicts(w1) {
+		t.Error("disjoint ops must not conflict")
+	}
+	roRo := &pruneOp{reads: []int{9}}
+	roRo2 := &pruneOp{reads: []int{9}}
+	if roRo.conflicts(roRo2) {
+		t.Error("read-read overlap must not conflict")
+	}
+}
+
+// forceParallel drops the work threshold so the parallel paths engage on
+// the small test fixtures.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	old := parallelMinTriples
+	parallelMinTriples = 0
+	t.Cleanup(func() { parallelMinTriples = old })
+}
+
+// chainGraph is a deterministic ~1200-triple graph with enough distinct
+// subjects that the partitioned join actually splits the root pattern.
+func chainGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	for i := 0; i < 300; i++ {
+		s := fmt.Sprintf("p%03d", i)
+		g.Add(rdf.T(s, "knows", fmt.Sprintf("p%03d", (i*7+3)%300)))
+		g.Add(rdf.T(s, "type", "Person"))
+		if i%3 == 0 {
+			g.Add(rdf.T(s, "mail", "mail"+s))
+		}
+		if i%5 != 0 {
+			g.Add(rdf.T(s, "tel", "tel"+s))
+		}
+		if i%4 == 0 {
+			g.Add(rdf.T("pub"+s, "author", s))
+		}
+	}
+	return g
+}
+
+var determinismQueries = []string{
+	// Plain BGP join.
+	`SELECT * WHERE { ?x <knows> ?y . ?y <knows> ?z . }`,
+	// One OPTIONAL (left-outer join).
+	`SELECT * WHERE { ?x <knows> ?y . OPTIONAL { ?y <mail> ?m . } }`,
+	// Nested OPTIONAL exercising cascaded slave supernodes.
+	`SELECT * WHERE {
+		?x <knows> ?y .
+		OPTIONAL { ?x <mail> ?m . OPTIONAL { ?x <tel> ?t . } } }`,
+	// Peer OPTIONALs under one master plus a clustered semi-join on ?x.
+	`SELECT * WHERE {
+		?x <type> <Person> . ?x <knows> ?y .
+		OPTIONAL { ?x <mail> ?m . }
+		OPTIONAL { ?pub <author> ?x . } }`,
+	// Multi-jvar slave: the OPTIONAL shares ?x and ?y with the master,
+	// which makes the plan cyclic and forces best-match.
+	`SELECT * WHERE {
+		?x <knows> ?y .
+		OPTIONAL { ?x <mail> ?m . ?y <tel> ?t . } }`,
+	// One-variable root pattern (single-row matrix partitioning).
+	`SELECT * WHERE { ?x <type> <Person> . OPTIONAL { ?x <mail> ?m . } }`,
+}
+
+// exactRows renders rows in result order (no sorting): parallel execution
+// must reproduce the sequential output byte for byte, including order.
+func exactRows(res *Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		s := ""
+		for k, term := range r {
+			if k > 0 {
+				s += "|"
+			}
+			if term.IsZero() {
+				s += "NULL"
+			} else {
+				s += term.String()
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestParallelMatchesSequentialByteForByte(t *testing.T) {
+	forceParallel(t)
+	g := chainGraph()
+	seqEng := engineOver(t, g, Options{Workers: 1})
+	for qi, src := range determinismQueries {
+		want, err := seqEng.ExecuteString(src)
+		if err != nil {
+			t.Fatalf("q%d sequential: %v", qi, err)
+		}
+		wantRows := exactRows(want)
+		for _, workers := range []int{2, 3, 8} {
+			parEng := engineOver(t, g, Options{Workers: workers})
+			got, err := parEng.ExecuteString(src)
+			if err != nil {
+				t.Fatalf("q%d workers=%d: %v", qi, workers, err)
+			}
+			if len(got.Vars) != len(want.Vars) {
+				t.Fatalf("q%d workers=%d: vars %v != %v", qi, workers, got.Vars, want.Vars)
+			}
+			gotRows := exactRows(got)
+			if len(gotRows) != len(wantRows) {
+				t.Fatalf("q%d workers=%d: %d rows, want %d", qi, workers, len(gotRows), len(wantRows))
+			}
+			for i := range wantRows {
+				if gotRows[i] != wantRows[i] {
+					t.Fatalf("q%d workers=%d row %d: %q != %q", qi, workers, i, gotRows[i], wantRows[i])
+				}
+			}
+			if got.Stats.BestMatch != want.Stats.BestMatch {
+				t.Errorf("q%d workers=%d: BestMatch=%v, sequential=%v", qi, workers, got.Stats.BestMatch, want.Stats.BestMatch)
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSequentialFigure32(t *testing.T) {
+	forceParallel(t)
+	g := figure32Graph()
+	for _, workers := range []int{2, 4} {
+		e := engineOver(t, g, Options{Workers: workers})
+		res, err := e.ExecuteString(q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := rowsAsStrings(res)
+		want := []string{"<Julia>|<Seinfeld>", "<Larry>|NULL"}
+		if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("workers=%d: rows = %v, want %v", workers, got, want)
+		}
+	}
+}
+
+func TestParallelAblationsStillAgree(t *testing.T) {
+	forceParallel(t)
+	// The ablation switches must compose with Workers: same rows either way.
+	g := chainGraph()
+	src := determinismQueries[2]
+	for _, opts := range []Options{
+		{DisablePruning: true},
+		{DisableActivePruning: true},
+		{NaiveJvarOrder: true},
+	} {
+		seq := opts
+		seq.Workers = 1
+		par := opts
+		par.Workers = 4
+		want, err := engineOver(t, g, seq).ExecuteString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := engineOver(t, g, par).ExecuteString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, gt := exactRows(want), exactRows(got)
+		if len(w) != len(gt) {
+			t.Fatalf("%+v: %d rows vs %d sequential", opts, len(gt), len(w))
+		}
+		for i := range w {
+			if w[i] != gt[i] {
+				t.Fatalf("%+v row %d: %q != %q", opts, i, gt[i], w[i])
+			}
+		}
+	}
+}
+
+func TestRootPartitionsCoverScan(t *testing.T) {
+	g := chainGraph()
+	e := engineOver(t, g, Options{})
+	res, err := e.ExecuteString(`SELECT * WHERE { ?x <knows> ?y . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 300 {
+		t.Fatalf("expected 300 knows rows, got %d", len(res.Rows))
+	}
+}

@@ -121,42 +121,76 @@ func (e *Engine) maskForSpace(mask *bitvec.Bits, maskSpace, axisSpace Space) *bi
 
 // pruneTriples implements Algorithm 3.2: one pass over orderbu and one over
 // ordertd; at each join variable, first master-to-slave semi-joins, then
-// clustered-semi-joins within each peer group.
+// clustered-semi-joins within each peer group. With more than one worker
+// configured, the ops of one jvar level fan out in conflict-free waves
+// (see scheduleWaves), which is execution-order equivalent to — and hence
+// produces the same pruned matrices as — the sequential loop.
 func (e *Engine) pruneTriples(plan *planner.Plan, tps []*tpState) {
+	limit := e.workers()
 	pass := func(order []int) {
 		for _, jIdx := range order {
-			j := plan.GoJ.Vars[jIdx]
 			holders := plan.GoJ.TPsOfVar[jIdx]
-			// Master-slave semi-joins (lines 2-5 / 10-13).
-			for _, ti := range holders {
-				for _, tj := range holders {
-					if ti == tj {
-						continue
-					}
-					if plan.GoSN.TPIsMasterOf(ti, tj) {
-						e.semiJoin(j, tps[tj], tps[ti])
-					}
+			lvlLimit := limit
+			if lvlLimit > 1 {
+				// Fan-out only pays off when the level folds/unfolds a
+				// meaningful number of triples.
+				var weight int64
+				for _, t := range holders {
+					weight += tps[t].count()
+				}
+				if weight < parallelMinTriples {
+					lvlLimit = 1
 				}
 			}
-			// Clustered-semi-joins within each peer class (lines 6-8 / 14-16).
-			seenClass := map[int]bool{}
-			for _, t := range holders {
-				sn := plan.GoSN.SNOfTP[t]
-				class := plan.GoSN.Peers(sn)[0] // class representative
-				if seenClass[class] {
-					continue
-				}
-				seenClass[class] = true
-				var group []*tpState
-				for _, t2 := range holders {
-					if plan.GoSN.ArePeers(plan.GoSN.SNOfTP[t2], sn) {
-						group = append(group, tps[t2])
-					}
-				}
-				e.clusteredSemiJoin(j, group)
-			}
+			runOps(lvlLimit, e.levelOps(plan.GoJ.Vars[jIdx], holders, plan, tps))
 		}
 	}
 	pass(plan.OrderBU)
 	pass(plan.OrderTD)
+}
+
+// levelOps collects one jvar level's pruning operations in sequential
+// execution order: master-slave semi-joins (Algorithm 3.2 lines 2-5 /
+// 10-13), then clustered-semi-joins per peer class (lines 6-8 / 14-16).
+// Each op declares the patterns it folds (reads) and unfolds (writes) so
+// the wave scheduler can run independent ops concurrently.
+func (e *Engine) levelOps(j sparql.Var, holders []int, plan *planner.Plan, tps []*tpState) []*pruneOp {
+	var ops []*pruneOp
+	for _, ti := range holders {
+		for _, tj := range holders {
+			if ti == tj || !plan.GoSN.TPIsMasterOf(ti, tj) {
+				continue
+			}
+			master, slave := ti, tj
+			ops = append(ops, &pruneOp{
+				run:    func() { e.semiJoin(j, tps[slave], tps[master]) },
+				reads:  []int{master, slave},
+				writes: []int{slave},
+			})
+		}
+	}
+	seenClass := map[int]bool{}
+	for _, t := range holders {
+		sn := plan.GoSN.SNOfTP[t]
+		class := plan.GoSN.Peers(sn)[0] // class representative
+		if seenClass[class] {
+			continue
+		}
+		seenClass[class] = true
+		var group []*tpState
+		var members []int
+		for _, t2 := range holders {
+			if plan.GoSN.ArePeers(plan.GoSN.SNOfTP[t2], sn) {
+				group = append(group, tps[t2])
+				members = append(members, t2)
+			}
+		}
+		cluster := group
+		ops = append(ops, &pruneOp{
+			run:    func() { e.clusteredSemiJoin(j, cluster) },
+			reads:  members,
+			writes: members,
+		})
+	}
+	return ops
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bitmat"
 	"repro/internal/bitvec"
@@ -30,15 +31,16 @@ type tpState struct {
 	// trans caches the transpose for column-bound probes in the multi-way
 	// join. It is built lazily after pruning (when the matrix is small), so
 	// a probe against the non-row axis costs one row read instead of a
-	// full-matrix scan.
-	trans *bitmat.Matrix
+	// full-matrix scan. transOnce makes the build single-flight: parallel
+	// join workers share tpStates and may probe the same pattern at once.
+	trans     *bitmat.Matrix
+	transOnce sync.Once
 }
 
-// transpose returns the cached transpose, building it on first use.
+// transpose returns the cached transpose, building it on first use. Safe
+// for concurrent callers.
 func (t *tpState) transpose() *bitmat.Matrix {
-	if t.trans == nil {
-		t.trans = t.mat.Transpose()
-	}
+	t.transOnce.Do(func() { t.trans = t.mat.Transpose() })
 	return t.trans
 }
 

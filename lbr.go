@@ -22,6 +22,7 @@ import (
 	"context"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/baseline"
 	"repro/internal/bitmat"
@@ -60,10 +61,24 @@ type Options struct {
 	DisablePruning       bool
 	DisableActivePruning bool
 	NaiveJvarOrder       bool
+	// Workers bounds the goroutines used by the parallel pruning and
+	// multi-way join phases of each query. 0 means GOMAXPROCS; 1 forces
+	// sequential execution. Parallel execution returns rows identical to
+	// (and in the same order as) sequential execution.
+	Workers int
 }
 
 // Store holds an RDF graph and, after Build, its BitMat index.
+//
+// A Store is safe for concurrent use: any number of goroutines may call
+// Query, QueryContext, Ask, Explain, and the other read methods while
+// others call Add, AddAll, or Build. Queries never observe a half-built
+// index — they run against an immutable snapshot of the most recently
+// built one (building it on demand, single-flight, if none exists yet), so
+// a query racing a mutation sees either the pre- or post-mutation data,
+// never a mixture.
 type Store struct {
+	mu    sync.RWMutex
 	graph *rdf.Graph
 	index *bitmat.Index
 	eng   *engine.Engine
@@ -79,8 +94,11 @@ func NewStoreWithOptions(opts Options) *Store {
 }
 
 // Add inserts one triple. It reports whether the triple was new. Adding
-// after Build invalidates the index; call Build again before querying.
+// after Build invalidates the index; call Build again (or let the next
+// query rebuild it lazily) before new data is visible to queries.
 func (s *Store) Add(t Triple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	added := s.graph.Add(t)
 	if added {
 		s.index, s.eng = nil, nil
@@ -90,6 +108,8 @@ func (s *Store) Add(t Triple) bool {
 
 // AddAll inserts triples and returns how many were new.
 func (s *Store) AddAll(ts []Triple) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := s.graph.AddAll(ts)
 	if n > 0 {
 		s.index, s.eng = nil, nil
@@ -111,32 +131,95 @@ func (s *Store) LoadNTriples(r io.Reader) (int, error) {
 func (s *Store) LoadGraph(g *rdf.Graph) int { return s.AddAll(g.Triples()) }
 
 // Len reports the number of distinct triples.
-func (s *Store) Len() int { return s.graph.Len() }
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graph.Len()
+}
 
 // GraphStats summarizes the data the way Table 6.1 does.
 type GraphStats = rdf.Stats
 
 // Stats computes dataset characteristics.
-func (s *Store) Stats() GraphStats { return s.graph.Stats() }
+func (s *Store) Stats() GraphStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graph.Stats()
+}
 
 // Build constructs the dictionary and the BitMat index. It must be called
-// before Query, and again after any mutation.
+// before Query, and again after any mutation — or left to the first query,
+// which builds lazily (single-flight: concurrent queries on an unbuilt
+// store trigger exactly one build).
 func (s *Store) Build() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buildLocked()
+}
+
+// engineOptions maps the public options onto the engine's. Both build
+// paths (Build and OpenIndexWithOptions) go through this, so a new field
+// cannot be threaded through one and forgotten in the other.
+func (o Options) engineOptions() engine.Options {
+	return engine.Options{
+		DisablePruning:       o.DisablePruning,
+		DisableActivePruning: o.DisableActivePruning,
+		NaiveJvarOrder:       o.NaiveJvarOrder,
+		Workers:              o.Workers,
+	}
+}
+
+// buildLocked rebuilds the index snapshot; the caller holds mu.
+func (s *Store) buildLocked() error {
 	idx, err := bitmat.Build(s.graph)
 	if err != nil {
 		return err
 	}
 	s.index = idx
-	s.eng = engine.New(idx, engine.Options{
-		DisablePruning:       s.opts.DisablePruning,
-		DisableActivePruning: s.opts.DisableActivePruning,
-		NaiveJvarOrder:       s.opts.NaiveJvarOrder,
-	})
+	s.eng = engine.New(idx, s.opts.engineOptions())
 	return nil
 }
 
-// Built reports whether the index is current.
-func (s *Store) Built() bool { return s.eng != nil }
+// Built reports whether an index covering every mutation so far exists.
+// Under concurrent mutation the answer is advisory: it is accurate at the
+// instant of the call but another goroutine's Add may invalidate it before
+// the caller acts on it. Queries do not need Built — they build on demand.
+func (s *Store) Built() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng != nil
+}
+
+// ensureSnapshot returns the current engine and index, building them
+// (single-flight) when the store was mutated or never built. Both are
+// immutable snapshots: using them is safe while other goroutines mutate
+// the store.
+func (s *Store) ensureSnapshot() (*engine.Engine, *bitmat.Index, error) {
+	s.mu.RLock()
+	eng, idx := s.eng, s.index
+	s.mu.RUnlock()
+	if eng != nil && idx != nil {
+		return eng, idx, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil || s.index == nil {
+		if err := s.buildLocked(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return s.eng, s.index, nil
+}
+
+func (s *Store) ensureEngine() (*engine.Engine, error) {
+	eng, _, err := s.ensureSnapshot()
+	return eng, err
+}
+
+func (s *Store) ensureIndex() (*bitmat.Index, error) {
+	_, idx, err := s.ensureSnapshot()
+	return idx, err
+}
 
 // Result is a materialized query result. Columns align with Vars; a zero
 // Term is a NULL.
@@ -200,18 +283,18 @@ func (s *Store) Query(src string) (*Result, error) {
 }
 
 // QueryContext is Query with cancellation: a done context aborts the
-// multi-way join and returns ctx.Err().
+// multi-way join and returns ctx.Err(). A query concurrent with mutation
+// runs on the most recently built index snapshot.
 func (s *Store) QueryContext(ctx context.Context, src string) (*Result, error) {
-	if s.eng == nil {
-		if err := s.Build(); err != nil {
-			return nil, err
-		}
+	eng, err := s.ensureEngine()
+	if err != nil {
+		return nil, err
 	}
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.eng.ExecuteContext(ctx, q)
+	res, err := eng.ExecuteContext(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -225,31 +308,29 @@ func (s *Store) QueryContext(ctx context.Context, src string) (*Result, error) {
 // Ask evaluates an ASK query (or the WHERE pattern of any query) as an
 // existence check, stopping at the first solution.
 func (s *Store) Ask(src string) (bool, error) {
-	if s.eng == nil {
-		if err := s.Build(); err != nil {
-			return false, err
-		}
+	eng, err := s.ensureEngine()
+	if err != nil {
+		return false, err
 	}
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return false, err
 	}
-	return s.eng.Ask(q)
+	return eng.Ask(q)
 }
 
 // Explain returns a plan summary: the serialized tree, the GoSN edges, and
 // the classification flags of each union-free branch.
 func (s *Store) Explain(src string) (string, error) {
-	if s.eng == nil {
-		if err := s.Build(); err != nil {
-			return "", err
-		}
+	eng, err := s.ensureEngine()
+	if err != nil {
+		return "", err
 	}
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return "", err
 	}
-	return s.eng.Describe(q)
+	return eng.Describe(q)
 }
 
 // BaselinePolicy selects a comparator engine for QueryBaseline.
@@ -267,16 +348,15 @@ const (
 // QueryBaseline executes the query on the relational comparator engine,
 // for benchmarking against LBR.
 func (s *Store) QueryBaseline(src string, policy BaselinePolicy) (*Result, error) {
-	if s.index == nil {
-		if err := s.Build(); err != nil {
-			return nil, err
-		}
+	idx, err := s.ensureIndex()
+	if err != nil {
+		return nil, err
 	}
 	pol := baseline.OriginalOrder
 	if policy == VirtuosoLike {
 		pol = baseline.SelectiveMaster
 	}
-	res, err := baseline.New(s.index, pol).ExecuteString(src)
+	res, err := baseline.New(idx, pol).ExecuteString(src)
 	if err != nil {
 		return nil, err
 	}
@@ -294,16 +374,18 @@ func (s *Store) QueryBaseline(src string, policy BaselinePolicy) (*Result, error
 // IndexSizes reports the on-disk footprint of the full BitMat family under
 // the hybrid codec and under pure RLE (the Section 4 comparison).
 func (s *Store) IndexSizes() (bitmat.SizeReport, error) {
-	if s.index == nil {
-		if err := s.Build(); err != nil {
-			return bitmat.SizeReport{}, err
-		}
+	idx, err := s.ensureIndex()
+	if err != nil {
+		return bitmat.SizeReport{}, err
 	}
-	return s.index.Sizes(), nil
+	return idx.Sizes(), nil
 }
 
-// WriteNTriples serializes the store's graph.
+// WriteNTriples serializes the store's graph. It holds the store read lock
+// for the duration of the write, blocking mutation but not queries.
 func (s *Store) WriteNTriples(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return rdf.WriteNTriples(w, s.graph)
 }
 

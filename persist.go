@@ -19,19 +19,18 @@ var storeMagic = []byte("LBRSTOR1")
 // SaveIndex writes the built dictionary and index so a later process can
 // query without re-parsing N-Triples. Build is invoked first if needed.
 func (s *Store) SaveIndex(w io.Writer) error {
-	if s.index == nil {
-		if err := s.Build(); err != nil {
-			return err
-		}
+	idx, err := s.ensureIndex()
+	if err != nil {
+		return err
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(storeMagic); err != nil {
 		return err
 	}
-	if _, err := s.index.Dictionary().WriteTo(bw); err != nil {
+	if _, err := idx.Dictionary().WriteTo(bw); err != nil {
 		return err
 	}
-	if _, err := s.index.WriteTo(bw); err != nil {
+	if _, err := idx.WriteTo(bw); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -41,6 +40,12 @@ func (s *Store) SaveIndex(w io.Writer) error {
 // The in-memory graph is reconstructed from the index so that Stats and
 // WriteNTriples keep working; mutation after loading re-indexes as usual.
 func OpenIndex(r io.Reader) (*Store, error) {
+	return OpenIndexWithOptions(r, Options{})
+}
+
+// OpenIndexWithOptions is OpenIndex with engine options (ablation switches
+// and the parallel Workers setting) applied to the loaded store.
+func OpenIndexWithOptions(r io.Reader, opts Options) (*Store, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(storeMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -57,7 +62,7 @@ func OpenIndex(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lbr: index: %w", err)
 	}
-	st := NewStore()
+	st := NewStoreWithOptions(opts)
 	// Rebuild the graph from the per-predicate tables.
 	for p := 1; p <= dict.NumPredicates(); p++ {
 		pred, err := dict.Predicate(rdf.ID(p))
@@ -77,7 +82,7 @@ func OpenIndex(r io.Reader) (*Store, error) {
 		}
 	}
 	st.index = idx
-	st.eng = engine.New(idx, engine.Options{})
+	st.eng = engine.New(idx, opts.engineOptions())
 	return st, nil
 }
 
@@ -88,16 +93,15 @@ func OpenIndex(r io.Reader) (*Store, error) {
 // output needs a final subsumption pass — and fall back to materializing
 // internally before replaying rows to fn.
 func (s *Store) QueryStream(src string, fn func(map[string]Term) bool) error {
-	if s.eng == nil {
-		if err := s.Build(); err != nil {
-			return err
-		}
+	eng, err := s.ensureEngine()
+	if err != nil {
+		return err
 	}
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return err
 	}
-	return s.eng.ExecuteStream(q, func(vars []sparql.Var, row engine.Row) bool {
+	return eng.ExecuteStream(q, func(vars []sparql.Var, row engine.Row) bool {
 		m := make(map[string]Term, len(vars))
 		for i, v := range vars {
 			if !row[i].IsZero() {
