@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify bench bench-parallel
+.PHONY: all build test race vet fmt-check verify bench bench-parallel bench-build
 
 # The default target is the full tier-1 verification, race detector included.
 all: verify
@@ -33,3 +33,8 @@ bench:
 # bench-parallel refreshes the checked-in sequential-vs-parallel baseline.
 bench-parallel:
 	$(GO) run ./cmd/lbrbench -table parallel -lubm-univ 32 -runs 15 -workers 0 -json BENCH_parallel.json
+
+# bench-build refreshes the checked-in sequential-vs-parallel build
+# (load pipeline) baseline.
+bench-build:
+	$(GO) run ./cmd/lbrbench -table build -lubm-univ 32 -runs 7 -workers 0 -json BENCH_build.json

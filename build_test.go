@@ -1,0 +1,282 @@
+package lbr
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// buildFixtureTriples is large enough (> the parallel-build gate) that
+// Workers>1 exercises the sharded dictionary and the parallel pair-table
+// scatter, with literals that stress the escaping rules.
+func buildFixtureTriples() []Triple {
+	var out []Triple
+	for i := 0; i < 6000; i++ {
+		s := fmt.Sprintf("s%03d", i%523)
+		o := fmt.Sprintf("s%03d", (i*3+1)%523)
+		out = append(out, TripleIRI(s, fmt.Sprintf("p%d", i%17), o))
+		if i%7 == 0 {
+			out = append(out, TripleLit(s, "note", fmt.Sprintf("say \"%d\"\tand \\%d\\\nend", i, i)))
+		}
+	}
+	return out
+}
+
+func sortedLines(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func snapshot(t *testing.T, s *Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelBuildSnapshotByteIdentical is the acceptance-criteria pin:
+// a store built with any worker count persists to exactly the bytes of
+// the sequential build.
+func TestParallelBuildSnapshotByteIdentical(t *testing.T) {
+	triples := buildFixtureTriples()
+	seq := NewStoreWithOptions(Options{Workers: 1})
+	seq.AddAll(triples)
+	if err := seq.Build(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshot(t, seq)
+	for _, workers := range []int{0, 2, 3, 8} {
+		s := NewStoreWithOptions(Options{Workers: workers})
+		s.AddAll(triples)
+		if err := s.Build(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := snapshot(t, s); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: snapshot differs from sequential build (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+	}
+}
+
+// TestLoadNTriplesParallelPipeline checks the parse pipeline end to end:
+// same triples, same serialization, same first error as sequential.
+func TestLoadNTriplesParallelPipeline(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("# fixture\n")
+	for i := 0; i < 3000; i++ {
+		fmt.Fprintf(&sb, "<http://x/s%d> <http://x/p%d> <http://x/o%d> .\n", i%301, i%9, (i+5)%301)
+		if i%13 == 0 {
+			fmt.Fprintf(&sb, "<http://x/s%d> <http://x/note> \"q \\\"x\\\" \\\\ %d\"@en .\n", i%301, i)
+		}
+	}
+	src := sb.String()
+
+	seq := NewStoreWithOptions(Options{Workers: 1})
+	nSeq, err := seq.LoadNTriples(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantNT bytes.Buffer
+	if err := seq.WriteNTriples(&wantNT); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4} {
+		s := NewStoreWithOptions(Options{Workers: workers})
+		n, err := s.LoadNTriples(strings.NewReader(src))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if n != nSeq {
+			t.Fatalf("workers=%d: loaded %d, want %d", workers, n, nSeq)
+		}
+		var got bytes.Buffer
+		if err := s.WriteNTriples(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), wantNT.Bytes()) {
+			t.Fatalf("workers=%d: serialized graph differs from sequential load", workers)
+		}
+	}
+
+	// Error parity on a malformed line.
+	bad := src + "not a triple\n"
+	_, seqErr := NewStoreWithOptions(Options{Workers: 1}).LoadNTriples(strings.NewReader(bad))
+	_, parErr := NewStoreWithOptions(Options{Workers: 4}).LoadNTriples(strings.NewReader(bad))
+	if seqErr == nil || parErr == nil || seqErr.Error() != parErr.Error() {
+		t.Fatalf("error parity: sequential %v vs parallel %v", seqErr, parErr)
+	}
+}
+
+// TestEscapedLiteralSaveOpenRoundTrip pins the snapshot round-trip for
+// literals with quotes, backslashes, newlines, tabs, language tags, and
+// datatypes — the characters the N-Triples writer must escape.
+func TestEscapedLiteralSaveOpenRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Add(TripleLit("doc1", "quote", `she said "hi"`))
+	s.Add(TripleLit("doc1", "path", `C:\temp\file`))
+	s.Add(TripleLit("doc2", "multi", "line one\nline two\ttabbed"))
+	s.Add(TripleIRI("doc1", "ref", "doc2"))
+	snap := snapshot(t, s)
+
+	s2, err := OpenIndex(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != s.Len() {
+		t.Fatalf("reloaded %d triples, want %d", s2.Len(), s.Len())
+	}
+	// OpenIndex reconstructs the graph in index (per-predicate) order, so
+	// compare the statements as sets.
+	var a, b bytes.Buffer
+	if err := s.WriteNTriples(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WriteNTriples(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sortedLines(b.String()), sortedLines(a.String()); got != want {
+		t.Fatalf("N-Triples round-trip differs:\n%s\nvs\n%s", got, want)
+	}
+	res, err := s2.Query(`SELECT * WHERE { <doc2> <multi> ?v . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Row(0)[0].Value != "line one\nline two\ttabbed" {
+		t.Fatalf("escaped literal query = %v", res)
+	}
+	// The snapshot of the reloaded store must be byte-identical too.
+	if got := snapshot(t, s2); !bytes.Equal(got, snap) {
+		t.Fatal("re-saved snapshot differs from original")
+	}
+}
+
+// TestFullScanAgainstStoreAndReloadedIndex is the acceptance-criteria pin
+// for the dump query: every triple comes back, sequential and parallel,
+// on the live store and on a reloaded snapshot.
+func TestFullScanAgainstStoreAndReloadedIndex(t *testing.T) {
+	g := datagen.MovieGraph(200)
+	for _, workers := range []int{1, 4} {
+		s := NewStoreWithOptions(Options{Workers: workers})
+		s.LoadGraph(g)
+		res, err := s.Query(`SELECT * WHERE { ?s ?p ?o . }`)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Len() != s.Len() {
+			t.Fatalf("workers=%d: full scan %d rows, want Len()=%d", workers, res.Len(), s.Len())
+		}
+		// Row content must match the serialized graph exactly.
+		want := map[string]bool{}
+		var nt bytes.Buffer
+		if err := s.WriteNTriples(&nt); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(nt.String()), "\n") {
+			want[strings.TrimSuffix(line, " .")] = true
+		}
+		res.Iterate(func(m map[string]Term) bool {
+			k := m["s"].String() + " " + m["p"].String() + " " + m["o"].String()
+			if !want[k] {
+				t.Errorf("workers=%d: row %s not in graph", workers, k)
+			}
+			delete(want, k)
+			return true
+		})
+		if len(want) != 0 {
+			t.Fatalf("workers=%d: %d triples missing from full scan", workers, len(want))
+		}
+
+		ok, err := s.Ask(`ASK { ?s ?p ?o . }`)
+		if err != nil || !ok {
+			t.Fatalf("workers=%d: ASK dump = %v/%v", workers, ok, err)
+		}
+
+		// Reload from the snapshot and repeat the count check.
+		s2, err := OpenIndexWithOptions(bytes.NewReader(snapshot(t, s)), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res2, err := s2.Query(`SELECT * WHERE { ?s ?p ?o . }`)
+		if err != nil {
+			t.Fatalf("workers=%d reloaded: %v", workers, err)
+		}
+		if res2.Len() != s.Len() {
+			t.Fatalf("workers=%d reloaded: %d rows, want %d", workers, res2.Len(), s.Len())
+		}
+	}
+}
+
+// TestWorkersNegativeTreatedAsOne pins the documented normalization.
+func TestWorkersNegativeTreatedAsOne(t *testing.T) {
+	if got := (Options{Workers: -3}).EffectiveWorkers(); got != 1 {
+		t.Fatalf("Workers=-3 resolves to %d, want 1", got)
+	}
+	if got := (Options{Workers: 5}).EffectiveWorkers(); got != 5 {
+		t.Fatalf("Workers=5 resolves to %d, want 5", got)
+	}
+	if got := (Options{}).EffectiveWorkers(); got < 1 {
+		t.Fatalf("Workers=0 resolves to %d, want GOMAXPROCS >= 1", got)
+	}
+	// A negative count must behave exactly like the sequential store.
+	var want string
+	for _, workers := range []int{1, -7} {
+		s := NewStoreWithOptions(Options{Workers: workers})
+		s.LoadGraph(datagen.MovieGraph(50))
+		res, err := s.Query(`SELECT * WHERE { ?s <http://example.org/actedIn> ?o . }`)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if workers == 1 {
+			want = res.String()
+			continue
+		}
+		if res.String() != want {
+			t.Fatalf("workers=%d differs from sequential", workers)
+		}
+	}
+}
+
+// TestQueryStreamContextCancelled pins that a cancelled context aborts
+// the stream with context.Canceled instead of burning the full scan.
+func TestQueryStreamContextCancelled(t *testing.T) {
+	s := NewStore()
+	s.LoadGraph(datagen.MovieGraph(2000))
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.QueryStreamContext(ctx, `SELECT * WHERE { ?s ?p ?o . }`, func(map[string]Term) bool {
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Mid-stream cancellation: stop the context after a few rows and
+	// expect the error once the next check fires.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	n := 0
+	err = s.QueryStreamContext(ctx2, `SELECT * WHERE { ?s ?p ?o . }`, func(map[string]Term) bool {
+		n++
+		if n == 3 {
+			cancel2()
+		}
+		return true
+	})
+	cancel2()
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-stream err = %v", err)
+	}
+	if err == nil && n >= s.Len() {
+		t.Fatalf("stream ran to completion (%d rows) despite cancellation", n)
+	}
+}

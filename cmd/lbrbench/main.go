@@ -15,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"repro/internal/bench"
@@ -26,7 +25,7 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "all", "which experiment: 6.1|6.2|6.3|6.4|index-sizes|ablations|crossover|parallel|all")
+		table    = flag.String("table", "all", "which experiment: 6.1|6.2|6.3|6.4|index-sizes|ablations|crossover|parallel|build|all")
 		lubmU    = flag.Int("lubm-univ", 16, "LUBM scale: universities")
 		uniprotP = flag.Int("uniprot-proteins", 20000, "UniProt scale: proteins")
 		dbpediaE = flag.Int("dbpedia-entities", 40000, "DBPedia scale: entities")
@@ -50,7 +49,7 @@ func main() {
 	var lubm, uniprot, dbpedia *bench.Dataset
 	build := func() {
 		var err error
-		if lubm == nil && want("6.1", "6.2", "index-sizes", "ablations", "parallel") {
+		if lubm == nil && want("6.1", "6.2", "index-sizes", "ablations", "parallel", "build") {
 			step("generating LUBM-like dataset (%d universities)", *lubmU)
 			lubm, err = bench.BuildLUBM(*lubmU)
 			check(err)
@@ -127,10 +126,7 @@ func main() {
 	}
 
 	if want("parallel") && lubm != nil {
-		w := *workers
-		if w <= 0 {
-			w = runtime.GOMAXPROCS(0)
-		}
+		w := engine.Options{Workers: *workers}.EffectiveWorkers()
 		step("running sequential-vs-parallel comparison (workers=%d)", w)
 		ms, err := bench.RunParallelTable(lubm, w, *runs)
 		check(err)
@@ -142,6 +138,26 @@ func main() {
 			f, err := os.Create(*jsonPath)
 			check(err)
 			check(bench.WriteParallelJSON(f, rep))
+			check(f.Close())
+			step("wrote %s", *jsonPath)
+		}
+	}
+
+	if want("build") && lubm != nil {
+		w := engine.Options{Workers: *workers}.EffectiveWorkers()
+		step("running sequential-vs-parallel build comparison (workers=%d)", w)
+		ms, err := bench.RunBuildTable([]*bench.Dataset{lubm}, w, *runs)
+		check(err)
+		bench.FprintBuildTable(os.Stdout,
+			fmt.Sprintf("Parallel build: LUBM (%d triples), %d workers", lubm.Graph.Len(), w), ms)
+		fmt.Println()
+		// -json is shared with -table parallel; write the build report only
+		// when this run is specifically the build table.
+		if *jsonPath != "" && *table == "build" {
+			rep := bench.NewBuildReport(w, *runs, ms)
+			f, err := os.Create(*jsonPath)
+			check(err)
+			check(bench.WriteBuildJSON(f, rep))
 			check(f.Close())
 			step("wrote %s", *jsonPath)
 		}

@@ -2,7 +2,9 @@ package algebra
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
 
@@ -20,6 +22,40 @@ type Branch struct {
 	// spurious results: the caller must apply best-match over the union of
 	// all branch results.
 	UsedRule3 bool
+	// DupGroup identifies the rule-3 distribution group of the branch: two
+	// branches share a group exactly when they differ only in which
+	// alternative of a LeftJoin's right-side union each rule-3 split kept.
+	// A master row whose distributed right side fails emits one identical
+	// nulled row per alternative of that split — artifacts of the rewrite,
+	// not bag duplicates — so the minimum union collapses them within a
+	// group and never across groups (genuine UNION branches keep their
+	// duplicates).
+	DupGroup string
+	// DupSplits records, in deterministic traversal order (identical for
+	// every branch of a group), each rule-3 split point on the branch's
+	// path. A row is an artifact duplicate of another row exactly when
+	// both rows agree on content and on the choices of every split that
+	// matched; splits whose witness variables are all NULL failed, so the
+	// choice made at them is irrelevant.
+	DupSplits []DupSplit
+	// Substs records the whole-scope equality filters
+	// SubstituteCheapFilters folded into the patterns; the executor
+	// re-injects them into result rows (see CheapSubst).
+	Substs []CheapSubst
+}
+
+// DupSplit is one rule-3 split point of a branch: a stable identifier of
+// the splitting tree node (identical across every branch of a group, so
+// the same split aligns across branches even when nested splits give the
+// branches different split counts), the distributed subtree's own
+// variables (variables shared with the left side stay bound on failure
+// and cannot witness, so they are excluded — a split whose subtree has no
+// own variables has no witness and its artifacts are conservatively
+// kept), and the alternative this branch took.
+type DupSplit struct {
+	ID     string
+	Vars   []sparql.Var
+	Choice string
 }
 
 // ScopedFilter is a filter expression together with the leaf index range
@@ -39,66 +75,136 @@ type ScopedFilter struct {
 // distribute over unions (5) and remain attached to their scope, which
 // subsumes the push-in rule (4) under the safe-filter assumption.
 func NormalizeUNF(t Tree) ([]*Branch, error) {
-	trees, rule3 := distribute(t)
-	branches := make([]*Branch, 0, len(trees))
-	for i, bt := range trees {
-		pure, filters, err := extractFilters(bt)
+	dbs := distribute(t)
+	branches := make([]*Branch, 0, len(dbs))
+	for _, db := range dbs {
+		pure, filters, err := extractFilters(db.tree)
 		if err != nil {
 			return nil, err
 		}
-		branches = append(branches, &Branch{Tree: pure, Filters: filters, UsedRule3: rule3[i]})
+		branches = append(branches, &Branch{
+			Tree:      pure,
+			Filters:   filters,
+			UsedRule3: db.rule3,
+			DupGroup:  db.group,
+			DupSplits: db.splits,
+		})
 	}
 	return branches, nil
 }
 
-// distribute pushes unions to the top. It returns one tree per union
-// branch, with FilterT nodes kept in place, plus a per-branch flag for
-// rule-3 usage.
-func distribute(t Tree) ([]Tree, []bool) {
+// distBranch is one branch of the union distribution, carrying the rule-3
+// bookkeeping NormalizeUNF exposes on Branch.
+type distBranch struct {
+	tree   Tree
+	rule3  bool
+	group  string // structural group id; "*" marks a rule-3 split point
+	splits []DupSplit
+}
+
+func concatSplits(a, b []DupSplit) []DupSplit {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]DupSplit, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// distribute pushes unions to the top. It returns one distBranch per union
+// branch, with FilterT nodes kept in place. The group ids mirror the tree
+// structure: alternatives of a genuine union get distinct "U<i>:" prefixes
+// while the right-side choices of a rule-3 split collapse into a single
+// "*", so branches share a group exactly when rule 3 is the only thing
+// that distinguishes them; each split's per-branch choice is recorded in
+// splits, with split IDs assigned per splitting tree node so the same
+// split point carries the same ID in every branch.
+func distribute(t Tree) []distBranch {
+	nextSplit := 0
+	return distributeWalk(t, &nextSplit)
+}
+
+func distributeWalk(t Tree, nextSplit *int) []distBranch {
 	switch n := t.(type) {
 	case *Leaf:
-		return []Tree{n}, []bool{false}
+		return []distBranch{{tree: n, group: "."}}
 	case *FilterT:
-		subs, r3 := distribute(n.Child)
-		out := make([]Tree, len(subs))
+		subs := distributeWalk(n.Child, nextSplit)
+		out := make([]distBranch, len(subs))
 		for i, s := range subs {
-			out[i] = &FilterT{Expr: n.Expr, Child: s} // rule 5
+			out[i] = s
+			out[i].tree = &FilterT{Expr: n.Expr, Child: s.tree} // rule 5
 		}
-		return out, r3
+		return out
 	case *Join:
-		ls, lr3 := distribute(n.L)
-		rs, rr3 := distribute(n.R)
-		var out []Tree
-		var r3 []bool
-		for i, l := range ls {
-			for j, r := range rs {
-				out = append(out, &Join{L: CloneTree(l), R: CloneTree(r)}) // rule 1
-				r3 = append(r3, lr3[i] || rr3[j])
+		ls := distributeWalk(n.L, nextSplit)
+		rs := distributeWalk(n.R, nextSplit)
+		var out []distBranch
+		for _, l := range ls {
+			for _, r := range rs {
+				out = append(out, distBranch{
+					tree:   &Join{L: CloneTree(l.tree), R: CloneTree(r.tree)}, // rule 1
+					rule3:  l.rule3 || r.rule3,
+					group:  "(" + l.group + " J " + r.group + ")",
+					splits: concatSplits(l.splits, r.splits),
+				})
 			}
 		}
-		return out, r3
+		return out
 	case *LeftJoin:
-		ls, lr3 := distribute(n.L)
-		rs, rr3 := distribute(n.R)
+		ls := distributeWalk(n.L, nextSplit)
+		rs := distributeWalk(n.R, nextSplit)
 		rightSplit := len(rs) > 1 // rule 3 in effect
-		var out []Tree
-		var r3 []bool
-		for i, l := range ls {
+		var splitID string
+		if rightSplit {
+			splitID = fmt.Sprintf("r3:%d", *nextSplit)
+			*nextSplit++
+		}
+		var out []distBranch
+		for _, l := range ls {
+			// The distributed subtree's own variables witness its failure.
+			// Variables shared with the left side stay bound on failure, so
+			// they cannot witness and are excluded.
+			var own []sparql.Var
+			if rightSplit {
+				ownSet := TreeVars(n.R)
+				for v := range TreeVars(l.tree) {
+					delete(ownSet, v)
+				}
+				for v := range ownSet {
+					own = append(own, v)
+				}
+				sort.Slice(own, func(i, j int) bool { return own[i] < own[j] })
+			}
 			for j, r := range rs {
-				out = append(out, &LeftJoin{L: CloneTree(l), R: CloneTree(r)}) // rules 2 and 3
-				r3 = append(r3, lr3[i] || rr3[j] || rightSplit)
+				db := distBranch{
+					tree:   &LeftJoin{L: CloneTree(l.tree), R: CloneTree(r.tree)}, // rules 2 and 3
+					rule3:  l.rule3 || r.rule3 || rightSplit,
+					splits: concatSplits(l.splits, r.splits),
+				}
+				if rightSplit {
+					db.group = "(" + l.group + " L *)"
+					db.splits = append(append([]DupSplit{}, db.splits...),
+						DupSplit{ID: splitID, Vars: own, Choice: fmt.Sprintf("%d:%s", j, r.group)})
+				} else {
+					db.group = "(" + l.group + " L " + r.group + ")"
+				}
+				out = append(out, db)
 			}
 		}
-		return out, r3
+		return out
 	case *UnionT:
-		var out []Tree
-		var r3 []bool
-		for _, a := range n.Alts {
-			subs, sr3 := distribute(a)
-			out = append(out, subs...)
-			r3 = append(r3, sr3...)
+		var out []distBranch
+		for ai, a := range n.Alts {
+			for _, s := range distributeWalk(a, nextSplit) {
+				s.group = fmt.Sprintf("U%d:%s", ai, s.group)
+				out = append(out, s)
+			}
 		}
-		return out, r3
+		return out
 	}
 	panic(fmt.Sprintf("algebra: distribute on %T", t))
 }
@@ -176,15 +282,29 @@ func (b *Branch) CheckSafeFilters() error {
 	return nil
 }
 
+// CheapSubst records one substitution SubstituteCheapFilters applied: the
+// replaced variable, and either the concrete term or the surviving
+// variable that took its place. Because the applied filters scope the
+// whole tree, the equality holds in every result row, and the executor
+// re-injects the replaced variable's binding (Term, or the row value of
+// From) after the join — otherwise the column would silently stay NULL.
+type CheapSubst struct {
+	Var  sparql.Var
+	Term rdf.Term   // zero when the substitution was variable-to-variable
+	From sparql.Var // "" when the substitution was variable-to-term
+}
+
 // SubstituteCheapFilters applies the paper's "cheap" filter optimizations
 // on a branch whose filter scopes the entire tree: an equality ?m = ?n
 // replaces every ?n with ?m in the scoped patterns, and an equality
 // ?v = <constant> replaces ?v with the constant. Applied filters are
-// removed. Only whole-tree scopes are rewritten; narrower scopes keep
-// their filters for FaN evaluation.
-func (b *Branch) SubstituteCheapFilters() {
+// removed and returned as substitutions for the executor to re-inject.
+// Only whole-tree scopes are rewritten; narrower scopes keep their
+// filters for FaN evaluation.
+func (b *Branch) SubstituteCheapFilters() []CheapSubst {
 	nLeaves := len(Leaves(b.Tree))
 	var kept []ScopedFilter
+	var substs []CheapSubst
 	for _, sf := range b.Filters {
 		if sf.From != 0 || sf.To != nLeaves {
 			kept = append(kept, sf)
@@ -200,15 +320,18 @@ func (b *Branch) SubstituteCheapFilters() {
 		switch {
 		case lIsVar && rIsVar:
 			substituteVar(b.Tree, rv.V, sparql.V(string(lv.V)))
+			substs = append(substs, CheapSubst{Var: rv.V, From: lv.V})
 		case lIsVar:
 			if term, ok := cmp.R.(sparql.ExprTerm); ok {
 				substituteVar(b.Tree, lv.V, sparql.TermNode(term.Term))
+				substs = append(substs, CheapSubst{Var: lv.V, Term: term.Term})
 			} else {
 				kept = append(kept, sf)
 			}
 		case rIsVar:
 			if term, ok := cmp.L.(sparql.ExprTerm); ok {
 				substituteVar(b.Tree, rv.V, sparql.TermNode(term.Term))
+				substs = append(substs, CheapSubst{Var: rv.V, Term: term.Term})
 			} else {
 				kept = append(kept, sf)
 			}
@@ -217,6 +340,8 @@ func (b *Branch) SubstituteCheapFilters() {
 		}
 	}
 	b.Filters = kept
+	b.Substs = append(b.Substs, substs...)
+	return substs
 }
 
 func substituteVar(t Tree, v sparql.Var, repl sparql.Node) {

@@ -63,10 +63,22 @@ func TestBaselineQ2BothPolicies(t *testing.T) {
 	}
 }
 
-func TestBaselineRejectsThreeVarPattern(t *testing.T) {
-	e := baselineOver(t, figure32Graph(), OriginalOrder)
-	if _, err := e.ExecuteString(`SELECT * WHERE { ?s ?p ?o . }`); err == nil {
-		t.Error("three-variable patterns unsupported")
+func TestBaselineThreeVarFullScan(t *testing.T) {
+	g := figure32Graph()
+	e := baselineOver(t, g, OriginalOrder)
+	res, err := e.ExecuteString(`SELECT * WHERE { ?s ?p ?o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != g.Len() {
+		t.Fatalf("full scan returned %d rows, want %d", len(res.Rows), g.Len())
+	}
+	for _, r := range res.Rows {
+		for i, term := range r {
+			if term.IsZero() {
+				t.Fatalf("NULL column %d in full-scan row %v", i, r)
+			}
+		}
 	}
 }
 

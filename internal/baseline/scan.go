@@ -1,8 +1,6 @@
 package baseline
 
 import (
-	"fmt"
-
 	"repro/internal/bitmat"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -113,7 +111,13 @@ func (e *Engine) scan(tp sparql.TriplePattern, c ctx) (*relation, error) {
 			emit(e.mkVal(spcS, s), e.mkVal(spcP, p), e.mkVal(spcO, o))
 		}
 	default:
-		return nil, fmt.Errorf("baseline: pattern %s with three variables is not supported", tp)
+		// Three variables: the full-table dump as a union of per-predicate
+		// scans, mirroring the LBR engine's rewrite of (?s ?p ?o).
+		for pid := 1; pid <= e.dict.NumPredicates(); pid++ {
+			for _, pr := range e.idx.SOPairs(rdf.ID(pid)) {
+				emit(e.mkVal(spcS, rdf.ID(pr.A)), e.mkVal(spcP, rdf.ID(pid)), e.mkVal(spcO, rdf.ID(pr.B)))
+			}
+		}
 	}
 	return rel, nil
 }

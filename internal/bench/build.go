@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/rdf"
+)
+
+// BuildMeasurement compares the sequential and parallel build pipelines on
+// one dataset: the N-Triples parse (reader -> chunked parse -> in-order
+// merge) and the index construction (sharded dictionary + parallel
+// per-predicate pair tables).
+type BuildMeasurement struct {
+	Dataset string `json:"dataset"`
+	Triples int    `json:"triples"`
+	// Index construction: dictionary + pair tables.
+	TBuildSeqMS  float64 `json:"t_build_seq_ms"`
+	TBuildParMS  float64 `json:"t_build_par_ms"`
+	BuildSpeedup float64 `json:"build_speedup"`
+	// N-Triples parsing of the serialized dataset.
+	TParseSeqMS  float64 `json:"t_parse_seq_ms"`
+	TParseParMS  float64 `json:"t_parse_par_ms"`
+	ParseSpeedup float64 `json:"parse_speedup"`
+	// Match is true when the parallel build's dictionary and index
+	// serialize to exactly the sequential build's bytes.
+	Match bool `json:"match"`
+}
+
+// BuildReport is the JSON document lbrbench -table build -json emits.
+type BuildReport struct {
+	CreatedAt    string             `json:"created_at"`
+	NumCPU       int                `json:"num_cpu"`
+	GoMaxProcs   int                `json:"gomaxprocs"`
+	Workers      int                `json:"workers"`
+	Runs         int                `json:"runs"`
+	Measurements []BuildMeasurement `json:"measurements"`
+}
+
+// NewBuildReport stamps a report with the current machine shape.
+func NewBuildReport(workers, runs int, ms []BuildMeasurement) BuildReport {
+	return BuildReport{
+		CreatedAt:    time.Now().UTC().Format(time.RFC3339),
+		NumCPU:       runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Workers:      workers,
+		Runs:         runs,
+		Measurements: ms,
+	}
+}
+
+// WriteBuildJSON serializes a report, indented for reviewable check-in.
+func WriteBuildJSON(w io.Writer, rep BuildReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// medianMS times fn runs times (after one discarded warm-up) and returns
+// the median in milliseconds.
+func medianMS(runs int, fn func()) float64 {
+	if runs < 1 {
+		runs = 1
+	}
+	fn() // warm-up
+	times := make([]float64, runs)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		fn()
+		times[i] = float64(time.Since(start).Microseconds()) / 1000.0
+	}
+	sort.Float64s(times)
+	return times[len(times)/2]
+}
+
+// indexSnapshot serializes dictionary + pair tables, the byte-identity
+// witness SaveIndex relies on.
+func indexSnapshot(idx *bitmat.Index) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := idx.Dictionary().WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	if _, err := idx.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RunBuildMeasurement benchmarks one dataset's load pipeline sequentially
+// and with the given worker count.
+func RunBuildMeasurement(ds *Dataset, workers, runs int) (BuildMeasurement, error) {
+	m := BuildMeasurement{Dataset: ds.Name, Triples: ds.Graph.Len()}
+
+	// Index construction.
+	var seqIdx, parIdx *bitmat.Index
+	var err error
+	m.TBuildSeqMS = medianMS(runs, func() {
+		seqIdx, err = bitmat.Build(ds.Graph)
+	})
+	if err != nil {
+		return m, fmt.Errorf("%s sequential build: %w", ds.Name, err)
+	}
+	m.TBuildParMS = medianMS(runs, func() {
+		parIdx, err = bitmat.BuildParallel(ds.Graph, workers)
+	})
+	if err != nil {
+		return m, fmt.Errorf("%s parallel build: %w", ds.Name, err)
+	}
+	if m.TBuildParMS > 0 {
+		m.BuildSpeedup = m.TBuildSeqMS / m.TBuildParMS
+	}
+	seqBytes, err := indexSnapshot(seqIdx)
+	if err != nil {
+		return m, err
+	}
+	parBytes, err := indexSnapshot(parIdx)
+	if err != nil {
+		return m, err
+	}
+	m.Match = bytes.Equal(seqBytes, parBytes)
+
+	// N-Triples parsing over the serialized dataset.
+	var nt bytes.Buffer
+	if err := rdf.WriteNTriples(&nt, ds.Graph); err != nil {
+		return m, err
+	}
+	src := nt.Bytes()
+	m.TParseSeqMS = medianMS(runs, func() {
+		_, err = rdf.ReadNTriples(bytes.NewReader(src))
+	})
+	if err != nil {
+		return m, fmt.Errorf("%s sequential parse: %w", ds.Name, err)
+	}
+	m.TParseParMS = medianMS(runs, func() {
+		_, err = rdf.ReadNTriplesParallel(bytes.NewReader(src), workers)
+	})
+	if err != nil {
+		return m, fmt.Errorf("%s parallel parse: %w", ds.Name, err)
+	}
+	if m.TParseParMS > 0 {
+		m.ParseSpeedup = m.TParseSeqMS / m.TParseParMS
+	}
+	return m, nil
+}
+
+// RunBuildTable benchmarks the load pipeline of several datasets.
+func RunBuildTable(dss []*Dataset, workers, runs int) ([]BuildMeasurement, error) {
+	out := make([]BuildMeasurement, 0, len(dss))
+	for _, ds := range dss {
+		if ds == nil {
+			continue
+		}
+		m, err := RunBuildMeasurement(ds, workers, runs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// FprintBuildTable renders the sequential-vs-parallel build comparison.
+func FprintBuildTable(w io.Writer, title string, ms []BuildMeasurement) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-10s %10s %12s %12s %8s %12s %12s %8s %6s\n",
+		"dataset", "#triples", "Tbuild-seq", "Tbuild-par", "speedup",
+		"Tparse-seq", "Tparse-par", "speedup", "same?")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%-10s %10d %10.2fms %10.2fms %7.2fx %10.2fms %10.2fms %7.2fx %6s\n",
+			m.Dataset, m.Triples, m.TBuildSeqMS, m.TBuildParMS, m.BuildSpeedup,
+			m.TParseSeqMS, m.TParseParMS, m.ParseSpeedup, yn(m.Match))
+	}
+}

@@ -79,6 +79,40 @@ func BuildWithDictionary(g *rdf.Graph, dict *rdf.Dictionary) (*Index, error) {
 // Dictionary returns the index's term dictionary.
 func (idx *Index) Dictionary() *rdf.Dictionary { return idx.dict }
 
+// Validate checks the structural invariants the persist format relies on:
+// the pair-table shapes match the dictionary dimensions and the per-
+// predicate tables account for exactly NumTriples pairs. Both the
+// sequential and the parallel build must satisfy it; SaveIndex asserts it
+// before writing so a build-path bug cannot silently corrupt a snapshot.
+func (idx *Index) Validate() error {
+	if idx.dict == nil {
+		return fmt.Errorf("bitmat: index has no dictionary")
+	}
+	if len(idx.soPairs) != idx.dict.NumPredicates() || len(idx.osPairs) != idx.dict.NumPredicates() {
+		return fmt.Errorf("bitmat: predicate tables (%d,%d) do not match dictionary (%d predicates)",
+			len(idx.soPairs), len(idx.osPairs), idx.dict.NumPredicates())
+	}
+	if len(idx.bySubject) != idx.dict.NumSubjects() {
+		return fmt.Errorf("bitmat: subject postings (%d) do not match dictionary (%d subjects)",
+			len(idx.bySubject), idx.dict.NumSubjects())
+	}
+	if len(idx.byObject) != idx.dict.NumObjects() {
+		return fmt.Errorf("bitmat: object postings (%d) do not match dictionary (%d objects)",
+			len(idx.byObject), idx.dict.NumObjects())
+	}
+	var total int64
+	for p, pairs := range idx.soPairs {
+		if len(pairs) != len(idx.osPairs[p]) {
+			return fmt.Errorf("bitmat: predicate %d has %d S-O pairs but %d O-S pairs", p+1, len(pairs), len(idx.osPairs[p]))
+		}
+		total += int64(len(pairs))
+	}
+	if total != idx.nTriples {
+		return fmt.Errorf("bitmat: pair tables hold %d triples, header says %d", total, idx.nTriples)
+	}
+	return nil
+}
+
 // NumTriples reports the number of indexed triples.
 func (idx *Index) NumTriples() int64 { return idx.nTriples }
 
@@ -170,7 +204,8 @@ func (idx *Index) RowPS(p, o rdf.ID) *Matrix {
 		pos = append(pos, pr.B-1)
 	}
 	if len(pos) > 0 {
-		m.SetRow(0, bitvec.RowFromPositions(idx.dict.NumSubjects(), pos))
+		// pairRange walks the (A,B)-sorted postings, so B is ascending.
+		m.SetRow(0, bitvec.RowFromSortedPositions(idx.dict.NumSubjects(), pos))
 	}
 	return m
 }
@@ -188,7 +223,8 @@ func (idx *Index) RowPO(p, s rdf.ID) *Matrix {
 		pos = append(pos, pr.B-1)
 	}
 	if len(pos) > 0 {
-		m.SetRow(0, bitvec.RowFromPositions(idx.dict.NumObjects(), pos))
+		// pairRange walks the (A,B)-sorted postings, so B is ascending.
+		m.SetRow(0, bitvec.RowFromSortedPositions(idx.dict.NumObjects(), pos))
 	}
 	return m
 }
@@ -250,7 +286,9 @@ func (idx *Index) RowP(s, o rdf.ID) *Matrix {
 		}
 	}
 	if len(pos) > 0 {
-		m.SetRow(0, bitvec.RowFromPositions(idx.dict.NumPredicates(), pos))
+		// bySubject is (P,O)-sorted and duplicate-free: filtering on one
+		// object keeps the predicate positions strictly ascending.
+		m.SetRow(0, bitvec.RowFromSortedPositions(idx.dict.NumPredicates(), pos))
 	}
 	return m
 }

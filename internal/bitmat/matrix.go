@@ -222,7 +222,8 @@ func (m *Matrix) ColumnRow(c int) *bitvec.Row {
 		}
 		return true
 	})
-	return bitvec.RowFromPositions(m.nRows, pos)
+	// Row-major walk yields strictly ascending positions.
+	return bitvec.RowFromSortedPositions(m.nRows, pos)
 }
 
 // Transpose returns a new matrix with rows and columns swapped.
@@ -235,7 +236,9 @@ func (m *Matrix) Transpose() *Matrix {
 	t := NewMatrix(m.nCols, m.nRows)
 	for c, pos := range cols {
 		if len(pos) > 0 {
-			t.SetRow(c, bitvec.RowFromPositions(m.nRows, pos))
+			// The row-major ForEach appends rows to each column in
+			// ascending order.
+			t.SetRow(c, bitvec.RowFromSortedPositions(m.nRows, pos))
 		}
 	}
 	return t
@@ -310,7 +313,9 @@ func matrixFromSortedPairsFiltered(nRows, nCols int, pairs []Pair, rowMask, colM
 			}
 		}
 		if len(pos) > 0 {
-			m.SetRow(int(pairs[i].A-1), bitvec.RowFromPositions(nCols, pos))
+			// Pairs are sorted by (A,B) and duplicate-free, so the column
+			// positions of one row arrive strictly ascending.
+			m.SetRow(int(pairs[i].A-1), bitvec.RowFromSortedPositions(nCols, pos))
 		}
 		i = j
 	}

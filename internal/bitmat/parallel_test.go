@@ -1,0 +1,115 @@
+package bitmat
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func parallelFixture(n int) *rdf.Graph {
+	g := rdf.NewGraph()
+	for i := 0; i < n; i++ {
+		s := fmt.Sprintf("n%03d", i%151)
+		o := fmt.Sprintf("n%03d", (i*7+1)%151)
+		g.Add(rdf.T(s, fmt.Sprintf("p%d", i%13), o))
+		if i%5 == 0 {
+			g.Add(rdf.TL(s, "label", fmt.Sprintf("v%d", i)))
+		}
+	}
+	return g
+}
+
+func indexBytes(t *testing.T, idx *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBuildParallelByteIdentical forces the parallel path on a small
+// fixture and pins that every worker count persists to exactly the
+// sequential build's bytes — the property SaveIndex snapshots rely on.
+func TestBuildParallelByteIdentical(t *testing.T) {
+	oldGate := parallelBuildMinTriples
+	parallelBuildMinTriples = 1
+	defer func() { parallelBuildMinTriples = oldGate }()
+
+	g := parallelFixture(2500)
+	seq, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Validate(); err != nil {
+		t.Fatalf("sequential index invalid: %v", err)
+	}
+	want := indexBytes(t, seq)
+	var wantDict bytes.Buffer
+	if _, err := seq.Dictionary().WriteTo(&wantDict); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 8, -2} {
+		par, err := BuildParallel(g, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := par.Validate(); err != nil {
+			t.Fatalf("workers=%d: invalid index: %v", workers, err)
+		}
+		if got := indexBytes(t, par); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: index bytes differ from sequential build", workers)
+		}
+		var gotDict bytes.Buffer
+		if _, err := par.Dictionary().WriteTo(&gotDict); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotDict.Bytes(), wantDict.Bytes()) {
+			t.Fatalf("workers=%d: dictionary bytes differ from sequential build", workers)
+		}
+		if par.NumTriples() != seq.NumTriples() {
+			t.Fatalf("workers=%d: %d triples, want %d", workers, par.NumTriples(), seq.NumTriples())
+		}
+	}
+}
+
+// TestBuildParallelEncodeError pins that a dictionary that cannot encode
+// the triples fails the parallel build with the sequential build's error
+// (the first failing triple in graph order).
+func TestBuildParallelEncodeError(t *testing.T) {
+	g := parallelFixture(300)
+	// A dictionary over a strict subset of the graph cannot encode it.
+	small := rdf.NewGraph()
+	small.Add(g.Triples()[0])
+	dict := small.Dictionary()
+
+	_, seqErr := BuildWithDictionary(g, dict)
+	if seqErr == nil {
+		t.Fatal("sequential build must fail")
+	}
+	_, parErr := BuildParallelWithDictionary(g.Triples(), dict, 4)
+	if parErr == nil {
+		t.Fatal("parallel build must fail")
+	}
+	if parErr.Error() != seqErr.Error() {
+		t.Fatalf("parallel error %q, want %q", parErr, seqErr)
+	}
+}
+
+// TestValidateCatchesShapeDrift covers the SaveIndex assertion.
+func TestValidateCatchesShapeDrift(t *testing.T) {
+	g := parallelFixture(100)
+	idx, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Validate(); err != nil {
+		t.Fatalf("fresh index must validate: %v", err)
+	}
+	idx.nTriples++ // simulate a count bug
+	if err := idx.Validate(); err == nil {
+		t.Fatal("Validate must catch a triple-count mismatch")
+	}
+}

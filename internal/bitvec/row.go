@@ -156,6 +156,28 @@ func RowFromPositions(n int, positions []uint32) *Row {
 	return r.normalize()
 }
 
+// RowFromSortedPositions builds a row of length n from strictly ascending,
+// duplicate-free set-bit positions, taking ownership of pos. It skips the
+// defensive copy, sort, and dedup of RowFromPositions, which makes it the
+// row-append fast path for index materialization: pair tables and
+// row-major matrix walks already produce positions in order. Unsorted or
+// duplicated input panics, as would silently corrupt the row.
+func RowFromSortedPositions(n int, pos []uint32) *Row {
+	if len(pos) == 0 {
+		return EmptyRow(n)
+	}
+	for i := 1; i < len(pos); i++ {
+		if pos[i] <= pos[i-1] {
+			panic(fmt.Sprintf("bitvec: positions not strictly ascending at %d: %d <= %d", i, pos[i], pos[i-1]))
+		}
+	}
+	if int(pos[len(pos)-1]) >= n {
+		panic(fmt.Sprintf("bitvec: position %d out of range %d", pos[len(pos)-1], n))
+	}
+	r := &Row{enc: EncSparse, n: n, pos: pos, count: len(pos)}
+	return r.normalize()
+}
+
 // normalize re-applies the hybrid rule: pick whichever codec is smaller for
 // the current contents. Rows produced by set operations call this so that
 // the stored form always honours the paper's hybrid invariant.

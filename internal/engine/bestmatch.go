@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sort"
+	"strings"
 
 	"repro/internal/rdf"
 )
@@ -156,6 +157,65 @@ func hasNull(mask string) bool {
 		}
 	}
 	return false
+}
+
+// dedupNullUnion collapses the duplicate rows a rule-3 rewrite (including
+// the per-predicate union a rewritten three-variable pattern expands
+// into) introduces: a master solution whose distributed OPTIONAL side
+// failed emits one identical nulled row per alternative of that split,
+// and the minimum union keeps it once. Collapsing is scoped tightly so
+// genuine bag duplicates survive: only within one DupGroup (branches that
+// differ solely in rule-3 choices — genuine UNION alternatives have
+// distinct groups), and keyed on the choices of every split that
+// *matched* in the row. A split whose witness variables are all NULL
+// failed, so the alternative chosen there is irrelevant and is excluded
+// from the key — which also drops splits nested inside a failed subtree,
+// aligning branches whose split lists differ. A split with no witness
+// columns cannot prove failure and conservatively counts as matched.
+// Under full projection (which is where this runs; SELECT projection
+// happens later) two distinct master solutions never render identically,
+// so this key is exact.
+func dedupNullUnion(rows []Row, metas []*dupMeta) []Row {
+	seen := map[string]bool{}
+	out := rows[:0]
+	for i, r := range rows {
+		m := metas[i]
+		if m != nil && len(m.splits) > 0 {
+			anyFailed := false
+			var kb strings.Builder
+			kb.WriteString(m.group)
+			for _, sp := range m.splits {
+				if len(sp.cols) > 0 && allNull(r, sp.cols) {
+					anyFailed = true
+					continue
+				}
+				kb.WriteByte(0)
+				kb.WriteString(sp.id)
+				kb.WriteByte('=')
+				kb.WriteString(sp.choice)
+			}
+			if anyFailed {
+				kb.WriteByte(0)
+				kb.WriteString(r.key())
+				k := kb.String()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func allNull(r Row, cols []int) bool {
+	for _, c := range cols {
+		if !r.IsNull(c) {
+			return false
+		}
+	}
+	return true
 }
 
 // dedupNullified collapses rows that were changed by nullification and are

@@ -27,8 +27,9 @@ type Options struct {
 	NaiveJvarOrder bool
 	// Workers bounds the goroutines the engine uses for the parallel
 	// pruning and multi-way join phases. 0 means GOMAXPROCS; 1 forces the
-	// sequential code paths. Parallel execution returns the same rows in
-	// the same order as sequential execution.
+	// sequential code paths; negative values are treated as 1 (see
+	// EffectiveWorkers). Parallel execution returns the same rows in the
+	// same order as sequential execution.
 	Workers int
 }
 
@@ -126,24 +127,51 @@ func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query) (*Result, er
 
 	res := &Result{Vars: vars}
 	start := time.Now()
-	needCrossBranchBestMatch := false
-	var allRows []Row
 	for _, b := range branches {
 		if err := b.CheckSafeFilters(); err != nil {
 			return nil, err
 		}
 		b.SubstituteCheapFilters()
-		br, err := e.executeBranchCtx(ctx, b, vars)
+	}
+	// Three-variable patterns expand into per-predicate branches here, so
+	// everything below sees only patterns the BitMat layout supports.
+	execs, err := e.expandFullScans(branches)
+	if err != nil {
+		return nil, err
+	}
+	varPos := make(map[sparql.Var]int, len(vars))
+	for i, v := range vars {
+		varPos[v] = i
+	}
+	needCrossBranchBestMatch := false
+	var allRows []Row
+	// metas stays nil until some branch actually carries rule-3 collapse
+	// scope; a plain query never pays the per-row pointer.
+	var metas []*dupMeta
+	for _, eb := range execs {
+		br, err := e.executeBranchCtx(ctx, eb, vars)
 		if err != nil {
 			return nil, err
 		}
+		applyCheapSubsts(eb.b.Substs, br.Rows, varPos)
+		if meta := dupMetaFor(eb, varPos); meta != nil || metas != nil {
+			if metas == nil {
+				metas = make([]*dupMeta, len(allRows))
+			}
+			for range br.Rows {
+				metas = append(metas, meta)
+			}
+		}
 		allRows = append(allRows, br.Rows...)
 		accumulate(&res.Stats, &br.Stats)
-		if b.UsedRule3 || br.Stats.BestMatch {
+		if eb.b.UsedRule3 || br.Stats.BestMatch {
 			needCrossBranchBestMatch = true
 		}
 	}
-	if needCrossBranchBestMatch && len(branches) > 1 {
+	if needCrossBranchBestMatch && len(execs) > 1 {
+		if metas != nil {
+			allRows = dedupNullUnion(allRows, metas)
+		}
 		allRows = bestMatch(allRows)
 		res.Stats.BestMatch = true
 	}
@@ -261,12 +289,9 @@ func accumulate(dst, src *Stats) {
 	dst.EmptyShortcut = dst.EmptyShortcut || src.EmptyShortcut
 }
 
-// executeBranch runs one union-free branch (Algorithm 5.1).
-func (e *Engine) executeBranch(b *algebra.Branch, vars []sparql.Var) (*Result, error) {
-	return e.executeBranchCtx(context.Background(), b, vars)
-}
-
-func (e *Engine) executeBranchCtx(ctx context.Context, b *algebra.Branch, vars []sparql.Var) (*Result, error) {
+// executeBranchCtx runs one union-free branch (Algorithm 5.1).
+func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []sparql.Var) (*Result, error) {
+	b := eb.b
 	res := &Result{Vars: vars}
 
 	// Lines 1-2: GoSN and GoJ.
@@ -293,10 +318,15 @@ func (e *Engine) executeBranchCtx(ctx context.Context, b *algebra.Branch, vars [
 		naiveOrders(plan)
 	}
 
-	// Lines 3-4: init with active pruning.
+	// Lines 3-4: init with active pruning. A cancelled context aborts
+	// between pattern loads, so an expensive BitMat materialization is the
+	// most a dead query can still cost here.
 	tInit := time.Now()
 	tps := make([]*tpState, len(gosn.Patterns))
 	for i, pat := range gosn.Patterns {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		st, err := e.load(pat, i, gosn.SNOfTP[i], plan, tps)
 		if err != nil {
 			return nil, err
@@ -320,12 +350,17 @@ func (e *Engine) executeBranchCtx(ctx context.Context, b *algebra.Branch, vars [
 	}
 	res.Stats.Init = time.Since(tInit)
 
-	// Line 7: prune_triples (Algorithm 3.2).
+	// Line 7: prune_triples (Algorithm 3.2). The context threads into the
+	// pruning passes, which bail between jvar levels (and between waves of
+	// the parallel scheduler) when the query is cancelled.
 	tPrune := time.Now()
 	if !e.opts.DisablePruning {
-		e.pruneTriples(plan, tps)
+		e.pruneTriples(ctx, plan, tps)
 	}
 	res.Stats.Prune = time.Since(tPrune)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, st := range tps {
 		res.Stats.AfterPruning += st.count()
 	}
@@ -350,6 +385,7 @@ func (e *Engine) executeBranchCtx(ctx context.Context, b *algebra.Branch, vars [
 	for i, v := range vars {
 		varIdx[v] = i
 	}
+	forcedSlots := resolveForced(eb, stps, varIdx)
 	// joinChunk is one worker's share of the join output. With a single
 	// worker there is exactly one chunk; with several, each worker fills
 	// its own and the chunks concatenate — in partition order — to exactly
@@ -375,8 +411,9 @@ func (e *Engine) executeBranchCtx(ctx context.Context, b *algebra.Branch, vars [
 			}
 			rowChanged := false
 			// Nullification for reordered cyclic plans.
+			var failed map[int]bool
 			if r.nulreqd {
-				if failed := r.nullification(); failed != nil {
+				if failed = r.nullification(); failed != nil {
 					for v, sn := range r.ownerSN {
 						if sn >= 0 && failed[sn] {
 							row[v] = rdf.Term{}
@@ -385,11 +422,26 @@ func (e *Engine) executeBranchCtx(ctx context.Context, b *algebra.Branch, vars [
 					rowChanged = true
 				}
 			}
+			// Forced bindings of rewritten three-variable patterns: the
+			// predicate term binds only when its pattern matched a triple
+			// and the pattern's supernode survived nullification.
+			for _, fs := range forcedSlots {
+				if r.matched[fs.pos] == 1 && !failed[fs.sn] {
+					row[fs.col] = fs.term
+				}
+			}
 			// FaN: scoped slave filters nullify their supernodes' bindings on
 			// failure; row filters reject the row.
 			for _, sf := range slaveFilters {
 				if !filterHolds(sf.expr, row, varIdx) {
-					if e.nullifyScope(row, r, sf.sns) {
+					failedSNs, changed := e.nullifyScope(row, r, sf.sns)
+					for _, fs := range forcedSlots {
+						if failedSNs[fs.sn] && !row[fs.col].IsZero() {
+							row[fs.col] = rdf.Term{}
+							changed = true
+						}
+					}
+					if changed {
 						rowChanged = true
 						out.fanNullified = true
 					}
@@ -447,12 +499,14 @@ func (e *Engine) executeBranchCtx(ctx context.Context, b *algebra.Branch, vars [
 	return res, nil
 }
 
-// executeBranchStream runs one branch, streaming rows to fn when the plan
-// permits (no nullification/best-match pass needed). When best-match is
-// required it falls back to executeBranch and returns the materialized
-// result (non-nil) for the caller to replay; a nil result means rows were
-// streamed.
-func (e *Engine) executeBranchStream(b *algebra.Branch, vars []sparql.Var, fn func([]sparql.Var, Row) bool) (*Result, error) {
+// executeBranchStreamCtx runs one branch, streaming rows to fn when the
+// plan permits (no nullification/best-match pass needed). When best-match
+// is required it falls back to executeBranchCtx and returns the
+// materialized result (non-nil) for the caller to replay; a nil result
+// means rows were streamed. A cancelled context stops the enumeration; the
+// caller surfaces ctx.Err().
+func (e *Engine) executeBranchStreamCtx(ctx context.Context, eb execBranch, vars []sparql.Var, fn func([]sparql.Var, Row) bool) (*Result, error) {
+	b := eb.b
 	gosn, err := algebra.BuildGoSN(b.Tree)
 	if err != nil {
 		return nil, err
@@ -471,13 +525,16 @@ func (e *Engine) executeBranchStream(b *algebra.Branch, vars []sparql.Var, fn fu
 	if nulreqd || len(slaveFilters) > 0 {
 		// A trailing best-match (or potential FaN nullification) makes the
 		// output non-streamable.
-		return e.executeBranch(b, vars)
+		return e.executeBranchCtx(ctx, eb, vars)
 	}
 	if e.opts.NaiveJvarOrder && !plan.Greedy {
 		naiveOrders(plan)
 	}
 	tps := make([]*tpState, len(gosn.Patterns))
 	for i, pat := range gosn.Patterns {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		st, err := e.load(pat, i, gosn.SNOfTP[i], plan, tps)
 		if err != nil {
 			return nil, err
@@ -491,7 +548,10 @@ func (e *Engine) executeBranchStream(b *algebra.Branch, vars []sparql.Var, fn fu
 		}
 	}
 	if !e.opts.DisablePruning {
-		e.pruneTriples(plan, tps)
+		e.pruneTriples(ctx, plan, tps)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	for _, st := range tps {
 		if gosn.IsAbsoluteMaster(st.sn) && st.count() == 0 && st.mat != nil {
@@ -503,13 +563,22 @@ func (e *Engine) executeBranchStream(b *algebra.Branch, vars []sparql.Var, fn fu
 	for i, v := range vars {
 		varIdx[v] = i
 	}
+	forcedSlots := resolveForced(eb, stps, varIdx)
 	run := newJoinRun(e, plan, stps, vars, false, func(r *joinRun) bool {
+		if r.emitted&1023 == 0 && ctx.Err() != nil {
+			return false
+		}
 		row := make(Row, len(vars))
 		for v := range r.bindings {
 			if r.state[v] == stBound {
 				if t, err := e.term(r.bindings[v]); err == nil {
 					row[v] = t
 				}
+			}
+		}
+		for _, fs := range forcedSlots {
+			if r.matched[fs.pos] == 1 {
+				row[fs.col] = fs.term
 			}
 		}
 		for _, rf := range rowFilters {
@@ -521,6 +590,40 @@ func (e *Engine) executeBranchStream(b *algebra.Branch, vars []sparql.Var, fn fu
 	})
 	run.run()
 	return nil, nil
+}
+
+// applyCheapSubsts re-injects the bindings of whole-scope equality
+// filters that SubstituteCheapFilters folded into the patterns: the
+// replaced variable's column would otherwise stay NULL even though the
+// filter fixed its value in every row.
+func applyCheapSubsts(substs []algebra.CheapSubst, rows []Row, varPos map[sparql.Var]int) {
+	for _, cs := range substs {
+		col, ok := varPos[cs.Var]
+		if !ok {
+			continue
+		}
+		if cs.From != "" {
+			src, ok := varPos[cs.From]
+			if !ok {
+				continue
+			}
+			for _, r := range rows {
+				r[col] = r[src]
+			}
+			continue
+		}
+		for _, r := range rows {
+			r[col] = cs.Term
+		}
+	}
+}
+
+// applyCheapSubstsRow is applyCheapSubsts for one streamed row.
+func applyCheapSubstsRow(substs []algebra.CheapSubst, row Row, varPos map[sparql.Var]int) {
+	if len(substs) == 0 {
+		return
+	}
+	applyCheapSubsts(substs, []Row{row}, varPos)
 }
 
 // activePrune masks a freshly loaded pattern with the bindings of already
@@ -587,9 +690,10 @@ func filterHolds(expr sparql.Expr, row Row, varIdx map[sparql.Var]int) bool {
 }
 
 // nullifyScope nulls the variables owned by the given supernodes and
-// cascades to dependent slaves, mirroring nullification. It reports whether
-// anything was nulled.
-func (e *Engine) nullifyScope(row Row, r *joinRun, sns map[int]bool) bool {
+// cascades to dependent slaves, mirroring nullification. It returns the
+// cascaded failed supernode set (so the caller can clear forced bindings
+// of patterns in it) and whether any binding was cleared.
+func (e *Engine) nullifyScope(row Row, r *joinRun, sns map[int]bool) (map[int]bool, bool) {
 	failed := map[int]bool{}
 	for sn := range sns {
 		failed[sn] = true
@@ -602,7 +706,7 @@ func (e *Engine) nullifyScope(row Row, r *joinRun, sns map[int]bool) bool {
 			any = true
 		}
 	}
-	return any
+	return failed, any
 }
 
 // naiveOrders replaces the plan orders with a single arbitrary-rooted
@@ -671,6 +775,13 @@ func (res *Result) distinct() {
 // SELECT *). Queries outside that case are materialized internally and
 // replayed to fn. fn returning false stops the enumeration.
 func (e *Engine) ExecuteStream(q *sparql.Query, fn func(vars []sparql.Var, row Row) bool) error {
+	return e.ExecuteStreamContext(context.Background(), q, fn)
+}
+
+// ExecuteStreamContext is ExecuteStream with cancellation: a done context
+// stops the enumeration between rows (and between the per-predicate
+// branches of an expanded three-variable pattern) and returns ctx.Err().
+func (e *Engine) ExecuteStreamContext(ctx context.Context, q *sparql.Query, fn func(vars []sparql.Var, row Row) bool) error {
 	tree, err := algebra.FromQuery(q)
 	if err != nil {
 		return err
@@ -679,28 +790,67 @@ func (e *Engine) ExecuteStream(q *sparql.Query, fn func(vars []sparql.Var, row R
 	if err != nil {
 		return err
 	}
-	streamable := len(branches) == 1 && q.SelectAll() && !q.Distinct
-	if streamable {
+	if len(branches) == 1 && q.SelectAll() && !q.Distinct {
 		b := branches[0]
 		if err := b.CheckSafeFilters(); err != nil {
 			return err
 		}
 		b.SubstituteCheapFilters()
+		// Variables come from the pre-expansion tree so a rewritten
+		// predicate variable keeps its result column.
 		vars := algebra.SortedVars(b.Tree)
-		res, err := e.executeBranchStream(b, vars, fn)
-		if err != nil || res == nil {
+		execs, err := e.expandFullScans([]*algebra.Branch{b})
+		if err != nil {
 			return err
 		}
-		// res non-nil means the branch could not stream (best-match was
-		// required); replay the materialized rows.
-		for _, row := range res.Rows {
-			if !fn(res.Vars, row) {
-				return nil
+		// A rewrite whose union needs cross-branch best-match (rule 3
+		// analogue) cannot stream; everything else streams branch by
+		// branch, which for a plain full scan is one pass per predicate.
+		streamable := true
+		for _, eb := range execs {
+			if eb.b.UsedRule3 {
+				streamable = false
 			}
 		}
-		return nil
+		if streamable {
+			varPos := make(map[sparql.Var]int, len(vars))
+			for i, v := range vars {
+				varPos[v] = i
+			}
+			stopped := false
+			wrapped := func(vs []sparql.Var, row Row) bool {
+				applyCheapSubstsRow(b.Substs, row, varPos)
+				if !fn(vs, row) {
+					stopped = true
+					return false
+				}
+				return true
+			}
+			for _, eb := range execs {
+				res, err := e.executeBranchStreamCtx(ctx, eb, vars, wrapped)
+				if err != nil {
+					return err
+				}
+				if res != nil {
+					// The branch could not stream (best-match was
+					// required); replay its materialized rows.
+					for _, row := range res.Rows {
+						if !wrapped(res.Vars, row) {
+							break
+						}
+					}
+				}
+				if stopped {
+					return nil
+				}
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
 	}
-	res, err := e.Execute(q)
+	res, err := e.ExecuteContext(ctx, q)
 	if err != nil {
 		return err
 	}

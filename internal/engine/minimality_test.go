@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -67,7 +68,7 @@ func TestLemma33MinimalityProperty(t *testing.T) {
 		if abort {
 			continue
 		}
-		e.pruneTriples(plan, tps)
+		e.pruneTriples(context.Background(), plan, tps)
 
 		// Reference results give the ground-truth projections.
 		maps, _, err := ref.New(g).Execute(q)

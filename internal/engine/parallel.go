@@ -1,11 +1,12 @@
 package engine
 
 import (
-	"runtime"
+	"context"
 	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/planner"
+	"repro/internal/rdf"
 )
 
 // parallelMinTriples gates the parallel code paths: a pruning level or a
@@ -15,15 +16,16 @@ import (
 // fixtures.
 var parallelMinTriples int64 = 1024
 
-// workers resolves the effective worker-pool size: Options.Workers when
-// positive, GOMAXPROCS otherwise. A result of 1 selects the sequential
-// code paths everywhere.
-func (e *Engine) workers() int {
-	if e.opts.Workers > 0 {
-		return e.opts.Workers
-	}
-	return runtime.GOMAXPROCS(0)
-}
+// EffectiveWorkers resolves the worker-pool size an Options selects:
+// Workers when positive, GOMAXPROCS when zero, and 1 (sequential) for
+// negative values. One shared resolution (rdf.EffectiveWorkers) backs
+// every layer — engine, build pipeline, benchmarks — so the semantics
+// cannot drift between them.
+func (o Options) EffectiveWorkers() int { return rdf.EffectiveWorkers(o.Workers) }
+
+// workers resolves the effective worker-pool size. A result of 1 selects
+// the sequential code paths everywhere.
+func (e *Engine) workers() int { return e.opts.EffectiveWorkers() }
 
 // runLimited executes fns with at most limit goroutines in flight. With
 // limit <= 1 (or a single function) it degenerates to an in-order
@@ -113,15 +115,23 @@ func scheduleWaves(ops []*pruneOp) [][]*pruneOp {
 
 // runOps executes one level's ops, fanning conflict-free waves across the
 // worker pool. With limit <= 1 the ops run sequentially in order, which is
-// byte-for-byte the pre-parallel behavior.
-func runOps(limit int, ops []*pruneOp) {
+// byte-for-byte the pre-parallel behavior. A cancelled context stops
+// between ops (sequential) or waves (parallel); in-flight ops finish, so
+// the tpStates are never left mid-mutation.
+func runOps(ctx context.Context, limit int, ops []*pruneOp) {
 	if limit <= 1 || len(ops) <= 1 {
 		for _, op := range ops {
+			if ctx.Err() != nil {
+				return
+			}
 			op.run()
 		}
 		return
 	}
 	for _, wave := range scheduleWaves(ops) {
+		if ctx.Err() != nil {
+			return
+		}
 		fns := make([]func(), len(wave))
 		for i, op := range wave {
 			fns[i] = op.run

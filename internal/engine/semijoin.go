@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"repro/internal/bitvec"
 	"repro/internal/planner"
 	"repro/internal/sparql"
@@ -124,11 +126,17 @@ func (e *Engine) maskForSpace(mask *bitvec.Bits, maskSpace, axisSpace Space) *bi
 // clustered-semi-joins within each peer group. With more than one worker
 // configured, the ops of one jvar level fan out in conflict-free waves
 // (see scheduleWaves), which is execution-order equivalent to — and hence
-// produces the same pruned matrices as — the sequential loop.
-func (e *Engine) pruneTriples(plan *planner.Plan, tps []*tpState) {
+// produces the same pruned matrices as — the sequential loop. A cancelled
+// context stops the passes between jvar levels (and between waves); the
+// caller checks ctx.Err() afterwards, so a partial prune is never treated
+// as a complete one.
+func (e *Engine) pruneTriples(ctx context.Context, plan *planner.Plan, tps []*tpState) {
 	limit := e.workers()
 	pass := func(order []int) {
 		for _, jIdx := range order {
+			if ctx.Err() != nil {
+				return
+			}
 			holders := plan.GoJ.TPsOfVar[jIdx]
 			lvlLimit := limit
 			if lvlLimit > 1 {
@@ -142,7 +150,7 @@ func (e *Engine) pruneTriples(plan *planner.Plan, tps []*tpState) {
 					lvlLimit = 1
 				}
 			}
-			runOps(lvlLimit, e.levelOps(plan.GoJ.Vars[jIdx], holders, plan, tps))
+			runOps(ctx, lvlLimit, e.levelOps(plan.GoJ.Vars[jIdx], holders, plan, tps))
 		}
 	}
 	pass(plan.OrderBU)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/algebra"
@@ -103,7 +104,7 @@ func TestPruneTriplesExample1(t *testing.T) {
 	// ?sitcom leaves tp2 with exactly (Julia actedIn Seinfeld).
 	g := figure32Graph()
 	e, plan, tps := setupTPs(t, g, q2)
-	e.pruneTriples(plan, tps)
+	e.pruneTriples(context.Background(), plan, tps)
 	if tps[0].count() != 2 {
 		t.Errorf("tp1 = %d, want 2", tps[0].count())
 	}

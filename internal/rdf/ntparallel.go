@@ -1,0 +1,158 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ntBatchLines is the pipeline granularity: the reader hands workers runs
+// of this many raw lines. Large enough to amortize channel traffic, small
+// enough to keep every worker busy on medium files.
+const ntBatchLines = 512
+
+// ntParallelMinBytes gates the parallel reader: inputs smaller than this
+// parse sequentially, since the goroutine and channel fan-out would cost
+// more than the parse itself.
+const ntParallelMinBytes = 64 * 1024
+
+type ntBatch struct {
+	seq       int
+	startLine int // 1-based line number of lines[0]
+	lines     []string
+}
+
+type ntResult struct {
+	seq     int
+	triples []Triple
+	err     error
+}
+
+// ReadNTriplesParallel is ReadNTriples with a parse pipeline: one reader
+// goroutine chunks the input into line batches, workers parse the batches
+// concurrently, and the results are merged back in input order, so the
+// resulting Graph (triple order, duplicate suppression, and the first
+// reported error) is identical to the sequential reader's. workers <= 0
+// follows the Options.Workers convention: 0 means GOMAXPROCS, negative is
+// treated as 1.
+func ReadNTriplesParallel(r io.Reader, workers int) (*Graph, error) {
+	workers = EffectiveWorkers(workers)
+	if workers == 1 {
+		return ReadNTriples(r)
+	}
+	// Small-input gate, mirroring the other parallel paths' thresholds: an
+	// input that fits one peek window costs more to fan out than to parse.
+	br := bufio.NewReaderSize(r, ntParallelMinBytes)
+	if peek, _ := br.Peek(ntParallelMinBytes); len(peek) < ntParallelMinBytes {
+		return ReadNTriples(br)
+	}
+	r = br
+
+	batches := make(chan ntBatch, workers*2)
+	results := make(chan ntResult, workers*2)
+	stop := make(chan struct{})
+	readDone := make(chan error, 1)
+
+	go func() {
+		defer close(batches)
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		seq, lineNo := 0, 0
+		start := 1
+		lines := make([]string, 0, ntBatchLines)
+		flush := func() bool {
+			if len(lines) == 0 {
+				return true
+			}
+			select {
+			case batches <- ntBatch{seq: seq, startLine: start, lines: lines}:
+				seq++
+				start = lineNo + 1
+				lines = make([]string, 0, ntBatchLines)
+				return true
+			case <-stop:
+				return false
+			}
+		}
+		for sc.Scan() {
+			lineNo++
+			lines = append(lines, sc.Text())
+			if len(lines) >= ntBatchLines {
+				if !flush() {
+					readDone <- nil
+					return
+				}
+			}
+		}
+		flush()
+		readDone <- sc.Err()
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range batches {
+				res := ntResult{seq: b.seq}
+				res.triples = make([]Triple, 0, len(b.lines))
+				for i, raw := range b.lines {
+					tr, ok, err := parseNTLine(raw)
+					if err != nil {
+						res.err = fmt.Errorf("rdf: line %d: %w", b.startLine+i, err)
+						break
+					}
+					if ok {
+						res.triples = append(res.triples, tr)
+					}
+				}
+				select {
+				case results <- res:
+				case <-stop:
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Merge in sequence order: duplicates collapse and errors surface
+	// exactly as they would in a sequential pass.
+	g := NewGraph()
+	pending := map[int]ntResult{}
+	next := 0
+	var firstErr error
+	for res := range results {
+		if firstErr != nil {
+			continue // drain so the workers can exit
+		}
+		pending[res.seq] = res
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if cur.err != nil {
+				firstErr = cur.err
+				close(stop)
+				break
+			}
+			for _, tr := range cur.triples {
+				g.Add(tr)
+			}
+			next++
+		}
+	}
+	readErr := <-readDone
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if readErr != nil {
+		return nil, readErr
+	}
+	return g, nil
+}

@@ -19,20 +19,34 @@ func ReadNTriples(r io.Reader) (*Graph, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		tr, err := ParseTripleLine(line)
+		tr, ok, err := parseNTLine(sc.Text())
 		if err != nil {
 			return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
 		}
-		g.Add(tr)
+		if ok {
+			g.Add(tr)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	return g, nil
+}
+
+// parseNTLine is the per-line handling both the sequential and the
+// parallel reader share — one definition, so their "identical to
+// sequential" guarantee cannot drift: trim, skip blanks and comments
+// (ok=false), parse otherwise.
+func parseNTLine(raw string) (Triple, bool, error) {
+	line := strings.TrimSpace(raw)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Triple{}, false, nil
+	}
+	tr, err := ParseTripleLine(line)
+	if err != nil {
+		return Triple{}, false, err
+	}
+	return tr, true, nil
 }
 
 // ParseTripleLine parses one N-Triples statement, with or without the

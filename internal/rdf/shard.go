@@ -1,0 +1,238 @@
+package rdf
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// The sharded dictionary builder parallelizes the term-universe
+// accumulation of DictionaryBuilder: terms hash to one of a fixed number of
+// shards, each guarded by its own mutex, so concurrent writers contend only
+// when they touch the same shard. The final Build merges the shards and
+// assigns the exact Appendix-D coordinate layout of the sequential builder
+// — band classification and lexicographic order depend only on the term
+// *set*, never on insertion order or shard placement, so the resulting
+// Dictionary (and everything downstream: triple IDs, the BitMat tables,
+// the persist format) is byte-identical to a sequential build.
+
+// EffectiveWorkers is the one resolution of the Workers convention used
+// across the module (engine options, the build pipeline, the benchmarks):
+// n when positive, GOMAXPROCS when zero, and 1 (sequential) for negative
+// values — a negative count is a configuration mistake, not a request for
+// unbounded fan-out.
+func EffectiveWorkers(n int) int {
+	switch {
+	case n > 0:
+		return n
+	case n < 0:
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// role bits of one term within a shard.
+const (
+	roleSubject   uint8 = 1 << iota // term occurs in subject position
+	roleObject                      // term occurs in object position
+	rolePredicate                   // term occurs in predicate position
+)
+
+type dictShard struct {
+	mu    sync.Mutex
+	terms map[string]Term
+	roles map[string]uint8
+}
+
+// ShardedDictionaryBuilder is a concurrency-safe DictionaryBuilder: any
+// number of goroutines may Add triples at once. Build must not run
+// concurrently with Add.
+type ShardedDictionaryBuilder struct {
+	shards []dictShard
+}
+
+// NewShardedDictionaryBuilder returns a builder with nShards term shards
+// (minimum 1; a power of two is rounded up for cheap masking).
+func NewShardedDictionaryBuilder(nShards int) *ShardedDictionaryBuilder {
+	if nShards < 1 {
+		nShards = 1
+	}
+	pow := 1
+	for pow < nShards {
+		pow <<= 1
+	}
+	b := &ShardedDictionaryBuilder{shards: make([]dictShard, pow)}
+	for i := range b.shards {
+		b.shards[i].terms = map[string]Term{}
+		b.shards[i].roles = map[string]uint8{}
+	}
+	return b
+}
+
+// shardIndex hashes a term key to its shard index (FNV-1a).
+func (b *ShardedDictionaryBuilder) shardIndex(key string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h & uint64(len(b.shards)-1))
+}
+
+func (b *ShardedDictionaryBuilder) shardOf(key string) *dictShard {
+	return &b.shards[b.shardIndex(key)]
+}
+
+func (b *ShardedDictionaryBuilder) add(t Term, role uint8) {
+	key := t.Key()
+	sh := b.shardOf(key)
+	sh.mu.Lock()
+	if _, ok := sh.terms[key]; !ok {
+		sh.terms[key] = t
+	}
+	sh.roles[key] |= role
+	sh.mu.Unlock()
+}
+
+// Add records the terms of one triple. Safe for concurrent use.
+func (b *ShardedDictionaryBuilder) Add(tr Triple) {
+	b.add(tr.S, roleSubject)
+	b.add(tr.P, rolePredicate)
+	b.add(tr.O, roleObject)
+}
+
+// AddAll records the terms of a batch of triples, grouping them by shard
+// first so each shard's lock is taken once per batch instead of once per
+// term — the preferred bulk path for pipeline workers.
+func (b *ShardedDictionaryBuilder) AddAll(trs []Triple) {
+	type entry struct {
+		key  string
+		t    Term
+		role uint8
+	}
+	groups := make([][]entry, len(b.shards))
+	put := func(t Term, role uint8) {
+		k := t.Key()
+		i := b.shardIndex(k)
+		groups[i] = append(groups[i], entry{key: k, t: t, role: role})
+	}
+	for _, tr := range trs {
+		put(tr.S, roleSubject)
+		put(tr.P, rolePredicate)
+		put(tr.O, roleObject)
+	}
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		for _, e := range g {
+			if _, ok := sh.terms[e.key]; !ok {
+				sh.terms[e.key] = e.t
+			}
+			sh.roles[e.key] |= e.role
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Build merges the shards and assigns IDs exactly as
+// DictionaryBuilder.Build does: Vso first (shared prefix on both S and O),
+// then Vs-Vso, Vo-Vso, and Vp, each band lexicographic by key.
+func (b *ShardedDictionaryBuilder) Build() *Dictionary {
+	var shared, sOnly, oOnly, preds []string
+	nTerms := 0
+	for i := range b.shards {
+		nTerms += len(b.shards[i].terms)
+	}
+	termOf := make(map[string]Term, nTerms)
+	for i := range b.shards {
+		sh := &b.shards[i]
+		for k, role := range sh.roles {
+			termOf[k] = sh.terms[k]
+			switch {
+			case role&roleSubject != 0 && role&roleObject != 0:
+				shared = append(shared, k)
+			case role&roleSubject != 0:
+				sOnly = append(sOnly, k)
+			case role&roleObject != 0:
+				oOnly = append(oOnly, k)
+			}
+			if role&rolePredicate != 0 {
+				preds = append(preds, k)
+			}
+		}
+	}
+	sort.Strings(shared)
+	sort.Strings(sOnly)
+	sort.Strings(oOnly)
+	sort.Strings(preds)
+
+	d := &Dictionary{
+		subjects:    make([]Term, 0, len(shared)+len(sOnly)),
+		objects:     make([]Term, 0, len(shared)+len(oOnly)),
+		predicates:  make([]Term, 0, len(preds)),
+		subjectID:   make(map[string]ID, len(shared)+len(sOnly)),
+		objectID:    make(map[string]ID, len(shared)+len(oOnly)),
+		predicateID: make(map[string]ID, len(preds)),
+		numSO:       len(shared),
+	}
+	for _, k := range shared {
+		t := termOf[k]
+		d.subjects = append(d.subjects, t)
+		d.objects = append(d.objects, t)
+		id := ID(len(d.subjects))
+		d.subjectID[k] = id
+		d.objectID[k] = id
+	}
+	for _, k := range sOnly {
+		d.subjects = append(d.subjects, termOf[k])
+		d.subjectID[k] = ID(len(d.subjects))
+	}
+	for _, k := range oOnly {
+		d.objects = append(d.objects, termOf[k])
+		d.objectID[k] = ID(len(d.objects))
+	}
+	for _, k := range preds {
+		d.predicates = append(d.predicates, termOf[k])
+		d.predicateID[k] = ID(len(d.predicates))
+	}
+	return d
+}
+
+// BuildDictionaryParallel builds the Appendix-D dictionary of a triple
+// slice with the given number of workers (0 means GOMAXPROCS, negative is
+// treated as 1). With one worker it is the sequential DictionaryBuilder;
+// any worker count yields an identical Dictionary.
+func BuildDictionaryParallel(triples []Triple, workers int) *Dictionary {
+	workers = EffectiveWorkers(workers)
+	if workers == 1 || len(triples) < 2048 {
+		b := NewDictionaryBuilder()
+		for _, tr := range triples {
+			b.Add(tr)
+		}
+		return b.Build()
+	}
+	// Shard count well above the worker count keeps lock contention low.
+	b := NewShardedDictionaryBuilder(workers * 8)
+	var wg sync.WaitGroup
+	chunk := (len(triples) + workers - 1) / workers
+	for lo := 0; lo < len(triples); lo += chunk {
+		hi := lo + chunk
+		if hi > len(triples) {
+			hi = len(triples)
+		}
+		wg.Add(1)
+		go func(part []Triple) {
+			defer wg.Done()
+			b.AddAll(part)
+		}(triples[lo:hi])
+	}
+	wg.Wait()
+	return b.Build()
+}

@@ -1,0 +1,154 @@
+package rdf
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// shardFixture returns a triple set exercising all dictionary bands:
+// shared S/O terms, subject-only, object-only, literals, and blanks.
+func shardFixture(n int) []Triple {
+	var out []Triple
+	for i := 0; i < n; i++ {
+		a := fmt.Sprintf("e%03d", i%97)
+		b := fmt.Sprintf("e%03d", (i+1)%97)
+		out = append(out, T(a, fmt.Sprintf("p%d", i%7), b))
+		if i%3 == 0 {
+			out = append(out, TL(a, "label", fmt.Sprintf("name \"%d\" \\ slash", i)))
+		}
+		if i%11 == 0 {
+			out = append(out, Triple{S: NewBlank(fmt.Sprintf("b%d", i)), P: NewIRI("ref"), O: NewIRI(a)})
+		}
+	}
+	return out
+}
+
+func dictBytes(t *testing.T, d *Dictionary) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardedDictionaryMatchesSequential checks that the sharded builder —
+// fed concurrently from many goroutines — produces a dictionary
+// byte-identical (via the persist format) to the sequential builder's.
+func TestShardedDictionaryMatchesSequential(t *testing.T) {
+	triples := shardFixture(500)
+	seq := NewDictionaryBuilder()
+	for _, tr := range triples {
+		seq.Add(tr)
+	}
+	want := dictBytes(t, seq.Build())
+
+	sh := NewShardedDictionaryBuilder(16)
+	var wg sync.WaitGroup
+	const writers = 8
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(triples); i += writers {
+				sh.Add(triples[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := dictBytes(t, sh.Build()); !bytes.Equal(got, want) {
+		t.Fatal("sharded dictionary differs from sequential build")
+	}
+}
+
+// TestBuildDictionaryParallelDeterministic pins that every worker count
+// yields the same dictionary.
+func TestBuildDictionaryParallelDeterministic(t *testing.T) {
+	// Above the parallel gate so workers>1 actually shards.
+	triples := shardFixture(3000)
+	want := dictBytes(t, BuildDictionaryParallel(triples, 1))
+	for _, workers := range []int{0, 2, 3, 8, -4} {
+		got := dictBytes(t, BuildDictionaryParallel(triples, workers))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: dictionary differs from sequential build", workers)
+		}
+	}
+}
+
+func ntFixture(lines int) string {
+	var sb strings.Builder
+	sb.WriteString("# generated fixture\n\n")
+	for i := 0; i < lines; i++ {
+		switch i % 4 {
+		case 0:
+			fmt.Fprintf(&sb, "<http://x/s%d> <http://x/p%d> <http://x/o%d> .\n", i%211, i%5, (i+3)%211)
+		case 1:
+			fmt.Fprintf(&sb, "<http://x/s%d> <http://x/label> \"v \\\"%d\\\" \\\\ \\n end\"@en .\n", i%211, i)
+		case 2:
+			fmt.Fprintf(&sb, "_:b%d <http://x/p0> \"%d\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n", i, i)
+		default:
+			// Deliberate duplicate of the case-0 form two lines earlier.
+			fmt.Fprintf(&sb, "<http://x/s%d> <http://x/p%d> <http://x/o%d> .\n", (i-3)%211, (i-3)%5, i%211)
+		}
+	}
+	return sb.String()
+}
+
+// TestReadNTriplesParallelMatchesSequential checks triples, order, and
+// duplicate suppression against the sequential reader.
+func TestReadNTriplesParallelMatchesSequential(t *testing.T) {
+	src := ntFixture(4000)
+	want, err := ReadNTriples(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		got, err := ReadNTriplesParallel(strings.NewReader(src), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("workers=%d: %d triples, want %d", workers, got.Len(), want.Len())
+		}
+		var wb, gb bytes.Buffer
+		if err := WriteNTriples(&wb, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteNTriples(&gb, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wb.Bytes(), gb.Bytes()) {
+			t.Fatalf("workers=%d: serialized graph differs from sequential parse", workers)
+		}
+	}
+}
+
+// TestReadNTriplesParallelErrorParity pins that the parallel reader
+// reports the same first (in input order) parse error as the sequential
+// one, even when a later batch also fails.
+func TestReadNTriplesParallelErrorParity(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&sb, "<http://x/s%d> <http://x/p> <http://x/o%d> .\n", i, i)
+		if i == 700 || i == 1500 {
+			sb.WriteString("this is not a triple\n")
+		}
+	}
+	src := sb.String()
+	_, seqErr := ReadNTriples(strings.NewReader(src))
+	if seqErr == nil {
+		t.Fatal("sequential parse must fail")
+	}
+	for _, workers := range []int{2, 8} {
+		_, parErr := ReadNTriplesParallel(strings.NewReader(src), workers)
+		if parErr == nil {
+			t.Fatalf("workers=%d: parse must fail", workers)
+		}
+		if parErr.Error() != seqErr.Error() {
+			t.Fatalf("workers=%d: error %q, want %q", workers, parErr, seqErr)
+		}
+	}
+}

@@ -61,12 +61,20 @@ type Options struct {
 	DisablePruning       bool
 	DisableActivePruning bool
 	NaiveJvarOrder       bool
-	// Workers bounds the goroutines used by the parallel pruning and
-	// multi-way join phases of each query. 0 means GOMAXPROCS; 1 forces
-	// sequential execution. Parallel execution returns rows identical to
-	// (and in the same order as) sequential execution.
+	// Workers bounds the goroutines used by the parallel phases of the
+	// store: the pruning and multi-way join of each query, and the build
+	// pipeline (N-Triples parsing, dictionary sharding, and per-predicate
+	// BitMat table construction). 0 means GOMAXPROCS; 1 forces sequential
+	// execution; negative values are treated as 1. Parallel execution
+	// returns rows identical to (and in the same order as) sequential
+	// execution, and a parallel Build produces a dictionary, index, and
+	// SaveIndex snapshot byte-identical to a sequential build's.
 	Workers int
 }
+
+// EffectiveWorkers reports the worker count the options resolve to:
+// Workers when positive, GOMAXPROCS when zero, and 1 for negative values.
+func (o Options) EffectiveWorkers() int { return o.engineOptions().EffectiveWorkers() }
 
 // Store holds an RDF graph and, after Build, its BitMat index.
 //
@@ -118,9 +126,13 @@ func (s *Store) AddAll(ts []Triple) int {
 }
 
 // LoadNTriples reads N-Triples into the store, returning the number of
-// statements added.
+// statements added. With Options.Workers other than 1 the parse runs as a
+// pipeline (reader, parallel line parsing, in-order merge), producing the
+// same triples, order, and first error as a sequential parse.
 func (s *Store) LoadNTriples(r io.Reader) (int, error) {
-	g, err := rdf.ReadNTriples(r)
+	// opts is immutable after construction, so reading it without the
+	// store lock is safe here.
+	g, err := rdf.ReadNTriplesParallel(r, s.opts.EffectiveWorkers())
 	if err != nil {
 		return 0, err
 	}
@@ -169,9 +181,12 @@ func (o Options) engineOptions() engine.Options {
 	}
 }
 
-// buildLocked rebuilds the index snapshot; the caller holds mu.
+// buildLocked rebuilds the index snapshot; the caller holds mu. The build
+// fans the dictionary encode and the per-predicate table construction
+// across Options.Workers goroutines; any worker count yields an identical
+// index (see bitmat.BuildParallel).
 func (s *Store) buildLocked() error {
-	idx, err := bitmat.Build(s.graph)
+	idx, err := bitmat.BuildParallel(s.graph, s.opts.EffectiveWorkers())
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package lbr
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 
@@ -18,9 +19,19 @@ var storeMagic = []byte("LBRSTOR1")
 
 // SaveIndex writes the built dictionary and index so a later process can
 // query without re-parsing N-Triples. Build is invoked first if needed.
+// The snapshot depends only on the graph's triple set — the dictionary
+// layout is a pure function of the term set and the pair tables are
+// canonically sorted — so sequential and parallel builds (any
+// Options.Workers) write byte-identical snapshots.
 func (s *Store) SaveIndex(w io.Writer) error {
 	idx, err := s.ensureIndex()
 	if err != nil {
+		return err
+	}
+	// Format-compat assertion: a build-path bug that desynchronized the
+	// pair tables from the dictionary would otherwise persist a snapshot
+	// that only fails (or worse, misanswers) when reloaded.
+	if err := idx.Validate(); err != nil {
 		return err
 	}
 	bw := bufio.NewWriter(w)
@@ -93,6 +104,14 @@ func OpenIndexWithOptions(r io.Reader, opts Options) (*Store, error) {
 // output needs a final subsumption pass — and fall back to materializing
 // internally before replaying rows to fn.
 func (s *Store) QueryStream(src string, fn func(map[string]Term) bool) error {
+	return s.QueryStreamContext(context.Background(), src, fn)
+}
+
+// QueryStreamContext is QueryStream with cancellation: a done context stops
+// the enumeration — in the init, prune, and join phases alike — and
+// returns ctx.Err(), so a streaming consumer that goes away does not burn
+// the rest of the scan.
+func (s *Store) QueryStreamContext(ctx context.Context, src string, fn func(map[string]Term) bool) error {
 	eng, err := s.ensureEngine()
 	if err != nil {
 		return err
@@ -101,7 +120,7 @@ func (s *Store) QueryStream(src string, fn func(map[string]Term) bool) error {
 	if err != nil {
 		return err
 	}
-	return eng.ExecuteStream(q, func(vars []sparql.Var, row engine.Row) bool {
+	return eng.ExecuteStreamContext(ctx, q, func(vars []sparql.Var, row engine.Row) bool {
 		m := make(map[string]Term, len(vars))
 		for i, v := range vars {
 			if !row[i].IsZero() {
