@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify bench bench-parallel bench-build
+.PHONY: all build test race vet fmt-check verify serve-smoke bench bench-parallel bench-build bench-server
 
 # The default target is the full tier-1 verification, race detector included.
 all: verify
@@ -26,6 +26,12 @@ fmt-check:
 # under the race detector.
 verify: build vet fmt-check race
 
+# serve-smoke boots the real lbrserver binary on an ephemeral port, runs a
+# content-negotiated SPARQL Protocol query over HTTP, and asserts the JSON
+# body (see scripts/serve_smoke.sh).
+serve-smoke:
+	GO=$(GO) sh scripts/serve_smoke.sh
+
 # bench regenerates the paper's evaluation tables at the default scales.
 bench:
 	$(GO) run ./cmd/lbrbench -table all
@@ -38,3 +44,8 @@ bench-parallel:
 # (load pipeline) baseline.
 bench-build:
 	$(GO) run ./cmd/lbrbench -table build -lubm-univ 32 -runs 7 -workers 0 -json BENCH_build.json
+
+# bench-server refreshes the checked-in end-to-end HTTP latency/throughput
+# baseline of the SPARQL Protocol server.
+bench-server:
+	$(GO) run ./cmd/lbrbench -table server -lubm-univ 32 -runs 7 -workers 0 -json BENCH_server.json

@@ -1,4 +1,4 @@
-package lbr
+package lbr_test
 
 // The root benchmarks regenerate every table of the paper's evaluation
 // section (see DESIGN.md section 4 for the experiment index):
@@ -20,6 +20,7 @@ import (
 	"sync"
 	"testing"
 
+	lbr "repro"
 	"repro/internal/baseline"
 	"repro/internal/bench"
 	"repro/internal/bitmat"
@@ -262,7 +263,7 @@ func BenchmarkCrossover(b *testing.B) {
 // BenchmarkFigure32Example times the running example end to end, the
 // worked example every section of the paper builds on.
 func BenchmarkFigure32Example(b *testing.B) {
-	store := NewStore()
+	store := lbr.NewStore()
 	for _, tr := range [][3]string{
 		{"Julia", "actedIn", "Seinfeld"},
 		{"Julia", "actedIn", "Veep"},
@@ -276,7 +277,7 @@ func BenchmarkFigure32Example(b *testing.B) {
 		{"CurbYourEnthu", "location", "LosAngeles"},
 		{"NewAdvOldChristine", "location", "Jersey"},
 	} {
-		store.Add(TripleIRI(tr[0], tr[1], tr[2]))
+		store.Add(lbr.TripleIRI(tr[0], tr[1], tr[2]))
 	}
 	if err := store.Build(); err != nil {
 		b.Fatal(err)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +33,7 @@ func main() {
 		base      = flag.String("baseline", "", "run on a baseline engine instead: monetdb|virtuoso")
 		maxRows   = flag.Int("maxrows", 0, "print at most this many rows (0 = all)")
 		workers   = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		timeout   = flag.Duration("timeout", 0, "abort the query after this long, e.g. 30s (0 = no bound)")
 	)
 	flag.Parse()
 
@@ -125,11 +127,20 @@ func main() {
 		return
 	}
 
+	// A runaway query is bounded through the engine's context plumbing:
+	// the deadline aborts init, prune, and join alike.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var res *lbr.Result
 	var err error
 	switch *base {
 	case "":
-		res, err = store.Query(src)
+		res, err = store.QueryContext(ctx, src)
 	case "monetdb":
 		res, err = store.QueryBaseline(src, lbr.MonetDBLike)
 	case "virtuoso":

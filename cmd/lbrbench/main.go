@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "all", "which experiment: 6.1|6.2|6.3|6.4|index-sizes|ablations|crossover|parallel|build|all")
+		table    = flag.String("table", "all", "which experiment: 6.1|6.2|6.3|6.4|index-sizes|ablations|crossover|parallel|build|server|all")
 		lubmU    = flag.Int("lubm-univ", 16, "LUBM scale: universities")
 		uniprotP = flag.Int("uniprot-proteins", 20000, "UniProt scale: proteins")
 		dbpediaE = flag.Int("dbpedia-entities", 40000, "DBPedia scale: entities")
@@ -49,7 +49,7 @@ func main() {
 	var lubm, uniprot, dbpedia *bench.Dataset
 	build := func() {
 		var err error
-		if lubm == nil && want("6.1", "6.2", "index-sizes", "ablations", "parallel", "build") {
+		if lubm == nil && want("6.1", "6.2", "index-sizes", "ablations", "parallel", "build", "server") {
 			step("generating LUBM-like dataset (%d universities)", *lubmU)
 			lubm, err = bench.BuildLUBM(*lubmU)
 			check(err)
@@ -158,6 +158,27 @@ func main() {
 			f, err := os.Create(*jsonPath)
 			check(err)
 			check(bench.WriteBuildJSON(f, rep))
+			check(f.Close())
+			step("wrote %s", *jsonPath)
+		}
+	}
+
+	if want("server") && lubm != nil {
+		w := engine.Options{Workers: *workers}.EffectiveWorkers()
+		maxConc := 4 * w // the server's own default, recorded in the report
+		step("running SPARQL Protocol server bench (workers=%d, max-concurrent=%d)", w, maxConc)
+		ms, tp, err := bench.RunServerTable(lubm, w, maxConc, *runs)
+		check(err)
+		bench.FprintServerTable(os.Stdout,
+			fmt.Sprintf("SPARQL server: LUBM (%d triples) over HTTP, %d workers", lubm.Graph.Len(), w), ms, tp)
+		fmt.Println()
+		// -json is shared with the other tables; write the server report
+		// only when this run is specifically the server table.
+		if *jsonPath != "" && *table == "server" {
+			rep := bench.NewServerReport(w, maxConc, *runs, ms, tp)
+			f, err := os.Create(*jsonPath)
+			check(err)
+			check(bench.WriteServerJSON(f, rep))
 			check(f.Close())
 			step("wrote %s", *jsonPath)
 		}

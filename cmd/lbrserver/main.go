@@ -1,0 +1,143 @@
+// Command lbrserver serves a Left Bit Right store over HTTP as a SPARQL
+// 1.1 Protocol endpoint, streaming SELECT results in the four W3C result
+// formats with Accept-header content negotiation.
+//
+// Usage:
+//
+//	lbrserver -data graph.nt -addr :8080
+//	lbrserver -index graph.lbr -addr 127.0.0.1:0 -timeout 30s -max-concurrent 32
+//
+//	curl 'http://localhost:8080/sparql?query=SELECT+*+WHERE+%7B+%3Fs+%3Fp+%3Fo+.+%7D'
+//	curl -H 'Accept: text/csv' --data-urlencode 'query=ASK { ?s ?p ?o . }' http://localhost:8080/sparql
+//
+// The endpoint is GET/POST /sparql; /healthz is a liveness probe and
+// /metrics reports queries served, in-flight, rows streamed, and latency
+// buckets as JSON. SIGINT/SIGTERM drain in-flight queries before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "N-Triples file to load and index")
+		indexPath = flag.String("index", "", "binary index snapshot to open (alternative to -data)")
+		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-query timeout (0 = unlimited)")
+		maxConc   = flag.Int("max-concurrent", 0, "max queries executing at once (0 = 4x workers)")
+		workers   = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	)
+	flag.Parse()
+
+	if (*dataPath == "") == (*indexPath == "") {
+		fmt.Fprintln(os.Stderr, "lbrserver: exactly one of -data or -index is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	store, err := loadStore(*dataPath, *indexPath, *workers)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := server.New(store, server.Config{
+		Timeout:       *timeout,
+		MaxConcurrent: *maxConc,
+	})
+	httpSrv := &http.Server{
+		Handler: srv.Handler(),
+		// Transport-level hygiene, distinct from the per-query -timeout:
+		// a client that dribbles request headers or parks an idle
+		// connection must not hold a goroutine outside the admission
+		// semaphore's protection. Write timeouts are deliberately absent —
+		// result streaming is legitimately long-lived and bounded by the
+		// query timeout instead.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The resolved address matters when -addr requested an ephemeral port
+	// (the serve-smoke harness does); announce it before serving.
+	fmt.Fprintf(os.Stderr, "lbrserver: listening on %s (timeout=%s, max-concurrent=%d, workers=%d)\n",
+		ln.Addr(), *timeout, srv.MaxConcurrent(), store.Options().EffectiveWorkers())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "lbrserver: shutting down, draining in-flight queries")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "lbrserver: forced shutdown:", err)
+			httpSrv.Close()
+		}
+	}
+	snap := srv.Metrics().Snapshot()
+	fmt.Fprintf(os.Stderr, "lbrserver: served %d queries (%d rows, %d errors)\n",
+		snap.QueriesServed, snap.RowsStreamed, snap.QueryErrors)
+}
+
+func loadStore(dataPath, indexPath string, workers int) (*lbr.Store, error) {
+	start := time.Now()
+	if indexPath != "" {
+		f, err := os.Open(indexPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		store, err := lbr.OpenIndexWithOptions(f, lbr.Options{Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "lbrserver: opened index with %d triples in %s\n",
+			store.Len(), time.Since(start).Round(time.Millisecond))
+		return store, nil
+	}
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	store := lbr.NewStoreWithOptions(lbr.Options{Workers: workers})
+	n, err := store.LoadNTriples(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.Build(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "lbrserver: loaded %d triples and built index in %s\n",
+		n, time.Since(start).Round(time.Millisecond))
+	return store, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbrserver:", err)
+	os.Exit(1)
+}

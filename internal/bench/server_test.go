@@ -1,0 +1,35 @@
+package bench
+
+import "testing"
+
+// TestRunServerTableSmoke runs the HTTP bench end to end at the smallest
+// scale: every workload query must round-trip the real server with a 200
+// and a non-empty TSV body, and the throughput replay must finish without
+// rejections (the bound is sized above the client count).
+func TestRunServerTableSmoke(t *testing.T) {
+	ds, err := BuildLUBM(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, tp, err := RunServerTable(ds, 1, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(ds.Queries) {
+		t.Fatalf("measured %d queries, want %d", len(ms), len(ds.Queries))
+	}
+	for _, m := range ms {
+		if m.Bytes == 0 {
+			t.Errorf("%s: empty body", m.Query)
+		}
+		if m.TMedianMS <= 0 {
+			t.Errorf("%s: non-positive latency %v", m.Query, m.TMedianMS)
+		}
+	}
+	if tp.Requests == 0 || tp.QPS <= 0 {
+		t.Errorf("throughput not measured: %+v", tp)
+	}
+	if tp.Rejected != 0 {
+		t.Errorf("throughput run was rejected %d times with bound above client count", tp.Rejected)
+	}
+}

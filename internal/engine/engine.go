@@ -91,16 +91,67 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *sparql.Query) (*Result, 
 // solution. It streams through the pipelined join and stops at the first
 // row.
 func (e *Engine) Ask(q *sparql.Query) (bool, error) {
+	return e.AskContext(context.Background(), q)
+}
+
+// AskContext is Ask with cancellation: a done context aborts the
+// existence check in any phase and returns ctx.Err().
+func (e *Engine) AskContext(ctx context.Context, q *sparql.Query) (bool, error) {
 	probe := *q
 	probe.Ask = false
 	probe.Select = nil // SELECT * so the stream path applies
 	probe.Distinct = false
+	// Solution modifiers don't change whether the pattern has a solution,
+	// but they would change how much work the probe does: ORDER BY forces
+	// the stream path to materialize and sort, and LIMIT/OFFSET would cut
+	// the stream before its first row. Strip them so the probe really
+	// stops at the first solution.
+	probe.OrderBy = nil
+	probe.Limit, probe.Offset = -1, -1
 	found := false
-	err := e.ExecuteStream(&probe, func([]sparql.Var, Row) bool {
+	err := e.ExecuteStreamContext(ctx, &probe, func([]sparql.Var, Row) bool {
 		found = true
 		return false
 	})
 	return found, err
+}
+
+// resultVars is the one place the result column order comes from: the
+// branch var union (before cheap-filter substitution), projected through
+// an explicit SELECT clause the way project() does — SELECT order wins,
+// names absent from the pattern are dropped.
+func resultVars(q *sparql.Query, branches []*algebra.Branch) []sparql.Var {
+	vars, varSet := branchVarUnion(branches)
+	if !q.SelectAll() {
+		projected := make([]sparql.Var, 0, len(q.Select))
+		for _, v := range q.Select {
+			if varSet[v] {
+				projected = append(projected, v)
+			}
+		}
+		vars = projected
+	}
+	return vars
+}
+
+// branchVarUnion computes the result variable universe of a normalized
+// query — the sorted union of the pattern variables across all UNF
+// branches, taken before cheap-filter substitution. executeQuery and
+// ResultVars both build their column order from this one function so the
+// streamed header can never disagree with the rows.
+func branchVarUnion(branches []*algebra.Branch) ([]sparql.Var, map[sparql.Var]bool) {
+	varSet := map[sparql.Var]bool{}
+	for _, b := range branches {
+		for v := range algebra.TreeVars(b.Tree) {
+			varSet[v] = true
+		}
+	}
+	vars := make([]sparql.Var, 0, len(varSet))
+	for v := range varSet {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	return vars, varSet
 }
 
 func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query) (*Result, error) {
@@ -113,17 +164,7 @@ func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query) (*Result, er
 		return nil, err
 	}
 	// The result variable universe spans all branches.
-	varSet := map[sparql.Var]bool{}
-	for _, b := range branches {
-		for v := range algebra.TreeVars(b.Tree) {
-			varSet[v] = true
-		}
-	}
-	vars := make([]sparql.Var, 0, len(varSet))
-	for v := range varSet {
-		vars = append(vars, v)
-	}
-	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	vars, _ := branchVarUnion(branches)
 
 	res := &Result{Vars: vars}
 	start := time.Now()
@@ -782,6 +823,20 @@ func (e *Engine) ExecuteStream(q *sparql.Query, fn func(vars []sparql.Var, row R
 // stops the enumeration between rows (and between the per-predicate
 // branches of an expanded three-variable pattern) and returns ctx.Err().
 func (e *Engine) ExecuteStreamContext(ctx context.Context, q *sparql.Query, fn func(vars []sparql.Var, row Row) bool) error {
+	return e.executeStream(ctx, q, nil, fn)
+}
+
+// ExecuteStreamHeaderContext is ExecuteStreamContext with a header
+// callback: before any row, header receives the result columns (the same
+// slice ResultVars would compute, but derived from this execution's own
+// normalization pass, so the hot path plans the query once, not twice).
+// header returning false ends the call without executing, and without
+// error — the streaming analogue of LIMIT 0.
+func (e *Engine) ExecuteStreamHeaderContext(ctx context.Context, q *sparql.Query, header func(vars []sparql.Var) bool, fn func(vars []sparql.Var, row Row) bool) error {
+	return e.executeStream(ctx, q, header, fn)
+}
+
+func (e *Engine) executeStream(ctx context.Context, q *sparql.Query, header func(vars []sparql.Var) bool, fn func(vars []sparql.Var, row Row) bool) error {
 	tree, err := algebra.FromQuery(q)
 	if err != nil {
 		return err
@@ -790,15 +845,28 @@ func (e *Engine) ExecuteStreamContext(ctx context.Context, q *sparql.Query, fn f
 	if err != nil {
 		return err
 	}
-	if len(branches) == 1 && q.SelectAll() && !q.Distinct {
+	if header != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !header(resultVars(q, branches)) {
+			return nil
+		}
+	}
+	// ORDER BY cannot stream (sorting needs the full result); LIMIT and
+	// OFFSET can — they are applied inline below, stopping the
+	// enumeration as soon as the limit is reached.
+	if len(branches) == 1 && q.SelectAll() && !q.Distinct && len(q.OrderBy) == 0 {
 		b := branches[0]
 		if err := b.CheckSafeFilters(); err != nil {
 			return err
 		}
-		b.SubstituteCheapFilters()
-		// Variables come from the pre-expansion tree so a rewritten
-		// predicate variable keeps its result column.
+		// Variables come from the tree before cheap-filter substitution
+		// (and before full-scan expansion), exactly as executeQuery
+		// computes them: a FILTER-substituted or rewritten predicate
+		// variable keeps its result column, re-injected per row.
 		vars := algebra.SortedVars(b.Tree)
+		b.SubstituteCheapFilters()
 		execs, err := e.expandFullScans([]*algebra.Branch{b})
 		if err != nil {
 			return err
@@ -817,12 +885,32 @@ func (e *Engine) ExecuteStreamContext(ctx context.Context, q *sparql.Query, fn f
 			for i, v := range vars {
 				varPos[v] = i
 			}
+			// Inline OFFSET/LIMIT: rows arrive in the same deterministic
+			// order the materialized path slices, so skipping the first
+			// Offset rows and cutting at Limit is equivalent — and a
+			// LIMIT 10 over a million-row scan stops after 10 rows.
+			skip := q.Offset
+			remaining := q.Limit // negative = unlimited
 			stopped := false
 			wrapped := func(vs []sparql.Var, row Row) bool {
+				if skip > 0 {
+					skip--
+					return true
+				}
+				if remaining == 0 {
+					stopped = true
+					return false
+				}
 				applyCheapSubstsRow(b.Substs, row, varPos)
 				if !fn(vs, row) {
 					stopped = true
 					return false
+				}
+				if remaining > 0 {
+					if remaining--; remaining == 0 {
+						stopped = true
+						return false
+					}
 				}
 				return true
 			}

@@ -1,0 +1,147 @@
+package results
+
+import (
+	"io"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// csvWriter emits the SPARQL 1.1 CSV results format
+// (https://www.w3.org/TR/sparql11-results-csv-tsv/): a header of bare
+// variable names, then one RFC 4180 record per solution with terms in
+// their raw lexical form (IRIs unbracketed, literals unquoted, blank
+// nodes as _:label) and unbound variables as empty fields. Rows end in
+// CRLF. ASK has no CSV form in the spec; Boolean writes a single
+// true/false record as a pragmatic extension.
+type csvWriter struct {
+	w    io.Writer
+	cols int
+}
+
+func (c *csvWriter) Begin(vars []string) error {
+	c.cols = len(vars)
+	for i, v := range vars {
+		if i > 0 {
+			if _, err := io.WriteString(c.w, ","); err != nil {
+				return err
+			}
+		}
+		if err := writeCSVField(c.w, v); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(c.w, "\r\n")
+	return err
+}
+
+func (c *csvWriter) Row(row []rdf.Term) error {
+	for i := 0; i < c.cols; i++ {
+		if i > 0 {
+			if _, err := io.WriteString(c.w, ","); err != nil {
+				return err
+			}
+		}
+		if i >= len(row) || row[i].IsZero() {
+			continue // unbound: empty field
+		}
+		if err := writeCSVField(c.w, rawValue(row[i])); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(c.w, "\r\n")
+	return err
+}
+
+func (c *csvWriter) End() error { return nil }
+
+func (c *csvWriter) Boolean(b bool) error {
+	s := "false\r\n"
+	if b {
+		s = "true\r\n"
+	}
+	_, err := io.WriteString(c.w, s)
+	return err
+}
+
+// rawValue is the CSV rendering of a term: the lexical form without any
+// RDF syntax, except blank nodes which keep their _: prefix.
+func rawValue(t rdf.Term) string {
+	if t.Kind == rdf.Blank {
+		return "_:" + t.Value
+	}
+	return t.Value
+}
+
+// writeCSVField quotes s per RFC 4180 when it contains a comma, quote, or
+// line break, doubling embedded quotes.
+func writeCSVField(w io.Writer, s string) error {
+	if !strings.ContainsAny(s, ",\"\r\n") {
+		_, err := io.WriteString(w, s)
+		return err
+	}
+	if _, err := io.WriteString(w, `"`); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, strings.ReplaceAll(s, `"`, `""`)); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, `"`)
+	return err
+}
+
+// tsvWriter emits the SPARQL 1.1 TSV results format: a header of
+// ?-prefixed variable names, then one LF-terminated record per solution
+// with terms in SPARQL (N-Triples) syntax — tabs and newlines inside
+// literals are backslash-escaped by that syntax, so a record never spans
+// lines. Unbound variables are empty fields. Boolean writes true/false as
+// a pragmatic extension (the spec defines TSV for SELECT only).
+type tsvWriter struct {
+	w    io.Writer
+	cols int
+}
+
+func (t *tsvWriter) Begin(vars []string) error {
+	t.cols = len(vars)
+	for i, v := range vars {
+		if i > 0 {
+			if _, err := io.WriteString(t.w, "\t"); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(t.w, "?"+v); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(t.w, "\n")
+	return err
+}
+
+func (t *tsvWriter) Row(row []rdf.Term) error {
+	for i := 0; i < t.cols; i++ {
+		if i > 0 {
+			if _, err := io.WriteString(t.w, "\t"); err != nil {
+				return err
+			}
+		}
+		if i >= len(row) || row[i].IsZero() {
+			continue // unbound: empty field
+		}
+		if _, err := io.WriteString(t.w, row[i].String()); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(t.w, "\n")
+	return err
+}
+
+func (t *tsvWriter) End() error { return nil }
+
+func (t *tsvWriter) Boolean(b bool) error {
+	s := "false\n"
+	if b {
+		s = "true\n"
+	}
+	_, err := io.WriteString(t.w, s)
+	return err
+}

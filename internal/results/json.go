@@ -1,0 +1,132 @@
+package results
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/rdf"
+)
+
+// jsonWriter emits SPARQL 1.1 Query Results JSON
+// (https://www.w3.org/TR/sparql11-results-json/). The document is written
+// incrementally: head on Begin, one binding object per Row, the closing
+// braces on End.
+type jsonWriter struct {
+	w     io.Writer
+	vars  []string
+	first bool
+}
+
+func (j *jsonWriter) Begin(vars []string) error {
+	j.vars = vars
+	j.first = true
+	if _, err := io.WriteString(j.w, `{"head":{"vars":[`); err != nil {
+		return err
+	}
+	for i, v := range vars {
+		if i > 0 {
+			if _, err := io.WriteString(j.w, ","); err != nil {
+				return err
+			}
+		}
+		if err := writeJSONString(j.w, v); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(j.w, `]},"results":{"bindings":[`)
+	return err
+}
+
+func (j *jsonWriter) Row(row []rdf.Term) error {
+	if j.first {
+		j.first = false
+	} else if _, err := io.WriteString(j.w, ","); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(j.w, "\n{"); err != nil {
+		return err
+	}
+	wrote := false
+	for i, v := range j.vars {
+		if i >= len(row) || row[i].IsZero() {
+			continue // unbound: the variable is absent from the binding
+		}
+		if wrote {
+			if _, err := io.WriteString(j.w, ","); err != nil {
+				return err
+			}
+		}
+		wrote = true
+		if err := writeJSONString(j.w, v); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(j.w, ":"); err != nil {
+			return err
+		}
+		if err := writeJSONTerm(j.w, row[i]); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(j.w, "}")
+	return err
+}
+
+func (j *jsonWriter) End() error {
+	_, err := io.WriteString(j.w, "\n]}}\n")
+	return err
+}
+
+func (j *jsonWriter) Boolean(b bool) error {
+	doc := `{"head":{},"boolean":false}` + "\n"
+	if b {
+		doc = `{"head":{},"boolean":true}` + "\n"
+	}
+	_, err := io.WriteString(j.w, doc)
+	return err
+}
+
+// writeJSONTerm writes one RDF term as a result-set binding object.
+func writeJSONTerm(w io.Writer, t rdf.Term) error {
+	var typ string
+	switch t.Kind {
+	case rdf.IRI:
+		typ = "uri"
+	case rdf.Blank:
+		typ = "bnode"
+	default:
+		typ = "literal"
+	}
+	if _, err := io.WriteString(w, `{"type":"`+typ+`","value":`); err != nil {
+		return err
+	}
+	if err := writeJSONString(w, t.Value); err != nil {
+		return err
+	}
+	if t.Kind == rdf.Literal && t.Lang != "" {
+		if _, err := io.WriteString(w, `,"xml:lang":`); err != nil {
+			return err
+		}
+		if err := writeJSONString(w, t.Lang); err != nil {
+			return err
+		}
+	} else if t.Kind == rdf.Literal && t.Datatype != "" {
+		if _, err := io.WriteString(w, `,"datatype":`); err != nil {
+			return err
+		}
+		if err := writeJSONString(w, t.Datatype); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}")
+	return err
+}
+
+// writeJSONString writes s as a JSON string literal, with full escaping.
+func writeJSONString(w io.Writer, s string) error {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

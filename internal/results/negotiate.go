@@ -1,0 +1,90 @@
+package results
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// mediaTypes maps the media types a SPARQL Protocol client may send in
+// Accept to the format that satisfies them. The generic JSON and XML
+// types are accepted as aliases because BI tools and curl one-liners use
+// them far more often than the registered sparql-results types.
+var mediaTypes = map[string]Format{
+	"application/sparql-results+json": JSON,
+	"application/json":                JSON,
+	"text/json":                       JSON,
+	"application/sparql-results+xml":  XML,
+	"application/xml":                 XML,
+	"text/xml":                        XML,
+	"text/csv":                        CSV,
+	"application/csv":                 CSV,
+	"text/tab-separated-values":       TSV,
+}
+
+// preference breaks q-value ties: the richer, lossless formats win.
+var preference = map[Format]int{JSON: 0, XML: 1, TSV: 2, CSV: 3}
+
+// Negotiate picks the result format for an Accept header value, following
+// RFC 9110 semantics: the supported media range with the highest q-value
+// wins; more specific ranges beat wildcards at equal q; remaining ties go
+// to JSON > XML > TSV > CSV. The wildcards */* and application/* resolve
+// to JSON, text/* to CSV. An empty header means "anything" and yields
+// JSON. ok is false when the header names only unsupported types — the
+// 406 Not Acceptable case.
+func Negotiate(accept string) (f Format, ok bool) {
+	accept = strings.TrimSpace(accept)
+	if accept == "" {
+		return JSON, true
+	}
+	type candidate struct {
+		f           Format
+		q           float64
+		specificity int // 2 = exact type, 1 = type/*, 0 = */*
+	}
+	var cands []candidate
+	for _, part := range strings.Split(accept, ",") {
+		fields := strings.Split(part, ";")
+		mt := strings.ToLower(strings.TrimSpace(fields[0]))
+		if mt == "" {
+			continue
+		}
+		q := 1.0
+		for _, p := range fields[1:] {
+			p = strings.TrimSpace(p)
+			if v, found := strings.CutPrefix(p, "q="); found {
+				if parsed, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+					q = parsed
+				}
+			}
+		}
+		if q <= 0 {
+			continue // explicitly refused
+		}
+		switch mt {
+		case "*/*":
+			cands = append(cands, candidate{JSON, q, 0})
+		case "application/*":
+			cands = append(cands, candidate{JSON, q, 1})
+		case "text/*":
+			cands = append(cands, candidate{CSV, q, 1})
+		default:
+			if fmt, supported := mediaTypes[mt]; supported {
+				cands = append(cands, candidate{fmt, q, 2})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return JSON, false
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].q != cands[j].q {
+			return cands[i].q > cands[j].q
+		}
+		if cands[i].specificity != cands[j].specificity {
+			return cands[i].specificity > cands[j].specificity
+		}
+		return preference[cands[i].f] < preference[cands[j].f]
+	})
+	return cands[0].f, true
+}

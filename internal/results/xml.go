@@ -1,0 +1,144 @@
+package results
+
+import (
+	"encoding/xml"
+	"io"
+
+	"repro/internal/rdf"
+)
+
+// sparqlResultsNS is the namespace of the SPARQL Query Results XML Format
+// (https://www.w3.org/TR/rdf-sparql-XMLres/).
+const sparqlResultsNS = "http://www.w3.org/2005/sparql-results#"
+
+const xmlProlog = `<?xml version="1.0" encoding="UTF-8"?>` + "\n" +
+	`<sparql xmlns="` + sparqlResultsNS + `">` + "\n"
+
+// xmlWriter emits SPARQL Query Results XML incrementally: prolog and head
+// on Begin, one <result> element per Row, the closing tags on End.
+type xmlWriter struct {
+	w    io.Writer
+	vars []string
+}
+
+func (x *xmlWriter) Begin(vars []string) error {
+	x.vars = vars
+	if _, err := io.WriteString(x.w, xmlProlog+"<head>"); err != nil {
+		return err
+	}
+	for _, v := range vars {
+		if _, err := io.WriteString(x.w, `<variable name="`); err != nil {
+			return err
+		}
+		if err := xmlEscape(x.w, v); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(x.w, `"/>`); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(x.w, "</head>\n<results>\n")
+	return err
+}
+
+func (x *xmlWriter) Row(row []rdf.Term) error {
+	if _, err := io.WriteString(x.w, "<result>"); err != nil {
+		return err
+	}
+	for i, v := range x.vars {
+		if i >= len(row) || row[i].IsZero() {
+			continue // unbound: no <binding> element for the variable
+		}
+		if _, err := io.WriteString(x.w, `<binding name="`); err != nil {
+			return err
+		}
+		if err := xmlEscape(x.w, v); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(x.w, `">`); err != nil {
+			return err
+		}
+		if err := writeXMLTerm(x.w, row[i]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(x.w, "</binding>"); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(x.w, "</result>\n")
+	return err
+}
+
+func (x *xmlWriter) End() error {
+	_, err := io.WriteString(x.w, "</results>\n</sparql>\n")
+	return err
+}
+
+func (x *xmlWriter) Boolean(b bool) error {
+	body := "<head/>\n<boolean>false</boolean>\n</sparql>\n"
+	if b {
+		body = "<head/>\n<boolean>true</boolean>\n</sparql>\n"
+	}
+	_, err := io.WriteString(x.w, xmlProlog+body)
+	return err
+}
+
+func writeXMLTerm(w io.Writer, t rdf.Term) error {
+	switch t.Kind {
+	case rdf.IRI:
+		if _, err := io.WriteString(w, "<uri>"); err != nil {
+			return err
+		}
+		if err := xmlEscape(w, t.Value); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, "</uri>")
+		return err
+	case rdf.Blank:
+		if _, err := io.WriteString(w, "<bnode>"); err != nil {
+			return err
+		}
+		if err := xmlEscape(w, t.Value); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, "</bnode>")
+		return err
+	default:
+		open := "<literal"
+		if t.Lang != "" {
+			if _, err := io.WriteString(w, open+` xml:lang="`); err != nil {
+				return err
+			}
+			if err := xmlEscape(w, t.Lang); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, `">`); err != nil {
+				return err
+			}
+		} else if t.Datatype != "" {
+			if _, err := io.WriteString(w, open+` datatype="`); err != nil {
+				return err
+			}
+			if err := xmlEscape(w, t.Datatype); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, `">`); err != nil {
+				return err
+			}
+		} else {
+			if _, err := io.WriteString(w, open+">"); err != nil {
+				return err
+			}
+		}
+		if err := xmlEscape(w, t.Value); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, "</literal>")
+		return err
+	}
+}
+
+// xmlEscape escapes s for use in element content or a quoted attribute.
+func xmlEscape(w io.Writer, s string) error {
+	return xml.EscapeText(w, []byte(s))
+}

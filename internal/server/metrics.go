@@ -1,0 +1,89 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBoundsMS are the upper bounds (milliseconds) of the query latency
+// histogram; the implicit final bucket is +Inf.
+var latencyBoundsMS = [...]float64{1, 5, 25, 100, 500, 2500}
+
+// Metrics is the server's expvar-style instrumentation: monotonically
+// increasing counters plus an in-flight gauge, all updated with atomics so
+// the hot path never takes a lock, and served as JSON from /metrics.
+type Metrics struct {
+	queries      atomic.Int64 // queries answered successfully
+	errors       atomic.Int64 // queries that failed (parse, execution, I/O)
+	rejected     atomic.Int64 // requests turned away by admission control
+	timeouts     atomic.Int64 // queries cancelled by the per-request timeout
+	inFlight     atomic.Int64 // queries currently executing
+	rowsStreamed atomic.Int64 // result rows serialized across all queries
+	buckets      [len(latencyBoundsMS) + 1]atomic.Int64
+}
+
+// observeLatency records one completed query's wall time in the histogram.
+func (m *Metrics) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	for i, bound := range latencyBoundsMS {
+		if ms <= bound {
+			m.buckets[i].Add(1)
+			return
+		}
+	}
+	m.buckets[len(latencyBoundsMS)].Add(1)
+}
+
+// LatencyBucket is one histogram bucket of a metrics snapshot. LE is the
+// inclusive upper bound in milliseconds ("+Inf" for the last bucket); the
+// counts are per-bucket, not cumulative.
+type LatencyBucket struct {
+	LE    string `json:"le_ms"`
+	Count int64  `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of the metrics, shaped for JSON.
+type Snapshot struct {
+	QueriesServed  int64           `json:"queries_served"`
+	QueryErrors    int64           `json:"query_errors"`
+	Rejected       int64           `json:"rejected"`
+	Timeouts       int64           `json:"timeouts"`
+	InFlight       int64           `json:"in_flight"`
+	RowsStreamed   int64           `json:"rows_streamed"`
+	LatencyBuckets []LatencyBucket `json:"latency_buckets"`
+}
+
+// Snapshot captures the current counter values.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		QueriesServed: m.queries.Load(),
+		QueryErrors:   m.errors.Load(),
+		Rejected:      m.rejected.Load(),
+		Timeouts:      m.timeouts.Load(),
+		InFlight:      m.inFlight.Load(),
+		RowsStreamed:  m.rowsStreamed.Load(),
+	}
+	for i := range m.buckets {
+		le := "+Inf"
+		if i < len(latencyBoundsMS) {
+			le = formatBound(latencyBoundsMS[i])
+		}
+		s.LatencyBuckets = append(s.LatencyBuckets, LatencyBucket{LE: le, Count: m.buckets[i].Load()})
+	}
+	return s
+}
+
+func formatBound(f float64) string {
+	b, _ := json.Marshal(f)
+	return string(b)
+}
+
+// ServeHTTP writes the snapshot as an indented JSON document.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(m.Snapshot())
+}

@@ -1,0 +1,401 @@
+// Package server exposes an lbr.Store over HTTP as a SPARQL 1.1 Protocol
+// endpoint. One handler serves GET and POST /sparql with Accept-header
+// content negotiation across the four result formats of internal/results,
+// streaming SELECT rows to the socket as the engine's pipelined join
+// produces them — constant memory however large the result — with a
+// bounded admission semaphore layered over the store's worker pool, a
+// per-request timeout wired into QueryStreamRows' context, structured
+// JSON errors, a /healthz probe, and expvar-style /metrics.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"mime"
+	"net/http"
+	"net/url"
+	"time"
+
+	lbr "repro"
+	"repro/internal/results"
+	"repro/internal/sparql"
+)
+
+// Config tunes one Server. The zero value serves with no per-request
+// timeout, an admission bound of 4× the store's effective worker count,
+// a 1 MiB query-text cap, and a flush every 4096 rows.
+type Config struct {
+	// Timeout bounds each query end to end (parse to last byte); 0 means
+	// no bound. A query that exceeds it is cancelled via its context and
+	// reported as 504 if nothing has been streamed yet.
+	Timeout time.Duration
+	// MaxConcurrent bounds how many queries may execute at once; further
+	// requests are rejected immediately with 503 (admission control, so a
+	// burst degrades crisply instead of queueing without bound). 0 picks
+	// 4× the store's Options.EffectiveWorkers().
+	MaxConcurrent int
+	// MaxQueryBytes caps the query text accepted from a request body or
+	// URL; 0 means 1 MiB.
+	MaxQueryBytes int64
+	// FlushEveryRows is how many result rows may accumulate in the
+	// response buffer before an explicit flush; 0 means 4096. The 32 KiB
+	// write buffer also flushes itself whenever it fills.
+	FlushEveryRows int
+	// Log receives one line per failed request; nil uses log.Printf.
+	Log func(format string, args ...any)
+}
+
+// Server is the SPARQL Protocol front end over one store.
+type Server struct {
+	store   *lbr.Store
+	cfg     Config
+	sem     chan struct{}
+	metrics Metrics
+}
+
+// New builds a Server for the store. The store may be pre-built or not:
+// a query arriving before the first Build triggers the store's usual
+// lazy single-flight build, inside that request's timeout.
+func New(store *lbr.Store, cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4 * store.Options().EffectiveWorkers()
+	}
+	if cfg.MaxQueryBytes <= 0 {
+		cfg.MaxQueryBytes = 1 << 20
+	}
+	if cfg.FlushEveryRows <= 0 {
+		cfg.FlushEveryRows = 4096
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.Printf
+	}
+	return &Server{
+		store: store,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+	}
+}
+
+// Metrics exposes the server's counters (e.g. for tests and benchmarks).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// MaxConcurrent reports the resolved admission bound.
+func (s *Server) MaxConcurrent() int { return cap(s.sem) }
+
+// Handler returns the endpoint's routing table: /sparql, /healthz, and
+// /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sparql", s.handleSPARQL)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", &s.metrics)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"triples\":%d}\n", s.store.Len())
+}
+
+// protocolError is an error that already knows its HTTP shape.
+type protocolError struct {
+	status  int
+	code    string
+	message string
+}
+
+func (e *protocolError) Error() string { return e.message }
+
+func perr(status int, code, format string, args ...any) *protocolError {
+	return &protocolError{status: status, code: code, message: fmt.Sprintf(format, args...)}
+}
+
+// writeError sends the structured JSON error body. It must only be called
+// before any result bytes have been written.
+func writeError(w http.ResponseWriter, e *protocolError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	if e.status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(e.status)
+	body, _ := json.Marshal(map[string]any{"error": map[string]any{
+		"status":  e.status,
+		"code":    e.code,
+		"message": e.message,
+	}})
+	w.Write(append(body, '\n'))
+}
+
+// queryText extracts the SPARQL query string per the SPARQL 1.1 Protocol:
+// GET with a query URL parameter, POST with an application/sparql-query
+// body, or POST with a URL-encoded form carrying a query field.
+func (s *Server) queryText(r *http.Request) (string, *protocolError) {
+	if err := checkDatasetParams(r); err != nil {
+		return "", err
+	}
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query().Get("query")
+		if q == "" {
+			return "", perr(http.StatusBadRequest, "missing_query", "GET requires a non-empty query URL parameter")
+		}
+		if int64(len(q)) > s.cfg.MaxQueryBytes {
+			return "", perr(http.StatusRequestEntityTooLarge, "query_too_large", "query exceeds %d bytes", s.cfg.MaxQueryBytes)
+		}
+		return q, nil
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		mt, _, err := mime.ParseMediaType(ct)
+		if ct != "" && err != nil {
+			return "", perr(http.StatusUnsupportedMediaType, "bad_content_type", "unparseable Content-Type %q", ct)
+		}
+		switch mt {
+		case "application/sparql-query":
+			body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.cfg.MaxQueryBytes))
+			if err != nil {
+				var tooBig *http.MaxBytesError
+				if errors.As(err, &tooBig) {
+					return "", perr(http.StatusRequestEntityTooLarge, "query_too_large", "query body exceeds %d bytes", s.cfg.MaxQueryBytes)
+				}
+				return "", perr(http.StatusBadRequest, "bad_request_body", "reading query body: %v", err)
+			}
+			if len(body) == 0 {
+				return "", perr(http.StatusBadRequest, "missing_query", "empty application/sparql-query body")
+			}
+			return string(body), nil
+		case "application/x-www-form-urlencoded", "":
+			r.Body = http.MaxBytesReader(nil, r.Body, s.cfg.MaxQueryBytes)
+			if err := r.ParseForm(); err != nil {
+				var tooBig *http.MaxBytesError
+				if errors.As(err, &tooBig) {
+					return "", perr(http.StatusRequestEntityTooLarge, "query_too_large", "form body exceeds %d bytes", s.cfg.MaxQueryBytes)
+				}
+				return "", perr(http.StatusBadRequest, "bad_form", "unparseable form body: %v", err)
+			}
+			// Dataset parameters hidden in the form body are as much a
+			// dataset selection as ones in the URL.
+			if err := rejectDatasetParams(r.PostForm); err != nil {
+				return "", err
+			}
+			q := r.PostForm.Get("query")
+			if q == "" {
+				q = r.URL.Query().Get("query")
+			}
+			if q == "" {
+				return "", perr(http.StatusBadRequest, "missing_query", "form POST requires a query field")
+			}
+			return q, nil
+		default:
+			return "", perr(http.StatusUnsupportedMediaType, "bad_content_type",
+				"POST bodies must be application/sparql-query or application/x-www-form-urlencoded, not %q", mt)
+		}
+	default:
+		return "", perr(http.StatusMethodNotAllowed, "method_not_allowed", "SPARQL Protocol queries use GET or POST")
+	}
+}
+
+// checkDatasetParams rejects the protocol's RDF-dataset parameters in the
+// URL; form bodies are checked after parsing in queryText. The store is a
+// single graph, and silently ignoring a dataset selection would answer a
+// different question than the client asked.
+func checkDatasetParams(r *http.Request) *protocolError {
+	return rejectDatasetParams(r.URL.Query())
+}
+
+func rejectDatasetParams(params url.Values) *protocolError {
+	for _, p := range []string{"default-graph-uri", "named-graph-uri"} {
+		if len(params[p]) > 0 {
+			return perr(http.StatusBadRequest, "unsupported_parameter",
+				"%s is not supported: the endpoint serves a single graph", p)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, perr(http.StatusMethodNotAllowed, "method_not_allowed", "SPARQL Protocol queries use GET or POST"))
+		return
+	}
+	src, perr2 := s.queryText(r)
+	if perr2 != nil {
+		writeError(w, perr2)
+		return
+	}
+	format, ok := results.Negotiate(r.Header.Get("Accept"))
+	if !ok {
+		writeError(w, perr(http.StatusNotAcceptable, "not_acceptable",
+			"no supported result format in Accept %q; the endpoint serves %s, %s, %s, and %s",
+			r.Header.Get("Accept"),
+			"application/sparql-results+json", "application/sparql-results+xml",
+			"text/csv", "text/tab-separated-values"))
+		return
+	}
+	// Syntax-check before admission so malformed queries are turned away
+	// without consuming an execution slot.
+	q, err := sparql.Parse(src)
+	if err != nil {
+		writeError(w, perr(http.StatusBadRequest, "malformed_query", "%v", err))
+		return
+	}
+
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.metrics.rejected.Add(1)
+		writeError(w, perr(http.StatusServiceUnavailable, "too_many_queries",
+			"server is at its concurrent query limit (%d)", s.cfg.MaxConcurrent))
+		return
+	}
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	ctx := r.Context()
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	if q.Ask {
+		s.serveAsk(ctx, w, r, format, src, start)
+		return
+	}
+	s.serveSelect(ctx, w, r, format, src, start)
+}
+
+func (s *Server) serveAsk(ctx context.Context, w http.ResponseWriter, r *http.Request, format results.Format, src string, start time.Time) {
+	b, err := s.store.AskContext(ctx, src)
+	if err != nil {
+		s.failBeforeStream(ctx, w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", format.ContentType())
+	if err := results.NewWriter(format, w).Boolean(b); err != nil {
+		s.metrics.errors.Add(1)
+		return
+	}
+	s.metrics.queries.Add(1)
+	s.metrics.observeLatency(time.Since(start))
+}
+
+func (s *Server) serveSelect(ctx context.Context, w http.ResponseWriter, r *http.Request, format results.Format, src string, start time.Time) {
+	rc := http.NewResponseController(w)
+	bw := bufio.NewWriterSize(w, 32<<10)
+	sw := results.NewWriter(format, bw)
+	var (
+		headerVars []string
+		streaming  bool // response status and result header are on the wire
+		rows       int64
+		sinceFl    int
+		ioErr      error
+	)
+	// The 200 and the result header are deferred to the first row (or to a
+	// clean zero-row completion below): a query that fails or times out
+	// before producing anything still gets a real error status instead of
+	// a truncated 200.
+	begin := func() bool {
+		w.Header().Set("Content-Type", format.ContentType())
+		w.Header().Set("X-Content-Type-Options", "nosniff")
+		w.WriteHeader(http.StatusOK)
+		streaming = true
+		ioErr = sw.Begin(headerVars)
+		return ioErr == nil
+	}
+	err := s.store.QueryStreamRows(ctx, src, func(vars []string, row []lbr.Term) bool {
+		if row == nil {
+			headerVars = vars
+			return true
+		}
+		if !streaming && !begin() {
+			return false
+		}
+		if ioErr = sw.Row(row); ioErr != nil {
+			return false
+		}
+		rows++
+		sinceFl++
+		if sinceFl >= s.cfg.FlushEveryRows {
+			sinceFl = 0
+			if ioErr = bw.Flush(); ioErr != nil {
+				return false
+			}
+			// Push the chunk to the client even when the HTTP stack is
+			// still under its own buffer threshold; streaming consumers
+			// read rows long before the query finishes.
+			if err := rc.Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+				ioErr = err
+				return false
+			}
+		}
+		return true
+	})
+	s.metrics.rowsStreamed.Add(rows)
+	if ioErr != nil {
+		// The client went away (or the socket broke) mid-stream.
+		s.metrics.errors.Add(1)
+		s.cfg.Log("sparql: aborted after %d rows: %v", rows, ioErr)
+		panic(http.ErrAbortHandler)
+	}
+	if err != nil {
+		if !streaming {
+			s.failBeforeStream(ctx, w, r, err)
+			return
+		}
+		// Too late for an error status: the document is truncated. Abort
+		// the connection so the client sees a transport error instead of
+		// silently mistaking the prefix for a complete result.
+		s.countFailure(err)
+		s.cfg.Log("sparql: query failed after %d rows: %v", rows, err)
+		panic(http.ErrAbortHandler)
+	}
+	if !streaming {
+		// Zero rows: the whole (empty) document is written here.
+		if !begin() {
+			s.metrics.errors.Add(1)
+			panic(http.ErrAbortHandler)
+		}
+	}
+	if err := sw.End(); err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		s.metrics.errors.Add(1)
+		panic(http.ErrAbortHandler)
+	}
+	s.metrics.queries.Add(1)
+	s.metrics.observeLatency(time.Since(start))
+}
+
+// countFailure classifies a failed execution for the metrics.
+func (s *Server) countFailure(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.metrics.timeouts.Add(1)
+	}
+	s.metrics.errors.Add(1)
+}
+
+// failBeforeStream reports an execution error while the response is still
+// unwritten, mapping timeout to 504, client cancellation to a closed
+// connection, and anything else to 500.
+func (s *Server) failBeforeStream(ctx context.Context, w http.ResponseWriter, r *http.Request, err error) {
+	s.countFailure(err)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, perr(http.StatusGatewayTimeout, "timeout", "query exceeded the server timeout of %s", s.cfg.Timeout))
+	case errors.Is(err, context.Canceled):
+		// The client is gone; nobody is listening for a status code.
+		s.cfg.Log("sparql: client cancelled %s %s", r.Method, r.URL.Path)
+		panic(http.ErrAbortHandler)
+	default:
+		writeError(w, perr(http.StatusInternalServerError, "query_failed", "%v", err))
+	}
+}

@@ -101,6 +101,12 @@ func NewStoreWithOptions(opts Options) *Store {
 	return &Store{graph: rdf.NewGraph(), opts: opts}
 }
 
+// Options returns the options the store was constructed with. They are
+// immutable for the store's lifetime, so layers above (e.g. a server
+// sizing its admission control from EffectiveWorkers) can read them
+// without synchronization.
+func (s *Store) Options() Options { return s.opts }
+
 // Add inserts one triple. It reports whether the triple was new. Adding
 // after Build invalidates the index; call Build again (or let the next
 // query rebuild it lazily) before new data is visible to queries.
@@ -247,11 +253,31 @@ type Result struct {
 // Len reports the number of result rows.
 func (r *Result) Len() int { return len(r.rows) }
 
-// Row returns row i.
+// Row returns row i. The row is aligned with Vars: unbound variables
+// (from OPTIONAL patterns) appear as zero Terms, never as a shorter row.
 func (r *Result) Row(i int) []Term { return r.rows[i] }
 
-// Iterate calls fn for each row as a variable-to-term map (NULL columns
-// are omitted). Iteration stops early if fn returns false.
+// Rows returns all rows, each aligned with Vars (a zero Term is an
+// unbound OPTIONAL variable). It is the loop-friendly companion to
+// Row(i): callers range over it instead of indexing Len() times. The
+// returned slices share the result's backing arrays and must not be
+// mutated.
+func (r *Result) Rows() [][]Term {
+	out := make([][]Term, len(r.rows))
+	for i := range r.rows {
+		out[i] = r.rows[i]
+	}
+	return out
+}
+
+// Iterate calls fn for each row as a variable-to-term map. NULL columns
+// are omitted from the map — the SPARQL view, where an OPTIONAL variable
+// is simply unbound — so a row's map may have fewer entries than Vars.
+// This is deliberately asymmetric with String, Rows, and the
+// internal/results serializers, which preserve column order and represent
+// unbound variables explicitly (String prints NULL; the serializers emit
+// the format's empty/absent-binding form). Iteration stops early if fn
+// returns false.
 func (r *Result) Iterate(fn func(map[string]Term) bool) {
 	for _, row := range r.rows {
 		m := make(map[string]Term, len(r.Vars))
@@ -266,7 +292,9 @@ func (r *Result) Iterate(fn func(map[string]Term) bool) {
 	}
 }
 
-// String renders the result as a readable table.
+// String renders the result as a readable table: one tab-separated line
+// per row in Vars order, with unbound OPTIONAL variables printed as NULL
+// (unlike Iterate, which omits them from its maps).
 func (r *Result) String() string {
 	var sb strings.Builder
 	for i, v := range r.Vars {
@@ -323,6 +351,12 @@ func (s *Store) QueryContext(ctx context.Context, src string) (*Result, error) {
 // Ask evaluates an ASK query (or the WHERE pattern of any query) as an
 // existence check, stopping at the first solution.
 func (s *Store) Ask(src string) (bool, error) {
+	return s.AskContext(context.Background(), src)
+}
+
+// AskContext is Ask with cancellation: a done context aborts the
+// existence check in any phase and returns ctx.Err().
+func (s *Store) AskContext(ctx context.Context, src string) (bool, error) {
 	eng, err := s.ensureEngine()
 	if err != nil {
 		return false, err
@@ -331,7 +365,7 @@ func (s *Store) Ask(src string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return eng.Ask(q)
+	return eng.AskContext(ctx, q)
 }
 
 // Explain returns a plan summary: the serialized tree, the GoSN edges, and

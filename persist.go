@@ -130,3 +130,81 @@ func (s *Store) QueryStreamContext(ctx context.Context, src string, fn func(map[
 		return fn(m)
 	})
 }
+
+// QueryStreamRows executes a query and streams positional rows to fn: each
+// row is aligned with vars, and an unbound OPTIONAL variable is a zero
+// Term cell rather than a missing map key. This is the column-ordered
+// companion to QueryStream that result serializers need — a map cannot
+// carry column order or distinguish "unbound" from "absent".
+//
+// fn is called once with a nil row before any result rows, carrying the
+// variable header, so a consumer can emit its header (or its complete
+// zero-row document) even when the query has no solutions. Returning
+// false — from the header call or any row call — stops the enumeration
+// early without error. A done ctx aborts the query in any phase and
+// returns ctx.Err().
+//
+// Like QueryStream, queries whose output needs a final subsumption pass
+// (best-match) or cross-branch de-duplication are materialized internally
+// and replayed to fn; everything else streams with constant memory.
+func (s *Store) QueryStreamRows(ctx context.Context, src string, fn func(vars []string, row []Term) bool) error {
+	eng, err := s.ensureEngine()
+	if err != nil {
+		return err
+	}
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return err
+	}
+	// The engine emits rows in the header's order on every path today; the
+	// remap below is insurance that keeps the public contract ("row[i] is
+	// the binding of vars[i]") independent of engine internals.
+	var (
+		evars   []sparql.Var
+		vars    []string
+		remap   []int
+		checked bool
+	)
+	return eng.ExecuteStreamHeaderContext(ctx, q, func(vs []sparql.Var) bool {
+		// The header and the rows come from one normalization pass; a
+		// dead context has already been refused by the engine.
+		evars = vs
+		vars = make([]string, len(vs))
+		for i, v := range vs {
+			vars[i] = string(v)
+		}
+		return fn(vars, nil)
+	}, func(vs []sparql.Var, row engine.Row) bool {
+		if !checked {
+			checked = true
+			same := len(vs) == len(evars)
+			for i := 0; same && i < len(vs); i++ {
+				same = vs[i] == evars[i]
+			}
+			if !same {
+				pos := make(map[sparql.Var]int, len(vs))
+				for i, v := range vs {
+					pos[v] = i
+				}
+				remap = make([]int, len(evars))
+				for i, v := range evars {
+					if p, ok := pos[v]; ok {
+						remap[i] = p
+					} else {
+						remap[i] = -1
+					}
+				}
+			}
+		}
+		if remap == nil {
+			return fn(vars, []Term(row))
+		}
+		out := make([]Term, len(evars))
+		for i, p := range remap {
+			if p >= 0 {
+				out[i] = row[p]
+			}
+		}
+		return fn(vars, out)
+	})
+}
