@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify serve-smoke bench bench-parallel bench-build bench-server
+.PHONY: all build test race vet fmt-check verify serve-smoke fuzz-smoke bench bench-parallel bench-union bench-build bench-server
 
 # The default target is the full tier-1 verification, race detector included.
 all: verify
@@ -32,18 +32,34 @@ verify: build vet fmt-check race
 serve-smoke:
 	GO=$(GO) sh scripts/serve_smoke.sh
 
+# fuzz-smoke runs the differential query fuzzer (engine vs the naive
+# reference evaluator, across worker counts) briefly — long enough to
+# replay the seed corpus and mutate around it, short enough for CI. Local
+# deep runs: go test ./internal/engine -run='^$' -fuzz=FuzzQueryDifferential
+FUZZTIME ?= 20s
+fuzz-smoke:
+	$(GO) test ./internal/engine -run='^$$' -fuzz=FuzzQueryDifferential -fuzztime=$(FUZZTIME)
+
 # bench regenerates the paper's evaluation tables at the default scales.
 bench:
 	$(GO) run ./cmd/lbrbench -table all
 
 # bench-parallel refreshes the checked-in sequential-vs-parallel baseline.
+# Workers is pinned to 4 (not GOMAXPROCS) so the parallel arm exercises the
+# concurrent code paths — and its byte-identity check means something —
+# even when the recording runner has a single CPU.
 bench-parallel:
-	$(GO) run ./cmd/lbrbench -table parallel -lubm-univ 32 -runs 15 -workers 0 -json BENCH_parallel.json
+	$(GO) run ./cmd/lbrbench -table parallel -lubm-univ 32 -runs 15 -workers 4 -json BENCH_parallel.json
+
+# bench-union refreshes the checked-in sequential-vs-concurrent UNION
+# branch-scheduling baseline (workers pinned to 4, as in bench-parallel).
+bench-union:
+	$(GO) run ./cmd/lbrbench -table union -lubm-univ 32 -runs 7 -workers 4 -json BENCH_union.json
 
 # bench-build refreshes the checked-in sequential-vs-parallel build
-# (load pipeline) baseline.
+# (load pipeline) baseline (workers pinned to 4, as in bench-parallel).
 bench-build:
-	$(GO) run ./cmd/lbrbench -table build -lubm-univ 32 -runs 7 -workers 0 -json BENCH_build.json
+	$(GO) run ./cmd/lbrbench -table build -lubm-univ 32 -runs 7 -workers 4 -json BENCH_build.json
 
 # bench-server refreshes the checked-in end-to-end HTTP latency/throughput
 # baseline of the SPARQL Protocol server.

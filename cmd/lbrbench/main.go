@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "all", "which experiment: 6.1|6.2|6.3|6.4|index-sizes|ablations|crossover|parallel|build|server|all")
+		table    = flag.String("table", "all", "which experiment: 6.1|6.2|6.3|6.4|index-sizes|ablations|crossover|parallel|union|build|server|all")
 		lubmU    = flag.Int("lubm-univ", 16, "LUBM scale: universities")
 		uniprotP = flag.Int("uniprot-proteins", 20000, "UniProt scale: proteins")
 		dbpediaE = flag.Int("dbpedia-entities", 40000, "DBPedia scale: entities")
@@ -49,7 +49,7 @@ func main() {
 	var lubm, uniprot, dbpedia *bench.Dataset
 	build := func() {
 		var err error
-		if lubm == nil && want("6.1", "6.2", "index-sizes", "ablations", "parallel", "build", "server") {
+		if lubm == nil && want("6.1", "6.2", "index-sizes", "ablations", "parallel", "union", "build", "server") {
 			step("generating LUBM-like dataset (%d universities)", *lubmU)
 			lubm, err = bench.BuildLUBM(*lubmU)
 			check(err)
@@ -138,6 +138,26 @@ func main() {
 			f, err := os.Create(*jsonPath)
 			check(err)
 			check(bench.WriteParallelJSON(f, rep))
+			check(f.Close())
+			step("wrote %s", *jsonPath)
+		}
+	}
+
+	if want("union") && lubm != nil {
+		w := engine.Options{Workers: *workers}.EffectiveWorkers()
+		step("running UNION branch-scheduling comparison (workers=%d)", w)
+		ms, err := bench.RunUnionTable(lubm, w, *runs)
+		check(err)
+		bench.FprintUnionTable(os.Stdout,
+			fmt.Sprintf("Parallel UNION branches: LUBM (%d triples), %d workers", lubm.Graph.Len(), w), ms)
+		fmt.Println()
+		// -json is shared with the other tables; write the union report
+		// only when this run is specifically the union table.
+		if *jsonPath != "" && *table == "union" {
+			rep := bench.NewUnionReport(w, *runs, ms)
+			f, err := os.Create(*jsonPath)
+			check(err)
+			check(bench.WriteUnionJSON(f, rep))
 			check(f.Close())
 			step("wrote %s", *jsonPath)
 		}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/engine"
+	"repro/internal/sparql"
+)
+
+// UnionQueries is the workload of the -table union comparison: multi-branch
+// UNION queries (including the per-predicate branches of a ?s ?p ?o
+// expansion) over the LUBM vocabulary, chosen so branch scheduling, the
+// shared-subpattern load cache, and the adaptive partitioner all engage.
+func UnionQueries() []QuerySpec {
+	return []QuerySpec{
+		{ID: "U1", Note: "three UNION branches with per-branch OPTIONALs", SPARQL: lubmPrefixes + `
+			SELECT * WHERE {
+				{ ?st ub:takesCourse ?course . OPTIONAL { ?st ub:emailAddress ?e . } }
+				UNION { ?prof ub:teacherOf ?course . OPTIONAL { ?prof ub:researchInterest ?r . } }
+				UNION { ?st ub:teachingAssistantOf ?course . }
+			}`},
+		{ID: "U2", Note: "branches share the ?st ub:memberOf ?dept subpattern (single-flight load cache)", SPARQL: lubmPrefixes + `
+			SELECT * WHERE {
+				{ ?st ub:memberOf ?dept . ?st ub:emailAddress ?e . }
+				UNION { ?st ub:memberOf ?dept . ?st ub:telephone ?t . }
+				UNION { ?st ub:memberOf ?dept . ?st ub:undergraduateDegreeFrom ?u . }
+			}`},
+		{ID: "U3", Note: "full scan: one branch per predicate", SPARQL: `
+			SELECT * WHERE { ?s ?p ?o . }`},
+		{ID: "U4", Note: "full scan joined with a type constraint, OPTIONAL riding along", SPARQL: lubmPrefixes + `
+			SELECT * WHERE {
+				?s ?p ?o . ?s rdf:type ub:GraduateStudent .
+				OPTIONAL { ?s ub:emailAddress ?e . }
+			}`},
+	}
+}
+
+// UnionMeasurement compares sequential branch execution (Workers=1) with
+// concurrent branch scheduling (Workers=w) for one UNION query.
+type UnionMeasurement struct {
+	Dataset  string  `json:"dataset"`
+	Query    string  `json:"query"`
+	Branches int     `json:"branches"` // UNF branches incl. ?s ?p ?o expansion
+	TSeqMS   float64 `json:"t_seq_ms"`
+	TParMS   float64 `json:"t_par_ms"`
+	Speedup  float64 `json:"speedup"`
+	Results  int     `json:"results"`
+	// Match is true when the parallel run returned byte-identical rows in
+	// the same order as the sequential run.
+	Match bool `json:"match"`
+}
+
+// UnionReport is the JSON document lbrbench -table union -json emits.
+type UnionReport struct {
+	CreatedAt    string             `json:"created_at"`
+	NumCPU       int                `json:"num_cpu"`
+	GoMaxProcs   int                `json:"gomaxprocs"`
+	Workers      int                `json:"workers"`
+	Runs         int                `json:"runs"`
+	Measurements []UnionMeasurement `json:"measurements"`
+}
+
+// NewUnionReport stamps a report with the current machine shape.
+func NewUnionReport(workers, runs int, ms []UnionMeasurement) UnionReport {
+	return UnionReport{
+		CreatedAt:    time.Now().UTC().Format(time.RFC3339),
+		NumCPU:       runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Workers:      workers,
+		Runs:         runs,
+		Measurements: ms,
+	}
+}
+
+// WriteUnionJSON serializes a report, indented for reviewable check-in.
+func WriteUnionJSON(w io.Writer, rep UnionReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// countBranches reports how many UNF branches the engine will execute for
+// the query: the union-normal-form branch count, with each branch
+// multiplied by the predicate cardinality once per three-variable pattern
+// it contains (the ?s ?p ?o expansion).
+func countBranches(q *sparql.Query, nPred int) (int, error) {
+	tree, err := algebra.FromQuery(q)
+	if err != nil {
+		return 0, err
+	}
+	branches, err := algebra.NormalizeUNF(tree)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, b := range branches {
+		n := 1
+		for _, tp := range algebra.TreePatterns(b.Tree) {
+			if tp.S.IsVar && tp.P.IsVar && tp.O.IsVar {
+				n *= nPred
+			}
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// RunUnionQuery measures one UNION query with sequential branches
+// (Workers=1) and with the given worker count, reporting medians of runs
+// timed repetitions after one discarded warm-up each, and verifying the
+// parallel rows byte-identical to the sequential ones.
+func RunUnionQuery(ds *Dataset, spec QuerySpec, workers, runs int) (UnionMeasurement, error) {
+	m := UnionMeasurement{Dataset: ds.Name, Query: spec.ID}
+	q, err := sparql.Parse(spec.SPARQL)
+	if err != nil {
+		return m, fmt.Errorf("%s/%s: %w", ds.Name, spec.ID, err)
+	}
+	if m.Branches, err = countBranches(q, ds.Index.Dictionary().NumPredicates()); err != nil {
+		return m, fmt.Errorf("%s/%s: %w", ds.Name, spec.ID, err)
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	seq := engine.New(ds.Index, engine.Options{Workers: 1})
+	par := engine.New(ds.Index, engine.Options{Workers: workers})
+
+	seqMS, seqRows, err := timeEngine(seq, q, runs)
+	if err != nil {
+		return m, fmt.Errorf("%s/%s sequential: %w", ds.Name, spec.ID, err)
+	}
+	parMS, parRows, err := timeEngine(par, q, runs)
+	if err != nil {
+		return m, fmt.Errorf("%s/%s workers=%d: %w", ds.Name, spec.ID, workers, err)
+	}
+	m.TSeqMS, m.TParMS = seqMS, parMS
+	if parMS > 0 {
+		m.Speedup = seqMS / parMS
+	}
+	m.Results = len(seqRows)
+	m.Match = equalStrings(seqRows, parRows)
+	return m, nil
+}
+
+// RunUnionTable measures the UNION workload sequentially vs with
+// concurrent branch scheduling.
+func RunUnionTable(ds *Dataset, workers, runs int) ([]UnionMeasurement, error) {
+	out := make([]UnionMeasurement, 0, len(UnionQueries()))
+	for _, spec := range UnionQueries() {
+		m, err := RunUnionQuery(ds, spec, workers, runs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// FprintUnionTable renders the branch-parallel comparison.
+func FprintUnionTable(w io.Writer, title string, ms []UnionMeasurement) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-10s %-5s %9s %12s %12s %8s %10s %6s\n",
+		"dataset", "query", "branches", "Tseq(ms)", "Tpar(ms)", "speedup", "#results", "same?")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%-10s %-5s %9d %12.2f %12.2f %7.2fx %10d %6v\n",
+			m.Dataset, m.Query, m.Branches, m.TSeqMS, m.TParMS, m.Speedup, m.Results, yn(m.Match))
+	}
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// TestUnionTableMatchesSequential runs the UNION workload at several
+// worker counts and demands byte-identical, order-identical rows plus a
+// sensible branch count (every query in the workload is multi-branch).
+func TestUnionTableMatchesSequential(t *testing.T) {
+	ds, err := BuildLUBM(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		ms, err := RunUnionTable(ds, workers, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != len(UnionQueries()) {
+			t.Fatalf("workers=%d: measured %d queries, want %d", workers, len(ms), len(UnionQueries()))
+		}
+		for _, m := range ms {
+			if !m.Match {
+				t.Errorf("workers=%d %s/%s: parallel rows differ from sequential", workers, m.Dataset, m.Query)
+			}
+			if m.Branches < 2 {
+				t.Errorf("%s/%s: %d branches, want a multi-branch query", m.Dataset, m.Query, m.Branches)
+			}
+			if m.Results <= 0 {
+				t.Errorf("%s/%s: %d results, want a non-empty workload", m.Dataset, m.Query, m.Results)
+			}
+		}
+	}
+}
+
+func TestUnionReportJSONRoundTrip(t *testing.T) {
+	ds, err := BuildLUBM(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := RunUnionTable(ds, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewUnionReport(2, 1, ms)
+	if rep.NumCPU != runtime.NumCPU() || rep.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		t.Error("report must record the machine shape")
+	}
+	var buf bytes.Buffer
+	if err := WriteUnionJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back UnionReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Measurements) != len(ms) || back.Workers != 2 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

@@ -57,14 +57,121 @@ func subsumes(r1, r2 Row) bool {
 	return more
 }
 
-// bestMatch removes every subsumed row (minimum union). Rows are grouped by
-// their NULL column mask; a row can only be subsumed by a row whose mask is
-// a strict subset, so only those group pairs are probed, each through a
-// hash of the candidate's non-null projection. The rows' relative order is
-// preserved.
+// bestMatch removes every subsumed row (minimum union), preserving the
+// rows' relative order.
 func bestMatch(rows []Row) []Row {
-	if len(rows) <= 1 {
+	dead := bestMatchDead(rows, nil)
+	if dead == nil {
 		return rows
+	}
+	out := rows[:0]
+	for i, r := range rows {
+		if !dead[i] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// bestMatchGroups runs the minimum union separately inside each
+// distribution group whose need flag is set, preserving global row order.
+// Rows of different groups never subsume each other: distinct groups are
+// genuine UNION alternatives, and SPARQL's bag union keeps their rows even
+// when one binds strictly more than another — only the branches a rule-3
+// rewrite (or a ?s ?p ?o expansion under OPTIONAL) split apart owe each
+// other spurious-result removal.
+//
+// failedCols restricts which rows may be removed, and by whom: a row is a
+// rewrite artifact — removable — only where one of its own rule-3 splits
+// demonstrably failed (witness columns all NULL), and only a subsumer
+// that binds at least one of those failed witness columns proves the
+// artifact (it shows a sibling alternative of that split matched in the
+// same context, which is exactly when the distribution fabricated the
+// NULL row). A subsumer whose extra columns belong only to splits that
+// MATCHED in the victim is a different genuine solution of the bag union
+// — e.g. OPTIONAL { {?a <p> ?z} UNION {?master <p> ?z} }, where the
+// poorer alternative's matches must survive the richer alternative's rows
+// — and a split whose every alternative failed produced a genuine NULL,
+// not an artifact. Both cases were found by FuzzQueryDifferential / the
+// differential union sweep.
+func bestMatchGroups(rows []Row, groups []int32, need []bool, failedCols [][]int) []Row {
+	idxs := make([][]int, len(need))
+	for i, g := range groups {
+		if need[g] {
+			idxs[g] = append(idxs[g], i)
+		}
+	}
+	var dead map[int]bool
+	for g, list := range idxs {
+		if !need[g] || len(list) <= 1 {
+			continue
+		}
+		sub := make([]Row, len(list))
+		var subFailed [][]int
+		if failedCols != nil {
+			subFailed = make([][]int, len(list))
+		}
+		for k, ri := range list {
+			sub[k] = rows[ri]
+			if failedCols != nil {
+				subFailed[k] = failedCols[ri]
+			}
+		}
+		subDead := bestMatchDead(sub, subFailed)
+		if subDead == nil {
+			continue
+		}
+		for k, d := range subDead {
+			if d {
+				if dead == nil {
+					dead = map[int]bool{}
+				}
+				dead[list[k]] = true
+			}
+		}
+	}
+	if dead == nil {
+		return rows
+	}
+	out := rows[:0]
+	for i, r := range rows {
+		if !dead[i] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// filterRows keeps the rows (and their group tags and failed-witness
+// column sets) whose keep flag is set, in place.
+func filterRows(rows []Row, groups []int32, failedCols [][]int, keep []bool) ([]Row, []int32, [][]int) {
+	outRows := rows[:0]
+	outGroups := groups[:0]
+	outFailed := failedCols[:0]
+	for i, r := range rows {
+		if keep[i] {
+			outRows = append(outRows, r)
+			outGroups = append(outGroups, groups[i])
+			outFailed = append(outFailed, failedCols[i])
+		}
+	}
+	return outRows, outGroups, outFailed
+}
+
+// bestMatchDead computes the subsumed-row set of the minimum union. Rows
+// are grouped by their NULL column mask; a row can only be subsumed by a
+// row whose mask is a strict subset, so only those group pairs are probed,
+// each through a hash of the candidate's non-null projection.
+//
+// failedCols, when non-nil, holds per row the witness columns of its
+// failed rule-3 splits: the row may then be marked dead only by a
+// subsumer binding at least one of those columns (see bestMatchGroups),
+// and a row with none is never removed. Any row can still act as a
+// subsumer. The result is nil when the input is too small to subsume
+// anything.
+func bestMatchDead(rows []Row, failedCols [][]int) []bool {
+	if len(rows) <= 1 {
+		return nil
 	}
 	width := len(rows[0])
 	maskOf := func(r Row) string {
@@ -135,19 +242,28 @@ func bestMatch(rows []Row) []Row {
 				continue
 			}
 			for _, ri := range groups[subMask] {
+				if failedCols != nil {
+					// The subsumer's extra columns (NULL in the victim's
+					// mask, bound in the subsumer's) must include a failed
+					// witness column of this victim.
+					proves := false
+					for _, c := range failedCols[ri] {
+						if subMask[c] == '1' && superMask[c] == '0' {
+							proves = true
+							break
+						}
+					}
+					if !proves {
+						continue
+					}
+				}
 				if !dead[ri] && index[projKey(rows[ri], subMask)] {
 					dead[ri] = true
 				}
 			}
 		}
 	}
-	out := rows[:0]
-	for i, r := range rows {
-		if !dead[i] {
-			out = append(out, r)
-		}
-	}
-	return out
+	return dead
 }
 
 func hasNull(mask string) bool {
@@ -159,7 +275,7 @@ func hasNull(mask string) bool {
 	return false
 }
 
-// dedupNullUnion collapses the duplicate rows a rule-3 rewrite (including
+// dedupNullUnionKeep collapses the duplicate rows a rule-3 rewrite (including
 // the per-predicate union a rewritten three-variable pattern expands
 // into) introduces: a master solution whose distributed OPTIONAL side
 // failed emits one identical nulled row per alternative of that split,
@@ -174,19 +290,27 @@ func hasNull(mask string) bool {
 // columns cannot prove failure and conservatively counts as matched.
 // Under full projection (which is where this runs; SELECT projection
 // happens later) two distinct master solutions never render identically,
-// so this key is exact.
-func dedupNullUnion(rows []Row, metas []*dupMeta) []Row {
+// so this key is exact. The results are aligned with rows: keep (true =
+// the row survives the collapse) and failedCols (the witness columns of
+// the row's failed splits — those whose witness is all NULL in the row).
+// Rows with failed splits are the rewrite's artifact candidates: the
+// cross-branch minimum union may remove them, but only on the evidence of
+// a subsumer binding one of those columns (see bestMatchGroups) — a row
+// whose every split matched is a genuine solution of the original query.
+func dedupNullUnionKeep(rows []Row, metas []*dupMeta) (keep []bool, failedCols [][]int) {
 	seen := map[string]bool{}
-	out := rows[:0]
+	keep = make([]bool, len(rows))
+	failedCols = make([][]int, len(rows))
 	for i, r := range rows {
+		keep[i] = true
 		m := metas[i]
 		if m != nil && len(m.splits) > 0 {
-			anyFailed := false
+			var fcols []int
 			var kb strings.Builder
 			kb.WriteString(m.group)
 			for _, sp := range m.splits {
 				if len(sp.cols) > 0 && allNull(r, sp.cols) {
-					anyFailed = true
+					fcols = append(fcols, sp.cols...)
 					continue
 				}
 				kb.WriteByte(0)
@@ -194,19 +318,20 @@ func dedupNullUnion(rows []Row, metas []*dupMeta) []Row {
 				kb.WriteByte('=')
 				kb.WriteString(sp.choice)
 			}
-			if anyFailed {
+			if len(fcols) > 0 {
+				failedCols[i] = fcols
 				kb.WriteByte(0)
 				kb.WriteString(r.key())
 				k := kb.String()
 				if seen[k] {
+					keep[i] = false
 					continue
 				}
 				seen[k] = true
 			}
 		}
-		out = append(out, r)
 	}
-	return out
+	return keep, failedCols
 }
 
 func allNull(r Row, cols []int) bool {

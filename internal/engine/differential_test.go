@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
 
+	"repro/internal/bitmat"
 	"repro/internal/rdf"
 	"repro/internal/ref"
 	"repro/internal/sparql"
@@ -78,6 +80,265 @@ func randWellDesignedQuery(rng *rand.Rand) string {
 		sb = append(sb, fmt.Sprintf("OPTIONAL { %s} ", inner)...)
 	}
 	return "SELECT * WHERE { " + string(sb) + "}"
+}
+
+// qgen generates random well-designed queries with UNION, sharing one
+// variable/predicate-variable counter across all union alternatives so
+// fresh names never collide (a reused predicate variable would be a
+// predicate join, which the engine rejects by design).
+type qgen struct {
+	rng       *rand.Rand
+	varCount  int
+	pvarCount int
+	// pool holds variables usable for cross-alternative sharing: union
+	// alternatives that reuse a name exercise the column alignment and
+	// NULL filling of the cross-branch merge.
+	pool []string
+}
+
+func (g *qgen) newVar() string {
+	g.varCount++
+	v := fmt.Sprintf("?v%d", g.varCount-1)
+	g.pool = append(g.pool, v)
+	return v
+}
+
+func (g *qgen) newPredVar() string {
+	g.pvarCount++
+	return fmt.Sprintf("?pv%d", g.pvarCount-1)
+}
+
+func (g *qgen) pick(vs []string) string { return vs[g.rng.Intn(len(vs))] }
+
+func (g *qgen) pat(s, o string) string {
+	preds := []string{"p0", "p1", "p2", "p3"}
+	return fmt.Sprintf("%s <%s> %s .", s, g.pick(preds), o)
+}
+
+// block emits one well-designed BGP-OPT block: a connected master chain,
+// optionally a ?s ?p ?o full scan, then OPTIONALs whose right sides link
+// through exactly one master variable — occasionally a nested
+// UNION-under-OPTIONAL (rewrite rule 3) or an OPTIONAL full scan (the
+// rule-3-like expansion path).
+func (g *qgen) block() string {
+	rng := g.rng
+	var sb []byte
+	var vars []string
+	v0 := g.newVar()
+	vars = append(vars, v0)
+	prev := v0
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		var next string
+		if rng.Intn(3) == 0 {
+			next = fmt.Sprintf("<e%d>", rng.Intn(12)) // constant endpoint
+		} else {
+			next = g.newVar()
+			vars = append(vars, next)
+		}
+		sb = append(sb, g.pat(prev, next)...)
+		sb = append(sb, ' ')
+		if next[0] == '?' {
+			prev = next
+		}
+	}
+	if rng.Intn(4) == 0 {
+		// Master full scan: joins the chain on the subject; the predicate
+		// variable occurs exactly once in the whole query.
+		ov := g.newVar()
+		sb = append(sb, fmt.Sprintf("%s %s %s . ", g.pick(vars), g.newPredVar(), ov)...)
+		vars = append(vars, ov)
+	}
+	for k := 0; k < 1+rng.Intn(2); k++ {
+		link := g.pick(vars)
+		switch rng.Intn(5) {
+		case 0:
+			// Nested UNION under OPTIONAL: rule 3, cross-branch best-match.
+			if rng.Intn(2) == 0 {
+				a, b := g.newVar(), g.newVar()
+				sb = append(sb, fmt.Sprintf("OPTIONAL { { %s } UNION { %s } } ",
+					g.pat(link, a), g.pat(link, b))...)
+			} else {
+				// Alternatives of unequal richness sharing the object
+				// variable: one binds a fresh subject, the other reuses a
+				// master variable, so a match of the poorer alternative is
+				// content-subsumed by the richer one — the minimum union
+				// must still keep it (genuine solution, not an artifact).
+				x, z := g.newVar(), g.newVar()
+				sb = append(sb, fmt.Sprintf("OPTIONAL { { %s } UNION { %s } } ",
+					g.pat(x, z), g.pat(link, z))...)
+			}
+		case 1:
+			// OPTIONAL full scan: expands per predicate under rule 3.
+			ov := g.newVar()
+			sb = append(sb, fmt.Sprintf("OPTIONAL { %s %s %s . } ",
+				link, g.newPredVar(), ov)...)
+		default:
+			inner := ""
+			ov := g.newVar()
+			inner += g.pat(link, ov) + " "
+			if rng.Intn(2) == 0 {
+				inner += g.pat(ov, g.newVar()) + " "
+			}
+			if rng.Intn(3) == 0 {
+				// Nested optional reusing the inner variable only.
+				inner += fmt.Sprintf("OPTIONAL { %s } ", g.pat(ov, g.newVar()))
+			}
+			sb = append(sb, fmt.Sprintf("OPTIONAL { %s} ", inner)...)
+		}
+	}
+	return string(sb)
+}
+
+// randUnionQuery generates a UNION of 1-3 well-designed blocks. With some
+// probability a later alternative rebinds a variable of an earlier one
+// (sharing the name, not the patterns), so result columns overlap across
+// branches.
+func randUnionQuery(rng *rand.Rand) string {
+	g := &qgen{rng: rng}
+	nAlts := 1 + rng.Intn(3)
+	alts := make([]string, nAlts)
+	for i := range alts {
+		if i > 0 && len(g.pool) > 0 && rng.Intn(2) == 0 {
+			// Seed the alternative's chain with a shared variable name.
+			shared := g.pick(g.pool)
+			alts[i] = fmt.Sprintf("%s ", g.pat(shared, g.newVar())) + g.block()
+		} else {
+			alts[i] = g.block()
+		}
+	}
+	if nAlts == 1 {
+		return "SELECT * WHERE { " + alts[0] + "}"
+	}
+	body := ""
+	for i, a := range alts {
+		if i > 0 {
+			body += "UNION "
+		}
+		body += "{ " + a + "} "
+	}
+	return "SELECT * WHERE { " + body + "}"
+}
+
+// TestDifferentialUnionWorkerSweep is the PR's main harness: ≥500 random
+// UNION/OPTIONAL queries (nested UNION-under-OPTIONAL and ?s ?p ?o
+// expansion branches included), each executed at Workers ∈ {1, 2, 8} with
+// the parallel thresholds forced down so branch scheduling and adaptive
+// partitioning really engage. Every execution must agree with the
+// reference evaluator as a sorted multiset, and the parallel runs must be
+// byte-identical — order and NULL cells included — to the sequential run.
+func TestDifferentialUnionWorkerSweep(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(2026))
+	workerCounts := []int{1, 2, 8}
+	trials := 500
+	if testing.Short() {
+		trials = 60
+	}
+	for trial := 0; trial < trials; trial++ {
+		g := randGraph(rng, 24+rng.Intn(40))
+		src := randUnionQuery(rng)
+		q, err := sparql.Parse(src)
+		if err != nil {
+			t.Fatalf("generated query does not parse: %q: %v", src, err)
+		}
+		idx, err := bitmat.Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maps, vars, err := ref.New(g).Execute(q)
+		if err != nil {
+			t.Fatalf("ref on %q: %v", src, err)
+		}
+		var seq []string
+		for _, w := range workerCounts {
+			e := New(idx, Options{Workers: w})
+			res, err := e.ExecuteContext(context.Background(), q)
+			if err != nil {
+				t.Fatalf("trial %d workers=%d on %q: %v", trial, w, src, err)
+			}
+			if !sameRows(res, maps, vars) {
+				t.Fatalf("trial %d workers=%d mismatch\nquery: %s\nengine: %v\nref:    %v",
+					trial, w, src, renderRows(res, vars), ref.SortedKeys(maps, vars))
+			}
+			exact := exactRows(res)
+			if seq == nil {
+				seq = exact
+				continue
+			}
+			if len(exact) != len(seq) {
+				t.Fatalf("trial %d workers=%d: %d rows, sequential had %d\nquery: %s",
+					trial, w, len(exact), len(seq), src)
+			}
+			for i := range seq {
+				if exact[i] != seq[i] {
+					t.Fatalf("trial %d workers=%d row %d: %q != sequential %q\nquery: %s",
+						trial, w, i, exact[i], seq[i], src)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialFuzzRegressions pins, deterministically and across many
+// random graphs, the bug classes FuzzQueryDifferential surfaced while this
+// harness was built:
+//
+//  1. A union alternative under OPTIONAL that binds fewer variables than
+//     its sibling is still a genuine solution when it matches — the
+//     cross-branch minimum union may only remove rows whose own split
+//     failed, and only on the evidence of a subsumer binding one of that
+//     split's witness columns.
+//  2. A split whose every alternative failed produced a genuine NULL row;
+//     a subsumer extending a *different* (matched) split must not kill it.
+//  3. A slave supernode whose patterns are not variable-connected can
+//     match partially; the planner now forces nullification for it.
+//  4. A nested OPTIONAL sharing no variable with its failed master level
+//     must fail with it instead of enumerating freely.
+func TestDifferentialFuzzRegressions(t *testing.T) {
+	queries := []string{
+		// (1) poorer alternative shares the object var with the richer one.
+		`SELECT * WHERE { ?v1 <p1> ?v2 .
+			OPTIONAL { { ?v5 <p3> ?v6 . } UNION { ?v2 <p3> ?v6 . } } }`,
+		// (2) a failed first split composed with a two-alternative second.
+		`SELECT * WHERE { ?v1 <p1> ?v2 .
+			OPTIONAL { { ?v2 <p1> ?v3 . } UNION { ?v2 <p1> ?v4 . } }
+			OPTIONAL { { ?v5 <p3> ?v6 . } UNION { ?v2 <p3> ?v6 . } } }`,
+		// (3) disconnected patterns inside one OPTIONAL: the self-join probe
+		// can fail while the free scan matches.
+		`SELECT * WHERE { ?x <p0> ?y . OPTIONAL { ?a <p1> ?b . ?x <p2> ?x . } }`,
+		// (4) nested OPTIONAL disconnected from its failing middle level.
+		`SELECT * WHERE { ?x <p0> ?y .
+			OPTIONAL { ?x <p1> ?z . OPTIONAL { ?a <p0> ?b . } } }`,
+	}
+	rng := rand.New(rand.NewSource(7042))
+	for trial := 0; trial < 60; trial++ {
+		g := randGraph(rng, 16+rng.Intn(24))
+		idx, err := bitmat.Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, src := range queries {
+			q, err := sparql.Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			maps, vars, err := ref.New(g).Execute(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{1, 4} {
+				res, err := New(idx, Options{Workers: w}).Execute(q)
+				if err != nil {
+					t.Fatalf("q%d trial %d workers=%d: %v", qi, trial, w, err)
+				}
+				if !sameRows(res, maps, vars) {
+					t.Fatalf("q%d trial %d workers=%d mismatch\nquery: %s\nengine: %v\nref:    %v",
+						qi, trial, w, src, renderRows(res, vars), ref.SortedKeys(maps, vars))
+				}
+			}
+		}
+	}
 }
 
 func TestDifferentialRandomWellDesigned(t *testing.T) {

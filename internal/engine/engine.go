@@ -26,11 +26,21 @@ type Options struct {
 	// it keeps correctness but loses the selectivity-driven pruning order.
 	NaiveJvarOrder bool
 	// Workers bounds the goroutines the engine uses for the parallel
-	// pruning and multi-way join phases. 0 means GOMAXPROCS; 1 forces the
-	// sequential code paths; negative values are treated as 1 (see
-	// EffectiveWorkers). Parallel execution returns the same rows in the
-	// same order as sequential execution.
+	// phases: the pruning waves, the partitioned multi-way join, and the
+	// concurrent execution of UNF branches (UNION alternatives and the
+	// per-predicate branches of a ?s ?p ?o expansion). 0 means GOMAXPROCS;
+	// 1 forces the sequential code paths; negative values are treated as 1
+	// (see EffectiveWorkers). Parallel execution returns the same rows in
+	// the same order as sequential execution.
 	Workers int
+	// PartitionFactor oversubscribes the adaptive root partitioner of the
+	// multi-way join: with w effective workers the partitioner aims for
+	// PartitionFactor*w weight-balanced partitions so that skewed
+	// partitions rebalance across the pool. 0 selects the default (4);
+	// negative values mean one partition per worker. Any factor produces
+	// the same rows in the same order — partitions concatenate in scan
+	// order — so this is a performance knob, never a correctness one.
+	PartitionFactor int
 }
 
 // Engine executes queries against one BitMat index.
@@ -184,16 +194,60 @@ func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query) (*Result, er
 	for i, v := range vars {
 		varPos[v] = i
 	}
-	needCrossBranchBestMatch := false
+	// Branch scheduling: with several UNF branches and a multi-worker
+	// pool, the branches execute concurrently — each gets an equal slice
+	// of the pool for its own partitioned join, and the branch-level
+	// fan-out itself is bounded by the pool size. Results merge in branch
+	// order below, so the output is byte-identical to sequential branch
+	// execution. Identical subpatterns across branches share their BitMat
+	// materialization through a single-flight load cache.
+	nW := e.workers()
+	cache := newLoadCache(execs)
+	branchRes := make([]*Result, len(execs))
+	branchErr := make([]error, len(execs))
+	if len(execs) > 1 && nW > 1 {
+		inner := nW / min(len(execs), nW)
+		if inner < 1 {
+			inner = 1
+		}
+		fns := make([]func(), len(execs))
+		for i := range execs {
+			fns[i] = func() {
+				branchRes[i], branchErr[i] = e.executeBranchCtx(ctx, execs[i], vars, inner, cache)
+			}
+		}
+		// runLimitedCtx re-checks the context between branch dispatches, so
+		// a per-request timeout cancels the whole union instead of being
+		// noticed only inside whichever branches already started.
+		runLimitedCtx(ctx, nW, fns)
+	} else {
+		for i := range execs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			branchRes[i], branchErr[i] = e.executeBranchCtx(ctx, execs[i], vars, nW, cache)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var allRows []Row
 	// metas stays nil until some branch actually carries rule-3 collapse
-	// scope; a plain query never pays the per-row pointer.
+	// scope; a plain query never pays the per-row pointer. rowGroup tracks
+	// each row's distribution group so the cross-branch minimum union
+	// below stays scoped to the branches rule 3 actually split — genuine
+	// UNION alternatives have distinct groups and must keep their rows
+	// even when one subsumes another (bag-union semantics).
 	var metas []*dupMeta
-	for _, eb := range execs {
-		br, err := e.executeBranchCtx(ctx, eb, vars)
-		if err != nil {
-			return nil, err
+	var rowGroup []int32
+	groupID := map[string]int32{}
+	var groupNeed []bool
+	var groupBranches []int
+	for i, eb := range execs {
+		if branchErr[i] != nil {
+			return nil, branchErr[i]
 		}
+		br := branchRes[i]
 		applyCheapSubsts(eb.b.Substs, br.Rows, varPos)
 		if meta := dupMetaFor(eb, varPos); meta != nil || metas != nil {
 			if metas == nil {
@@ -203,17 +257,41 @@ func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query) (*Result, er
 				metas = append(metas, meta)
 			}
 		}
+		gid, ok := groupID[eb.b.DupGroup]
+		if !ok {
+			gid = int32(len(groupNeed))
+			groupID[eb.b.DupGroup] = gid
+			groupNeed = append(groupNeed, false)
+			groupBranches = append(groupBranches, 0)
+		}
+		groupBranches[gid]++
+		if eb.b.UsedRule3 || br.Stats.BestMatch {
+			groupNeed[gid] = true
+		}
+		for range br.Rows {
+			rowGroup = append(rowGroup, gid)
+		}
 		allRows = append(allRows, br.Rows...)
 		accumulate(&res.Stats, &br.Stats)
-		if eb.b.UsedRule3 || br.Stats.BestMatch {
-			needCrossBranchBestMatch = true
+	}
+	crossBM := false
+	for gid := range groupNeed {
+		if groupNeed[gid] && groupBranches[gid] > 1 {
+			crossBM = true
+		} else {
+			groupNeed[gid] = false
 		}
 	}
-	if needCrossBranchBestMatch && len(execs) > 1 {
-		if metas != nil {
-			allRows = dedupNullUnion(allRows, metas)
-		}
-		allRows = bestMatch(allRows)
+	// Cross-branch artifact removal, scoped twice over: only within one
+	// distribution group, and only rows whose own split demonstrably
+	// failed may be removed — matched rows are genuine solutions whatever
+	// a sibling branch produced. Without metas no branch carries rule-3
+	// scope and there is nothing to collapse (rows of distinct expansion
+	// branches always differ in their forced predicate binding).
+	if crossBM && metas != nil {
+		keep, failed := dedupNullUnionKeep(allRows, metas)
+		allRows, rowGroup, failed = filterRows(allRows, rowGroup, failed, keep)
+		allRows = bestMatchGroups(allRows, rowGroup, groupNeed, failed)
 		res.Stats.BestMatch = true
 	}
 	res.Rows = allRows
@@ -330,8 +408,12 @@ func accumulate(dst, src *Stats) {
 	dst.EmptyShortcut = dst.EmptyShortcut || src.EmptyShortcut
 }
 
-// executeBranchCtx runs one union-free branch (Algorithm 5.1).
-func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []sparql.Var) (*Result, error) {
+// executeBranchCtx runs one union-free branch (Algorithm 5.1). budget
+// bounds the workers the branch's own partitioned join may use — the pool
+// share the branch scheduler granted it (the full pool when branches run
+// sequentially). cache, when non-nil, shares BitMat materializations of
+// subpatterns that recur across the query's branches.
+func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []sparql.Var, budget int, cache *loadCache) (*Result, error) {
 	b := eb.b
 	res := &Result{Vars: vars}
 
@@ -368,7 +450,7 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		st, err := e.load(pat, i, gosn.SNOfTP[i], plan, tps)
+		st, err := e.load(pat, i, gosn.SNOfTP[i], plan, tps, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -396,7 +478,7 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 	// the parallel scheduler) when the query is cancelled.
 	tPrune := time.Now()
 	if !e.opts.DisablePruning {
-		e.pruneTriples(ctx, plan, tps)
+		e.pruneTriples(ctx, plan, tps, budget)
 	}
 	res.Stats.Prune = time.Since(tPrune)
 	if err := ctx.Err(); err != nil {
@@ -499,8 +581,11 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 		}
 	}
 
-	nWorkers := e.workers()
-	rootTP, parts := rootPartitions(plan, stps, nWorkers)
+	nWorkers := budget
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+	rootTP, parts := rootPartitions(plan, stps, nWorkers, e.opts.partitionFactor())
 	var chunks []joinChunk
 	if len(parts) > 1 {
 		// Partitioned multi-way join: each worker enumerates a contiguous
@@ -546,7 +631,7 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 // materialized result (non-nil) for the caller to replay; a nil result
 // means rows were streamed. A cancelled context stops the enumeration; the
 // caller surfaces ctx.Err().
-func (e *Engine) executeBranchStreamCtx(ctx context.Context, eb execBranch, vars []sparql.Var, fn func([]sparql.Var, Row) bool) (*Result, error) {
+func (e *Engine) executeBranchStreamCtx(ctx context.Context, eb execBranch, vars []sparql.Var, cache *loadCache, fn func([]sparql.Var, Row) bool) (*Result, error) {
 	b := eb.b
 	gosn, err := algebra.BuildGoSN(b.Tree)
 	if err != nil {
@@ -566,7 +651,7 @@ func (e *Engine) executeBranchStreamCtx(ctx context.Context, eb execBranch, vars
 	if nulreqd || len(slaveFilters) > 0 {
 		// A trailing best-match (or potential FaN nullification) makes the
 		// output non-streamable.
-		return e.executeBranchCtx(ctx, eb, vars)
+		return e.executeBranchCtx(ctx, eb, vars, e.workers(), cache)
 	}
 	if e.opts.NaiveJvarOrder && !plan.Greedy {
 		naiveOrders(plan)
@@ -576,7 +661,7 @@ func (e *Engine) executeBranchStreamCtx(ctx context.Context, eb execBranch, vars
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		st, err := e.load(pat, i, gosn.SNOfTP[i], plan, tps)
+		st, err := e.load(pat, i, gosn.SNOfTP[i], plan, tps, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -589,7 +674,7 @@ func (e *Engine) executeBranchStreamCtx(ctx context.Context, eb execBranch, vars
 		}
 	}
 	if !e.opts.DisablePruning {
-		e.pruneTriples(ctx, plan, tps)
+		e.pruneTriples(ctx, plan, tps, e.workers())
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -881,6 +966,7 @@ func (e *Engine) executeStream(ctx context.Context, q *sparql.Query, header func
 			}
 		}
 		if streamable {
+			cache := newLoadCache(execs)
 			varPos := make(map[sparql.Var]int, len(vars))
 			for i, v := range vars {
 				varPos[v] = i
@@ -915,7 +1001,7 @@ func (e *Engine) executeStream(ctx context.Context, q *sparql.Query, header func
 				return true
 			}
 			for _, eb := range execs {
-				res, err := e.executeBranchStreamCtx(ctx, eb, vars, wrapped)
+				res, err := e.executeBranchStreamCtx(ctx, eb, vars, cache, wrapped)
 				if err != nil {
 					return err
 				}

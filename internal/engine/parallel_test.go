@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/rdf"
+	"repro/internal/sparql"
 )
 
 func TestRunLimitedRunsEverything(t *testing.T) {
@@ -240,5 +242,127 @@ func TestRootPartitionsCoverScan(t *testing.T) {
 	}
 	if len(res.Rows) != 300 {
 		t.Fatalf("expected 300 knows rows, got %d", len(res.Rows))
+	}
+}
+
+// unionDeterminismQuery mixes genuine UNION branches, OPTIONAL NULLs, and
+// a shared subpattern (?x <knows> ?y appears in two branches, exercising
+// the single-flight load cache).
+const unionDeterminismQuery = `SELECT * WHERE {
+	{ ?x <knows> ?y . OPTIONAL { ?x <mail> ?m . } }
+	UNION { ?x <type> <Person> . OPTIONAL { ?x <tel> ?t . } }
+	UNION { ?pub <author> ?x . ?x <knows> ?y . } }`
+
+// TestUnionDeterminismAcrossPartitionAndWorkerCounts pins the merge
+// determinism of the branch scheduler and the adaptive partitioner: the
+// same UNION query, executed at every combination of worker count and
+// partition factor, must produce byte-identical Result rows — order and
+// OPTIONAL unbound (NULL) cells included.
+func TestUnionDeterminismAcrossPartitionAndWorkerCounts(t *testing.T) {
+	forceParallel(t)
+	g := chainGraph()
+	want, err := engineOver(t, g, Options{Workers: 1}).ExecuteString(unionDeterminismQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := exactRows(want)
+	nulls := 0
+	for _, r := range want.Rows {
+		if r.NullCount() > 0 {
+			nulls++
+		}
+	}
+	if len(wantRows) == 0 || nulls == 0 {
+		t.Fatalf("weak fixture: %d rows, %d with NULLs", len(wantRows), nulls)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, factor := range []int{-1, 0, 1, 2, 8} {
+			got, err := engineOver(t, g, Options{Workers: workers, PartitionFactor: factor}).
+				ExecuteString(unionDeterminismQuery)
+			if err != nil {
+				t.Fatalf("workers=%d factor=%d: %v", workers, factor, err)
+			}
+			gotRows := exactRows(got)
+			if len(gotRows) != len(wantRows) {
+				t.Fatalf("workers=%d factor=%d: %d rows, want %d", workers, factor, len(gotRows), len(wantRows))
+			}
+			for i := range wantRows {
+				if gotRows[i] != wantRows[i] {
+					t.Fatalf("workers=%d factor=%d row %d: %q != %q",
+						workers, factor, i, gotRows[i], wantRows[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRunLimitedCtxStopsBetweenDispatches(t *testing.T) {
+	// Sequential path: a cancellation inside fn 0 stops fns 1+.
+	ctx, cancel := context.WithCancel(context.Background())
+	count := 0
+	runLimitedCtx(ctx, 1, []func(){
+		func() { count++; cancel() },
+		func() { count++ },
+		func() { count++ },
+	})
+	if count != 1 {
+		t.Fatalf("sequential: ran %d fns after cancel, want 1", count)
+	}
+	// Pre-cancelled context: nothing runs, either path.
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	var n atomic.Int64
+	fns := make([]func(), 16)
+	for i := range fns {
+		fns[i] = func() { n.Add(1) }
+	}
+	runLimitedCtx(done, 1, fns)
+	runLimitedCtx(done, 4, fns)
+	if n.Load() != 0 {
+		t.Fatalf("pre-cancelled ctx ran %d fns, want 0", n.Load())
+	}
+}
+
+// errAfterCtx is a context whose Err() flips to context.Canceled after a
+// fixed number of checks — a deterministic stand-in for an HTTP timeout
+// firing mid-query.
+type errAfterCtx struct {
+	context.Context
+	budget *atomic.Int64
+}
+
+func (c errAfterCtx) Err() error {
+	if c.budget.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestUnionBranchCancellationMidFlight executes a many-branch UNION (a
+// ?s ?p ?o full scan expands per predicate) under a context that cancels
+// after a few checks: the branch scheduler must observe it between branch
+// dispatches and ExecuteContext must surface the error instead of a
+// result.
+func TestUnionBranchCancellationMidFlight(t *testing.T) {
+	g := rdf.NewGraph()
+	for p := 0; p < 32; p++ {
+		for i := 0; i < 4; i++ {
+			g.Add(rdf.T(fmt.Sprintf("s%d", i), fmt.Sprintf("p%02d", p), fmt.Sprintf("o%d", i)))
+		}
+	}
+	q, err := sparql.Parse(`SELECT * WHERE { ?s ?p ?o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		for _, budget := range []int64{0, 1, 5, 20} {
+			e := engineOver(t, g, Options{Workers: workers})
+			var b atomic.Int64
+			b.Store(budget)
+			ctx := errAfterCtx{Context: context.Background(), budget: &b}
+			if _, err := e.ExecuteContext(ctx, q); err != context.Canceled {
+				t.Fatalf("workers=%d budget=%d: err = %v, want context.Canceled", workers, budget, err)
+			}
+		}
 	}
 }

@@ -129,9 +129,14 @@ func (e *Engine) maskForSpace(mask *bitvec.Bits, maskSpace, axisSpace Space) *bi
 // produces the same pruned matrices as — the sequential loop. A cancelled
 // context stops the passes between jvar levels (and between waves); the
 // caller checks ctx.Err() afterwards, so a partial prune is never treated
-// as a complete one.
-func (e *Engine) pruneTriples(ctx context.Context, plan *planner.Plan, tps []*tpState) {
-	limit := e.workers()
+// as a complete one. budget bounds this branch's fan-out — the pool share
+// the branch scheduler granted it, so concurrent UNION branches cannot
+// oversubscribe the pool with their pruning waves.
+func (e *Engine) pruneTriples(ctx context.Context, plan *planner.Plan, tps []*tpState, budget int) {
+	limit := budget
+	if limit < 1 {
+		limit = 1
+	}
 	pass := func(order []int) {
 		for _, jIdx := range order {
 			if ctx.Err() != nil {

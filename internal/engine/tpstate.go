@@ -178,10 +178,20 @@ func (e *Engine) loadMask(v sparql.Var, axisSpace Space, idx int, loaded []*tpSt
 // per the plan (Section 5's init rules) and applying active-pruning masks
 // from the already loaded patterns. It returns an error for patterns with
 // three variables, which the paper's system does not handle either.
-func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Plan, loaded []*tpState) (*tpState, error) {
+//
+// cache, when non-nil, shares the pristine materialization of patterns
+// that recur across the query's UNF branches: the shared matrix is built
+// single-flight, cloned per branch, and the branch's masks are applied to
+// the clone — bit-identical to building the filtered matrix directly,
+// since both paths read out-of-range mask bits as 0.
+func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Plan, loaded []*tpState, cache *loadCache) (*tpState, error) {
 	st := &tpState{idx: idx, pat: tp, sn: sn}
 	dict := e.dict
 	sVar, pVar, oVar := tp.S.IsVar, tp.P.IsVar, tp.O.IsVar
+	patKey := ""
+	if cache != nil {
+		patKey = tp.String()
+	}
 
 	// Resolve fixed positions; unknown terms mean an empty pattern.
 	var s, p, o rdf.ID
@@ -210,20 +220,22 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 			// reduced to a single row over the subject dimension.
 			st.colVar, st.colSpace = tp.S.Var, SpaceS
 			st.rowSpace = SpaceNone
-			diag := bitmat.NewMatrix(1, dict.NumSubjects())
-			if !unknown {
-				so := e.idx.MatSO(p)
-				var pos []uint32
-				for i := 1; i <= dict.NumShared(); i++ {
-					if so.Test(i-1, i-1) {
-						pos = append(pos, uint32(i-1))
+			st.mat = cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+				diag := bitmat.NewMatrix(1, dict.NumSubjects())
+				if !unknown {
+					so := e.idx.MatSO(p)
+					var pos []uint32
+					for i := 1; i <= dict.NumShared(); i++ {
+						if so.Test(i-1, i-1) {
+							pos = append(pos, uint32(i-1))
+						}
+					}
+					if len(pos) > 0 {
+						diag.SetRow(0, bitvec.RowFromPositions(dict.NumSubjects(), pos))
 					}
 				}
-				if len(pos) > 0 {
-					diag.SetRow(0, bitvec.RowFromPositions(dict.NumSubjects(), pos))
-				}
-			}
-			st.mat = diag
+				return diag
+			})
 			return st, nil
 		}
 		rowVar, _ := plan.RowVar(tp)
@@ -247,55 +259,72 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 			rowMask = e.loadMask(st.rowVar, st.rowSpace, idx, loaded, plan)
 			colMask = e.loadMask(st.colVar, st.colSpace, idx, loaded, plan)
 		}
-		if rowVar == tp.S.Var {
+		orient, build := orientSO, func() *bitmat.Matrix { return e.idx.MatSO(p) }
+		if rowVar != tp.S.Var {
+			orient, build = orientOS, func() *bitmat.Matrix { return e.idx.MatOS(p) }
+		}
+		if base := cache.get(patKey, orient, build); base != nil {
+			st.mat = base.Clone()
+			if rowMask != nil {
+				st.mat.UnfoldRows(rowMask)
+			}
+			if colMask != nil {
+				st.mat.UnfoldCols(colMask)
+			}
+		} else if rowVar == tp.S.Var {
 			st.mat = e.idx.MatSOFiltered(p, rowMask, colMask)
 		} else {
 			st.mat = e.idx.MatOSFiltered(p, rowMask, colMask)
 		}
 	case sVar && !pVar && !oVar:
 		// (?var :p :o): one row of the P-S BitMat of o (Section 5).
-		if unknown {
-			st.mat = bitmat.NewMatrix(1, dict.NumSubjects())
-		} else {
-			st.mat = e.idx.RowPS(p, o)
-		}
+		st.mat = cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+			if unknown {
+				return bitmat.NewMatrix(1, dict.NumSubjects())
+			}
+			return e.idx.RowPS(p, o)
+		})
 		st.colVar, st.colSpace = tp.S.Var, SpaceS
 		st.rowSpace = SpaceNone
 	case !sVar && !pVar && oVar:
 		// (:s :p ?var): one row of the P-O BitMat of s.
-		if unknown {
-			st.mat = bitmat.NewMatrix(1, dict.NumObjects())
-		} else {
-			st.mat = e.idx.RowPO(p, s)
-		}
+		st.mat = cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+			if unknown {
+				return bitmat.NewMatrix(1, dict.NumObjects())
+			}
+			return e.idx.RowPO(p, s)
+		})
 		st.colVar, st.colSpace = tp.O.Var, SpaceO
 		st.rowSpace = SpaceNone
 	case !sVar && pVar && oVar:
 		// (:s ?p ?o): the P-O BitMat of s; the predicate variable rides the
 		// row axis (never a join variable, enforced by the GoJ).
-		if unknown {
-			st.mat = bitmat.NewMatrix(dict.NumPredicates(), dict.NumObjects())
-		} else {
-			st.mat = e.idx.MatPO(s)
-		}
+		st.mat = cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+			if unknown {
+				return bitmat.NewMatrix(dict.NumPredicates(), dict.NumObjects())
+			}
+			return e.idx.MatPO(s)
+		})
 		st.rowVar, st.rowSpace = tp.P.Var, SpaceP
 		st.colVar, st.colSpace = tp.O.Var, SpaceO
 	case sVar && pVar && !oVar:
 		// (?s ?p :o): the P-S BitMat of o.
-		if unknown {
-			st.mat = bitmat.NewMatrix(dict.NumPredicates(), dict.NumSubjects())
-		} else {
-			st.mat = e.idx.MatPS(o)
-		}
+		st.mat = cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+			if unknown {
+				return bitmat.NewMatrix(dict.NumPredicates(), dict.NumSubjects())
+			}
+			return e.idx.MatPS(o)
+		})
 		st.rowVar, st.rowSpace = tp.P.Var, SpaceP
 		st.colVar, st.colSpace = tp.S.Var, SpaceS
 	case !sVar && pVar && !oVar:
 		// (:s ?p :o): the predicates linking s to o.
-		if unknown {
-			st.mat = bitmat.NewMatrix(1, dict.NumPredicates())
-		} else {
-			st.mat = e.idx.RowP(s, o)
-		}
+		st.mat = cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+			if unknown {
+				return bitmat.NewMatrix(1, dict.NumPredicates())
+			}
+			return e.idx.RowP(s, o)
+		})
 		st.colVar, st.colSpace = tp.P.Var, SpaceP
 		st.rowSpace = SpaceNone
 	case !sVar && !pVar && !oVar:

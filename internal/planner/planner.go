@@ -85,7 +85,22 @@ func JvarSelectivity(goj *algebra.GoJ, counts []int64, jvar int) int64 {
 // well-designed queries: nullification/best-match are avoidable for acyclic
 // GoJ, and for cyclic GoJ when every slave supernode has at most one join
 // variable.
+//
+// One addition beyond Figure 3.1, found by the differential fuzzer: a
+// slave supernode whose patterns do not form one variable-connected
+// component can match PARTIALLY — a pattern matches while a disconnected
+// sibling fails (e.g. OPTIONAL { ?a <p> ?b . ?m <q> ?m } with ?m bound by
+// the master: the ?a/?b scan proceeds even when ?m's probe fails, because
+// prune_triples minimality only reaches patterns connected through join
+// variables). The pipelined join can only repair such rows through
+// nullification, so these queries take the best-match path regardless of
+// cyclicity.
 func decideBestMatch(gosn *algebra.GoSN, goj *algebra.GoJ) bool {
+	for _, sn := range gosn.SlaveSupernodes() {
+		if !supernodeConnected(gosn, sn) {
+			return true
+		}
+	}
 	if !goj.Cyclic {
 		return false
 	}
@@ -101,6 +116,51 @@ func decideBestMatch(gosn *algebra.GoSN, goj *algebra.GoJ) bool {
 		}
 	}
 	return false
+}
+
+// supernodeConnected reports whether the supernode's patterns form a
+// single component under the shares-a-variable relation (any variable two
+// patterns share is by definition a join variable, so this is exactly
+// jvar connectivity restricted to the supernode).
+func supernodeConnected(gosn *algebra.GoSN, sn int) bool {
+	tps := gosn.Supernodes[sn].TPs
+	if len(tps) <= 1 {
+		return true
+	}
+	varsOf := make([]map[sparql.Var]bool, len(tps))
+	for i, tp := range tps {
+		varsOf[i] = map[sparql.Var]bool{}
+		for _, v := range gosn.Patterns[tp].Vars() {
+			varsOf[i][v] = true
+		}
+	}
+	// BFS from the first pattern over shared-variable edges.
+	visited := make([]bool, len(tps))
+	queue := []int{0}
+	visited[0] = true
+	reached := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for j := range tps {
+			if visited[j] {
+				continue
+			}
+			shared := false
+			for v := range varsOf[cur] {
+				if varsOf[j][v] {
+					shared = true
+					break
+				}
+			}
+			if shared {
+				visited[j] = true
+				reached++
+				queue = append(queue, j)
+			}
+		}
+	}
+	return reached == len(tps)
 }
 
 // greedyOrder ranks all jvars in descending order of selectivity (most
@@ -246,6 +306,30 @@ func jvarOrder(gosn *algebra.GoSN, goj *algebra.GoJ, counts []int64, snss []int)
 		orderTD = append(orderTD, ts.TopDown()...)
 	}
 	return orderBU, orderTD
+}
+
+// JoinRoot returns the position, within a list of pattern indices given in
+// the multi-way join's visit order, of the first pattern none of whose
+// masters is also in the list — the pattern the pipelined join visits first
+// when nothing is bound yet (it mirrors the engine's pickNext with an empty
+// binding set). The root is what the adaptive partitioner splits: its
+// surviving triples are the outermost enumeration of the join, so slicing
+// them partitions the whole result. Returns -1 when every pattern has a
+// master in the list (cannot happen for a well-formed GoSN; defensive).
+func (p *Plan) JoinRoot(tpIdx []int) int {
+	for i, ti := range tpIdx {
+		free := true
+		for j, tj := range tpIdx {
+			if j != i && p.GoSN.TPIsMasterOf(tj, ti) {
+				free = false
+				break
+			}
+		}
+		if free {
+			return i
+		}
+	}
+	return -1
 }
 
 // FirstOccurrence returns, for every jvar index, its first position in the

@@ -6,6 +6,7 @@
 package ref
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -13,6 +14,13 @@ import (
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
+
+// ErrBudget reports that an evaluation exceeded the mapping budget set
+// with WithBudget. The reference evaluator is deliberately naive —
+// cross-product queries cost the product of their pattern cardinalities —
+// so fuzz harnesses cap the intermediate result size and skip inputs that
+// blow past it instead of hanging the oracle.
+var ErrBudget = errors.New("ref: evaluation budget exceeded")
 
 // Mapping is one solution mapping: variable to term. Absent variables are
 // unbound.
@@ -48,11 +56,28 @@ func merge(a, b Mapping) Mapping {
 
 // Evaluator evaluates queries against a graph.
 type Evaluator struct {
-	g *rdf.Graph
+	g      *rdf.Graph
+	budget int // max mappings any intermediate set may hold; 0 = unlimited
 }
 
 // New returns an evaluator over g.
 func New(g *rdf.Graph) *Evaluator { return &Evaluator{g: g} }
+
+// WithBudget caps every intermediate mapping set at n mappings; an
+// evaluation that would exceed the cap fails with ErrBudget. It returns
+// the evaluator for chaining.
+func (ev *Evaluator) WithBudget(n int) *Evaluator {
+	ev.budget = n
+	return ev
+}
+
+// checkBudget enforces the WithBudget cap on one intermediate set.
+func (ev *Evaluator) checkBudget(n int) error {
+	if ev.budget > 0 && n > ev.budget {
+		return ErrBudget
+	}
+	return nil
+}
 
 // Execute evaluates a parsed query and returns the mappings plus the
 // deterministic variable universe of the query.
@@ -120,7 +145,7 @@ func (ev *Evaluator) eval(t algebra.Tree) ([]Mapping, error) {
 		if err != nil {
 			return nil, err
 		}
-		return joinMaps(l, r), nil
+		return ev.joinMaps(l, r)
 	case *algebra.LeftJoin:
 		l, err := ev.eval(n.L)
 		if err != nil {
@@ -130,7 +155,7 @@ func (ev *Evaluator) eval(t algebra.Tree) ([]Mapping, error) {
 		if err != nil {
 			return nil, err
 		}
-		return leftJoinMaps(l, r), nil
+		return ev.leftJoinMaps(l, r)
 	case *algebra.UnionT:
 		var out []Mapping
 		for _, a := range n.Alts {
@@ -139,6 +164,9 @@ func (ev *Evaluator) eval(t algebra.Tree) ([]Mapping, error) {
 				return nil, err
 			}
 			out = append(out, m...)
+			if err := ev.checkBudget(len(out)); err != nil {
+				return nil, err
+			}
 		}
 		return out, nil
 	case *algebra.FilterT:
@@ -166,6 +194,9 @@ func (ev *Evaluator) evalBGP(pats []sparql.TriplePattern) ([]Mapping, error) {
 				if nm, ok := matchPattern(tp, tr, m); ok {
 					next = append(next, nm)
 				}
+			}
+			if err := ev.checkBudget(len(next)); err != nil {
+				return nil, err
 			}
 		}
 		maps = next
@@ -196,7 +227,7 @@ func matchPattern(tp sparql.TriplePattern, tr rdf.Triple, m Mapping) (Mapping, b
 	return out, true
 }
 
-func joinMaps(l, r []Mapping) []Mapping {
+func (ev *Evaluator) joinMaps(l, r []Mapping) ([]Mapping, error) {
 	var out []Mapping
 	for _, a := range l {
 		for _, b := range r {
@@ -204,13 +235,16 @@ func joinMaps(l, r []Mapping) []Mapping {
 				out = append(out, merge(a, b))
 			}
 		}
+		if err := ev.checkBudget(len(out)); err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // leftJoinMaps implements Omega1 leftjoin Omega2 = (Omega1 join Omega2)
 // union (Omega1 minus Omega2).
-func leftJoinMaps(l, r []Mapping) []Mapping {
+func (ev *Evaluator) leftJoinMaps(l, r []Mapping) ([]Mapping, error) {
 	var out []Mapping
 	for _, a := range l {
 		matched := false
@@ -223,8 +257,11 @@ func leftJoinMaps(l, r []Mapping) []Mapping {
 		if !matched {
 			out = append(out, a.clone())
 		}
+		if err := ev.checkBudget(len(out)); err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // holds evaluates a filter with the same three-valued semantics as the

@@ -62,14 +62,23 @@ type Options struct {
 	DisableActivePruning bool
 	NaiveJvarOrder       bool
 	// Workers bounds the goroutines used by the parallel phases of the
-	// store: the pruning and multi-way join of each query, and the build
-	// pipeline (N-Triples parsing, dictionary sharding, and per-predicate
-	// BitMat table construction). 0 means GOMAXPROCS; 1 forces sequential
+	// store: the pruning and multi-way join of each query, the concurrent
+	// execution of a query's UNION branches, and the build pipeline
+	// (N-Triples parsing, dictionary sharding, and per-predicate BitMat
+	// table construction). 0 means GOMAXPROCS; 1 forces sequential
 	// execution; negative values are treated as 1. Parallel execution
 	// returns rows identical to (and in the same order as) sequential
 	// execution, and a parallel Build produces a dictionary, index, and
 	// SaveIndex snapshot byte-identical to a sequential build's.
 	Workers int
+	// PartitionFactor oversubscribes the engine's adaptive join
+	// partitioner: with w effective workers each multi-way join is split
+	// into up to PartitionFactor*w partitions sized by the root pattern's
+	// per-row triple counts, so a skewed predicate cannot serialize the
+	// join behind one straggler partition. 0 selects the default (4);
+	// negative values mean one partition per worker. Purely a performance
+	// knob: every factor yields byte-identical rows in the same order.
+	PartitionFactor int
 }
 
 // EffectiveWorkers reports the worker count the options resolve to:
@@ -184,6 +193,7 @@ func (o Options) engineOptions() engine.Options {
 		DisableActivePruning: o.DisableActivePruning,
 		NaiveJvarOrder:       o.NaiveJvarOrder,
 		Workers:              o.Workers,
+		PartitionFactor:      o.PartitionFactor,
 	}
 }
 
