@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify serve-smoke fuzz-smoke bench bench-parallel bench-union bench-build bench-server
+.PHONY: all build test race vet fmt-check verify test-cache serve-smoke fuzz-smoke bench bench-parallel bench-union bench-build bench-server bench-cache
 
 # The default target is the full tier-1 verification, race detector included.
 all: verify
@@ -23,8 +23,19 @@ fmt-check:
 	fi
 
 # verify is the one-command gate: build, static checks, and the test suite
-# under the race detector.
+# under the race detector (which includes the cross-query cache tests —
+# see test-cache for the focused subset).
 verify: build vet fmt-check race
+
+# test-cache runs just the caching test surface under -race: the MatCache
+# unit tests, the store-level concurrent differential + invalidation
+# harness, the cache-stressing differential regressions, and the server's
+# result-cache/gzip tests. The full `make` covers all of these too; this
+# target is the fast loop while working on the cache layers.
+test-cache:
+	$(GO) test -race -count=1 \
+		-run 'TestMatCache|TestCrossQueryCache|TestCacheInvalidation|TestEffectiveCacheBudget|TestDifferentialCacheRegressions|TestCacheTable|TestCacheReport|TestResultCache|TestGzip' \
+		./internal/engine ./internal/bench ./internal/server .
 
 # serve-smoke boots the real lbrserver binary on an ephemeral port, runs a
 # content-negotiated SPARQL Protocol query over HTTP, and asserts the JSON
@@ -65,3 +76,9 @@ bench-build:
 # baseline of the SPARQL Protocol server.
 bench-server:
 	$(GO) run ./cmd/lbrbench -table server -lubm-univ 32 -runs 7 -workers 0 -json BENCH_server.json
+
+# bench-cache refreshes the checked-in warm-vs-cold baseline of the
+# store-level cross-query BitMat materialization cache (workers pinned to
+# 4, as in bench-parallel; byte-identity asserted per query).
+bench-cache:
+	$(GO) run ./cmd/lbrbench -table cache -lubm-univ 32 -runs 15 -workers 4 -json BENCH_cache.json

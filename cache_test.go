@@ -1,0 +1,263 @@
+package lbr
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// cacheStore builds a graph big enough that several query shapes share
+// triple patterns, so the cross-query materialization cache has something
+// to share.
+func cacheStore(opts Options) *Store {
+	s := NewStoreWithOptions(opts)
+	for i := 0; i < 60; i++ {
+		p := fmt.Sprintf("p%02d", i)
+		s.Add(TripleIRI(p, "knows", fmt.Sprintf("p%02d", (i*7+1)%60)))
+		s.Add(TripleIRI(p, "type", "Person"))
+		if i%2 == 0 {
+			s.Add(TripleLit(p, "mail", "m-"+p))
+		}
+		if i%3 != 0 {
+			s.Add(TripleLit(p, "tel", "t-"+p))
+		}
+	}
+	return s
+}
+
+// cacheQueries share the <knows> and <mail> patterns across distinct
+// query shapes — the repeat-subpattern workload the store cache exists
+// for.
+var cacheQueries = []string{
+	`SELECT * WHERE { ?x <knows> ?y . OPTIONAL { ?x <mail> ?m . } }`,
+	`SELECT * WHERE { ?x <knows> ?y . ?y <knows> ?z . }`,
+	`SELECT * WHERE { ?x <knows> ?y . OPTIONAL { ?y <tel> ?t . } }`,
+	`SELECT * WHERE { ?x <mail> ?m . OPTIONAL { ?x <knows> ?y . } }`,
+}
+
+func TestEffectiveCacheBudget(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want int64
+	}{
+		{0, 64 << 20},
+		{1 << 10, 1 << 10},
+		{-1, 0},
+	}
+	for _, c := range cases {
+		if got := (Options{CacheBudget: c.in}).EffectiveCacheBudget(); got != c.want {
+			t.Errorf("EffectiveCacheBudget(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestCrossQueryCacheConcurrentDifferential is the PR's -race harness: N
+// goroutines issue overlapping queries against one Store; every result
+// must be byte-identical to a cold-cache sequential run, and the
+// single-flight sharing must be observable — the cache builds each
+// pattern far fewer times than queries run.
+func TestCrossQueryCacheConcurrentDifferential(t *testing.T) {
+	// Cold reference: a cache-disabled store answers each query once,
+	// sequentially.
+	cold := cacheStore(Options{Workers: 1, CacheBudget: -1})
+	expected := make([]string, len(cacheQueries))
+	for i, q := range cacheQueries {
+		res, err := cold.Query(q)
+		if err != nil {
+			t.Fatalf("cold %q: %v", q, err)
+		}
+		expected[i] = res.String()
+	}
+	if st := cold.CacheStats(); st != (CacheStats{}) {
+		t.Fatalf("disabled cache reported activity: %+v", st)
+	}
+
+	shared := cacheStore(Options{Workers: 2})
+	const goroutines = 8
+	const iters = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				qi := (g + it) % len(cacheQueries)
+				res, err := shared.Query(cacheQueries[qi])
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d iter %d: %v", g, it, err)
+					return
+				}
+				if got := res.String(); got != expected[qi] {
+					errs <- fmt.Errorf("goroutine %d iter %d query %d: rows differ from cold sequential run\ngot:  %q\nwant: %q",
+						g, it, qi, got, expected[qi])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := shared.CacheStats()
+	totalQueries := goroutines * iters
+	if st.Hits == 0 {
+		t.Fatalf("no cache hits across %d overlapping queries: %+v", totalQueries, st)
+	}
+	// Single-flight observability: every miss is one pattern build; with
+	// each query loading >= 2 patterns, per-query building would mean
+	// >= 2*totalQueries builds. The cache must do far fewer — at most one
+	// per distinct (pattern, orientation), i.e. fewer than the query count.
+	if st.Misses >= int64(totalQueries) {
+		t.Fatalf("build count %d not smaller than query count %d: %+v", st.Misses, totalQueries, st)
+	}
+	if st.Generation != 1 || st.Invalidations != 0 {
+		t.Fatalf("unexpected generation churn without writes: %+v", st)
+	}
+}
+
+// TestCacheInvalidationStaleReadPin interleaves writes and rebuilds with
+// cached queries: after every Build the store must answer exactly like a
+// cold store holding the same triples — a single row served from a
+// retired generation's matrix would miss the just-added data and fail the
+// byte comparison. The generation counter and invalidation counts are
+// asserted alongside.
+func TestCacheInvalidationStaleReadPin(t *testing.T) {
+	q := `SELECT * WHERE { ?x <knows> ?y . OPTIONAL { ?x <mail> ?m . } }`
+	s := NewStoreWithOptions(Options{Workers: 2})
+	coldTriples := func(n int) *Store {
+		c := NewStoreWithOptions(Options{CacheBudget: -1})
+		for i := 0; i < n; i++ {
+			c.Add(TripleIRI(fmt.Sprintf("e%d", i), "knows", fmt.Sprintf("e%d", i+1)))
+			if i%2 == 0 {
+				c.Add(TripleLit(fmt.Sprintf("e%d", i), "mail", fmt.Sprintf("m%d", i)))
+			}
+		}
+		return c
+	}
+	var lastGen uint64
+	for gen := 1; gen <= 8; gen++ {
+		i := gen - 1
+		s.Add(TripleIRI(fmt.Sprintf("e%d", i), "knows", fmt.Sprintf("e%d", i+1)))
+		if i%2 == 0 {
+			s.Add(TripleLit(fmt.Sprintf("e%d", i), "mail", fmt.Sprintf("m%d", i)))
+		}
+		if err := s.Build(); err != nil {
+			t.Fatal(err)
+		}
+		// Query twice: the first populates this generation's cache, the
+		// second must hit it — so from generation 2 on, any failure to
+		// retire the previous generation's matrices would serve stale rows
+		// here.
+		var got string
+		for pass := 0; pass < 2; pass++ {
+			res, err := s.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = res.String()
+		}
+		coldRes, err := coldTriples(gen).Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := coldRes.String(); got != want {
+			t.Fatalf("generation %d: cached store diverges from cold store\ngot:  %q\nwant: %q", gen, got, want)
+		}
+		st := s.CacheStats()
+		if st.Generation <= lastGen {
+			t.Fatalf("generation did not advance after Build: %+v (last %d)", st, lastGen)
+		}
+		lastGen = st.Generation
+		if gen >= 2 && st.Invalidations == 0 {
+			t.Fatalf("rebuild retired no entries by generation %d: %+v", gen, st)
+		}
+		if st.Hits == 0 {
+			t.Fatalf("second pass did not hit the cache at generation %d: %+v", gen, st)
+		}
+	}
+}
+
+// TestCacheInvalidationConcurrentWriters races queries against a writer
+// that keeps adding triples and rebuilding. Every result must equal the
+// result over some prefix of the writer's batches (the store's documented
+// pre-or-post-mutation semantics); after the writer finishes, a final
+// query must see everything. Run with -race.
+func TestCacheInvalidationConcurrentWriters(t *testing.T) {
+	const batches = 6
+	q := `SELECT * WHERE { ?x <knows> ?y . OPTIONAL { ?x <mail> ?m . } }`
+	batch := func(g int) []Triple {
+		return []Triple{
+			TripleIRI(fmt.Sprintf("w%d", g), "knows", fmt.Sprintf("w%d", g+1)),
+			TripleLit(fmt.Sprintf("w%d", g), "mail", fmt.Sprintf("m%d", g)),
+		}
+	}
+	// Legal results: one per prefix of applied batches.
+	legal := map[string]int{}
+	ref := NewStoreWithOptions(Options{CacheBudget: -1})
+	for g := 0; g < batches; g++ {
+		ref.AddAll(batch(g))
+		res, err := ref.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legal[res.String()] = g
+	}
+
+	s := NewStoreWithOptions(Options{Workers: 2})
+	s.AddAll(batch(0))
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 9)
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				res, err := s.Query(q)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %v", r, err)
+					return
+				}
+				if _, ok := legal[res.String()]; !ok {
+					errs <- fmt.Errorf("reader %d iter %d: result matches no consistent snapshot:\n%s", r, i, res.String())
+					return
+				}
+			}
+		}(r)
+	}
+	for g := 1; g < batches; g++ {
+		s.AddAll(batch(g))
+		if err := s.Build(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Quiescent: the final snapshot must serve the full data — twice, so
+	// the second answer comes through the final generation's cache.
+	for pass := 0; pass < 2; pass++ {
+		res, err := s.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, ok := legal[res.String()]; !ok || g != batches-1 {
+			t.Fatalf("pass %d: final result is not the full dataset (prefix %d, ok=%v)", pass, g, ok)
+		}
+	}
+}

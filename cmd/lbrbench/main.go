@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "all", "which experiment: 6.1|6.2|6.3|6.4|index-sizes|ablations|crossover|parallel|union|build|server|all")
+		table    = flag.String("table", "all", "which experiment: 6.1|6.2|6.3|6.4|index-sizes|ablations|crossover|parallel|union|build|server|cache|all")
 		lubmU    = flag.Int("lubm-univ", 16, "LUBM scale: universities")
 		uniprotP = flag.Int("uniprot-proteins", 20000, "UniProt scale: proteins")
 		dbpediaE = flag.Int("dbpedia-entities", 40000, "DBPedia scale: entities")
@@ -49,7 +49,7 @@ func main() {
 	var lubm, uniprot, dbpedia *bench.Dataset
 	build := func() {
 		var err error
-		if lubm == nil && want("6.1", "6.2", "index-sizes", "ablations", "parallel", "union", "build", "server") {
+		if lubm == nil && want("6.1", "6.2", "index-sizes", "ablations", "parallel", "union", "build", "server", "cache") {
 			step("generating LUBM-like dataset (%d universities)", *lubmU)
 			lubm, err = bench.BuildLUBM(*lubmU)
 			check(err)
@@ -199,6 +199,28 @@ func main() {
 			f, err := os.Create(*jsonPath)
 			check(err)
 			check(bench.WriteServerJSON(f, rep))
+			check(f.Close())
+			step("wrote %s", *jsonPath)
+		}
+	}
+
+	if want("cache") && lubm != nil {
+		w := engine.Options{Workers: *workers}.EffectiveWorkers()
+		step("running cross-query BitMat cache comparison (workers=%d)", w)
+		ms, totals, err := bench.RunCacheTable(lubm, *workers, *runs)
+		check(err)
+		bench.FprintCacheTable(os.Stdout,
+			fmt.Sprintf("Cross-query BitMat cache: LUBM (%d triples), %d workers", lubm.Graph.Len(), w), ms, totals)
+		fmt.Println()
+		// -json is shared with the other tables; write the cache report
+		// only when this run is specifically the cache table.
+		if *jsonPath != "" && *table == "cache" {
+			// The budget recorded is the one the benchmarked store ran
+			// with, taken from its own counters rather than re-derived.
+			rep := bench.NewCacheReport(w, *runs, totals.Budget, ms, totals)
+			f, err := os.Create(*jsonPath)
+			check(err)
+			check(bench.WriteCacheJSON(f, rep))
 			check(f.Close())
 			step("wrote %s", *jsonPath)
 		}

@@ -33,12 +33,16 @@ import (
 
 func main() {
 	var (
-		dataPath  = flag.String("data", "", "N-Triples file to load and index")
-		indexPath = flag.String("index", "", "binary index snapshot to open (alternative to -data)")
-		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
-		timeout   = flag.Duration("timeout", 30*time.Second, "per-query timeout (0 = unlimited)")
-		maxConc   = flag.Int("max-concurrent", 0, "max queries executing at once (0 = 4x workers)")
-		workers   = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		dataPath    = flag.String("data", "", "N-Triples file to load and index")
+		indexPath   = flag.String("index", "", "binary index snapshot to open (alternative to -data)")
+		addr        = flag.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-query timeout (0 = unlimited)")
+		maxConc     = flag.Int("max-concurrent", 0, "max queries executing at once (0 = 4x workers)")
+		workers     = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		cacheBudget = flag.Int64("cache-budget", 0,
+			"byte bound of the store's cross-query BitMat materialization cache (0 = 64 MiB default, negative = disabled)")
+		resultCache = flag.Int64("result-cache", 0,
+			"byte bound of the server's result cache keyed on (index snapshot, query, format) (0 = 16 MiB default, negative = disabled)")
 	)
 	flag.Parse()
 
@@ -48,14 +52,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	store, err := loadStore(*dataPath, *indexPath, *workers)
+	store, err := loadStore(*dataPath, *indexPath, *workers, *cacheBudget)
 	if err != nil {
 		fatal(err)
 	}
 
 	srv := server.New(store, server.Config{
-		Timeout:       *timeout,
-		MaxConcurrent: *maxConc,
+		Timeout:           *timeout,
+		MaxConcurrent:     *maxConc,
+		ResultCacheBudget: *resultCache,
 	})
 	httpSrv := &http.Server{
 		Handler: srv.Handler(),
@@ -103,15 +108,16 @@ func main() {
 		snap.QueriesServed, snap.RowsStreamed, snap.QueryErrors)
 }
 
-func loadStore(dataPath, indexPath string, workers int) (*lbr.Store, error) {
+func loadStore(dataPath, indexPath string, workers int, cacheBudget int64) (*lbr.Store, error) {
 	start := time.Now()
+	opts := lbr.Options{Workers: workers, CacheBudget: cacheBudget}
 	if indexPath != "" {
 		f, err := os.Open(indexPath)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		store, err := lbr.OpenIndexWithOptions(f, lbr.Options{Workers: workers})
+		store, err := lbr.OpenIndexWithOptions(f, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +130,7 @@ func loadStore(dataPath, indexPath string, workers int) (*lbr.Store, error) {
 		return nil, err
 	}
 	defer f.Close()
-	store := lbr.NewStoreWithOptions(lbr.Options{Workers: workers})
+	store := lbr.NewStoreWithOptions(opts)
 	n, err := store.LoadNTriples(f)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	lbr "repro"
+	"repro/internal/sparql"
+)
+
+// CacheQueries is the workload of the -table cache comparison: the
+// hot-dashboard shape — a small set of queries repeating the same
+// subpatterns within and across queries — that the store-level
+// cross-query BitMat materialization cache exists to amortize.
+func CacheQueries() []QuerySpec {
+	return []QuerySpec{
+		{ID: "C1", Note: "repeated dashboard query: join + OPTIONAL", SPARQL: lubmPrefixes + `
+			SELECT * WHERE {
+				?st ub:memberOf ?dept . ?st ub:takesCourse ?course .
+				OPTIONAL { ?st ub:emailAddress ?e . } }`},
+		{ID: "C2", Note: "shares ub:memberOf and ub:emailAddress with C1", SPARQL: lubmPrefixes + `
+			SELECT * WHERE {
+				?st ub:memberOf ?dept . ?st ub:telephone ?t .
+				OPTIONAL { ?st ub:emailAddress ?e . } }`},
+		{ID: "C3", Note: "three UNION branches over the shared ub:memberOf pattern", SPARQL: lubmPrefixes + `
+			SELECT * WHERE {
+				{ ?st ub:memberOf ?dept . ?st ub:emailAddress ?e . }
+				UNION { ?st ub:memberOf ?dept . ?st ub:telephone ?t . }
+				UNION { ?st ub:memberOf ?dept . ?st ub:undergraduateDegreeFrom ?u . } }`},
+		{ID: "C4", Note: "shares ub:takesCourse with C1 under a different join", SPARQL: lubmPrefixes + `
+			SELECT * WHERE {
+				?prof ub:teacherOf ?course . ?st ub:takesCourse ?course .
+				OPTIONAL { ?prof ub:researchInterest ?r . } }`},
+	}
+}
+
+// CacheMeasurement compares one query's cold execution (first touch of a
+// fresh store's cache), warm executions (every pattern served from the
+// cache), and a cache-disabled store, with byte-identity across all three.
+type CacheMeasurement struct {
+	Dataset string `json:"dataset"`
+	Query   string `json:"query"`
+	// TColdMS is the first execution on the cache-enabled store (cache
+	// misses + builds); TWarmMS the median of the repeat executions on the
+	// now-warm cache; TNoCacheMS the median over the cache-disabled store.
+	TColdMS    float64 `json:"t_cold_ms"`
+	TWarmMS    float64 `json:"t_warm_ms"`
+	TNoCacheMS float64 `json:"t_nocache_ms"`
+	// WarmSpeedup is TNoCacheMS/TWarmMS: steady-state gain of serving the
+	// repeated query from cached materializations vs rebuilding them.
+	WarmSpeedup float64 `json:"warm_speedup"`
+	// Hits and Misses are the store cache counter deltas this query's
+	// executions produced; warm repeats must hit (Hits > 0) without
+	// building (misses stay at the cold run's count).
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Results int   `json:"results"`
+	// Match is true when cold, warm, and cache-disabled runs returned
+	// byte-identical rows in the same order.
+	Match bool `json:"match"`
+}
+
+// CacheReport is the JSON document lbrbench -table cache -json emits.
+type CacheReport struct {
+	CreatedAt    string             `json:"created_at"`
+	NumCPU       int                `json:"num_cpu"`
+	GoMaxProcs   int                `json:"gomaxprocs"`
+	Workers      int                `json:"workers"`
+	Runs         int                `json:"runs"`
+	CacheBudget  int64              `json:"cache_budget"`
+	Measurements []CacheMeasurement `json:"measurements"`
+	// Totals snapshots the cache-enabled store's counters after the whole
+	// workload: cross-query sharing shows up here as hits exceeding what
+	// any single query's repeats explain.
+	Totals lbr.CacheStats `json:"totals"`
+}
+
+// NewCacheReport stamps a report with the current machine shape.
+func NewCacheReport(workers, runs int, budget int64, ms []CacheMeasurement, totals lbr.CacheStats) CacheReport {
+	return CacheReport{
+		CreatedAt:    time.Now().UTC().Format(time.RFC3339),
+		NumCPU:       runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Workers:      workers,
+		Runs:         runs,
+		CacheBudget:  budget,
+		Measurements: ms,
+		Totals:       totals,
+	}
+}
+
+// WriteCacheJSON serializes a report, indented for reviewable check-in.
+func WriteCacheJSON(w io.Writer, rep CacheReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// storeRows renders a store execution's rows exactly (order preserved),
+// for the byte-identity checks.
+func storeRows(s *lbr.Store, src string) ([]string, error) {
+	res, err := s.Query(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, res.Len())
+	for i := range out {
+		row := res.Row(i)
+		line := ""
+		for k, term := range row {
+			if k > 0 {
+				line += "|"
+			}
+			if term.IsZero() {
+				line += "NULL"
+			} else {
+				line += term.String()
+			}
+		}
+		out[i] = line
+	}
+	return out, nil
+}
+
+// timeStoreQuery runs the query n times and returns the median wall time
+// in milliseconds plus the last run's rows.
+func timeStoreQuery(s *lbr.Store, src string, n int) (float64, []string, error) {
+	if n < 1 {
+		n = 1
+	}
+	times := make([]float64, 0, n)
+	var rows []string
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		got, err := storeRows(s, src)
+		if err != nil {
+			return 0, nil, err
+		}
+		times = append(times, float64(time.Since(start).Microseconds())/1000.0)
+		rows = got
+	}
+	return medianOf(times), rows, nil
+}
+
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	// Insertion sort: the slices here are tiny.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs[len(xs)/2]
+}
+
+// RunCacheTable measures the cache workload: per query, a cold first
+// execution on a shared cache-enabled store, runs warm repetitions, and
+// runs cache-disabled repetitions, verifying all three produce
+// byte-identical rows. The store is shared across queries — deliberately,
+// since cross-query subpattern sharing is the cache's reason to exist —
+// so later queries' cold runs may already hit patterns earlier queries
+// materialized.
+func RunCacheTable(ds *Dataset, workers, runs int) ([]CacheMeasurement, lbr.CacheStats, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	cached := lbr.NewStoreWithOptions(lbr.Options{Workers: workers})
+	uncached := lbr.NewStoreWithOptions(lbr.Options{Workers: workers, CacheBudget: -1})
+	cached.LoadGraph(ds.Graph)
+	uncached.LoadGraph(ds.Graph)
+	if err := cached.Build(); err != nil {
+		return nil, lbr.CacheStats{}, err
+	}
+	if err := uncached.Build(); err != nil {
+		return nil, lbr.CacheStats{}, err
+	}
+	var out []CacheMeasurement
+	for _, spec := range CacheQueries() {
+		m := CacheMeasurement{Dataset: ds.Name, Query: spec.ID}
+		if _, err := sparql.Parse(spec.SPARQL); err != nil {
+			return nil, lbr.CacheStats{}, fmt.Errorf("%s/%s: %w", ds.Name, spec.ID, err)
+		}
+		before := cached.CacheStats()
+		coldMS, coldRows, err := timeStoreQuery(cached, spec.SPARQL, 1)
+		if err != nil {
+			return nil, lbr.CacheStats{}, fmt.Errorf("%s/%s cold: %w", ds.Name, spec.ID, err)
+		}
+		warmMS, warmRows, err := timeStoreQuery(cached, spec.SPARQL, runs)
+		if err != nil {
+			return nil, lbr.CacheStats{}, fmt.Errorf("%s/%s warm: %w", ds.Name, spec.ID, err)
+		}
+		after := cached.CacheStats()
+		noMS, noRows, err := timeStoreQuery(uncached, spec.SPARQL, runs)
+		if err != nil {
+			return nil, lbr.CacheStats{}, fmt.Errorf("%s/%s nocache: %w", ds.Name, spec.ID, err)
+		}
+		m.TColdMS, m.TWarmMS, m.TNoCacheMS = coldMS, warmMS, noMS
+		if warmMS > 0 {
+			m.WarmSpeedup = noMS / warmMS
+		}
+		m.Hits = after.Hits - before.Hits
+		m.Misses = after.Misses - before.Misses
+		m.Results = len(coldRows)
+		m.Match = equalStrings(coldRows, warmRows) && equalStrings(coldRows, noRows)
+		out = append(out, m)
+	}
+	return out, cached.CacheStats(), nil
+}
+
+// FprintCacheTable renders the warm-vs-cold comparison.
+func FprintCacheTable(w io.Writer, title string, ms []CacheMeasurement, totals lbr.CacheStats) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-10s %-5s %12s %12s %14s %9s %6s %7s %10s %6s\n",
+		"dataset", "query", "Tcold(ms)", "Twarm(ms)", "Tnocache(ms)", "speedup", "hits", "misses", "#results", "same?")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%-10s %-5s %12.2f %12.2f %14.2f %8.2fx %6d %7d %10d %6s\n",
+			m.Dataset, m.Query, m.TColdMS, m.TWarmMS, m.TNoCacheMS, m.WarmSpeedup,
+			m.Hits, m.Misses, m.Results, yn(m.Match))
+	}
+	fmt.Fprintf(w, "store cache totals: hits=%d misses=%d evictions=%d entries=%d bytes=%d\n",
+		totals.Hits, totals.Misses, totals.Evictions, totals.Entries, totals.BytesUsed)
+}

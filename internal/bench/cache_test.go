@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	lbr "repro"
+)
+
+// TestCacheTableWarmHitsAndIdentity runs the cache workload and demands
+// the acceptance shape of the cache bench: warm repeats actually hit the
+// cache (hit counter > 0), the repeated queries stop rebuilding patterns
+// (misses stay bounded by the distinct pattern count, far below hits for
+// a repeat-heavy workload), and cold, warm, and cache-disabled runs are
+// byte-identical.
+func TestCacheTableWarmHitsAndIdentity(t *testing.T) {
+	ds, err := BuildLUBM(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, totals, err := RunCacheTable(ds, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(CacheQueries()) {
+		t.Fatalf("measured %d queries, want %d", len(ms), len(CacheQueries()))
+	}
+	for _, m := range ms {
+		if !m.Match {
+			t.Errorf("%s/%s: warm or cache-disabled rows differ from cold run", m.Dataset, m.Query)
+		}
+		if m.Hits <= 0 {
+			t.Errorf("%s/%s: no cache hits across cold+warm runs", m.Dataset, m.Query)
+		}
+		if m.Results <= 0 {
+			t.Errorf("%s/%s: empty workload", m.Dataset, m.Query)
+		}
+	}
+	if totals.Hits <= totals.Misses {
+		t.Errorf("repeat-heavy workload should hit more than it builds: %+v", totals)
+	}
+	if totals.Invalidations != 0 || totals.Generation != 1 {
+		t.Errorf("no writes happened, yet generations churned: %+v", totals)
+	}
+}
+
+func TestCacheReportJSONRoundTrip(t *testing.T) {
+	rep := NewCacheReport(4, 5, 64<<20, []CacheMeasurement{{
+		Dataset: "LUBM", Query: "C1", TColdMS: 10, TWarmMS: 2, TNoCacheMS: 9,
+		WarmSpeedup: 4.5, Hits: 12, Misses: 3, Results: 100, Match: true,
+	}}, lbr.CacheStats{Hits: 12, Misses: 3})
+	var buf bytes.Buffer
+	if err := WriteCacheJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back CacheReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Workers != 4 || back.Runs != 5 || back.CacheBudget != 64<<20 ||
+		len(back.Measurements) != 1 || back.Measurements[0].WarmSpeedup != 4.5 ||
+		back.Totals.Hits != 12 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	if back.NumCPU != runtime.NumCPU() {
+		t.Fatalf("machine shape missing: %+v", back)
+	}
+}

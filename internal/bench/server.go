@@ -101,7 +101,12 @@ func RunServerTable(ds *Dataset, workers, maxConcurrent, runs int) ([]ServerMeas
 	if err := st.Build(); err != nil {
 		return nil, tp, err
 	}
-	srv := server.New(st, server.Config{MaxConcurrent: maxConcurrent})
+	// The result cache is disabled: the bench repeats identical queries,
+	// and with the cache on every timed run after the warm-up would be a
+	// byte replay — this table measures the engine + serialization path,
+	// and its numbers must stay comparable with the pre-cache baseline.
+	// (The warm-vs-replay comparison lives in -table cache instead.)
+	srv := server.New(st, server.Config{MaxConcurrent: maxConcurrent, ResultCacheBudget: -1})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	client := ts.Client()

@@ -341,6 +341,88 @@ func TestDifferentialFuzzRegressions(t *testing.T) {
 	}
 }
 
+// TestDifferentialCacheRegressions pins, deterministically and across
+// many random graphs, the cache-stressing shapes grown into the fuzz seed
+// corpus for PR 5's cross-query materialization cache: identical
+// subpatterns across UNION branches (served through the per-query tier
+// over the store tier), the same predicate in both orientations (distinct
+// cache keys per orientation), full scans whose per-predicate expansion
+// floods the cache, and repeated masked loads that must clone-then-unfold
+// bit-identically to a direct filtered build. Each query runs cold and
+// warm over one shared MatCache at Workers 1 and 4, and additionally
+// through a retired view (post-Advance) that must bypass the cache
+// without losing correctness; every run must agree with the reference
+// evaluator and be byte-identical across passes.
+func TestDifferentialCacheRegressions(t *testing.T) {
+	queries := []string{
+		// Shared subpattern across three branches + cross-query reuse.
+		`SELECT * WHERE { { ?x <p0> ?y . ?y <p1> ?z . } UNION { ?x <p0> ?y . ?y <p2> ?z . } UNION { ?x <p0> ?y . } }`,
+		// Same predicate, both orientations, in one query.
+		`SELECT * WHERE { ?x <p0> ?y . ?y <p0> ?x . OPTIONAL { ?x <p1> ?m . } }`,
+		// Self-join diagonal next to the plain matrix of one predicate.
+		`SELECT * WHERE { ?x <p0> ?x . OPTIONAL { ?x <p0> ?y . } }`,
+		// Full-scan expansion: every per-predicate branch fills the cache.
+		`SELECT * WHERE { ?s ?p ?o . ?s <p0> ?x . }`,
+		// Nested OPTIONAL chain reusing one predicate at every level: the
+		// masked loads hit the cached pristine matrix with different masks.
+		// (Nested, not sequential: the sequential form is non-well-designed
+		// and follows Appendix-B semantics the reference does not share.)
+		`SELECT * WHERE { ?x <p0> ?y . OPTIONAL { ?y <p0> ?z . OPTIONAL { ?z <p0> ?w . } } }`,
+		// Constant-bound rows (RowPS/RowPO paths) recurring across branches.
+		`SELECT * WHERE { { ?x <p0> <e3> . ?x <p1> ?y . } UNION { ?x <p0> <e3> . ?x <p2> ?y . } }`,
+	}
+	rng := rand.New(rand.NewSource(5042))
+	for trial := 0; trial < 40; trial++ {
+		g := randGraph(rng, 20+rng.Intn(40))
+		idx, err := bitmat.Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, src := range queries {
+			q, err := sparql.Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			maps, vars, err := ref.New(g).Execute(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc := NewMatCache(1 << 22)
+			view := mc.Advance(1)
+			var first []string
+			check := func(e *Engine, label string) {
+				res, err := e.Execute(q)
+				if err != nil {
+					t.Fatalf("q%d trial %d %s: %v", qi, trial, label, err)
+				}
+				if !sameRows(res, maps, vars) {
+					t.Fatalf("q%d trial %d %s mismatch\nquery: %s\nengine: %v\nref:    %v",
+						qi, trial, label, src, renderRows(res, vars), ref.SortedKeys(maps, vars))
+				}
+				exact := exactRows(res)
+				if first == nil {
+					first = exact
+					return
+				}
+				if fmt.Sprint(exact) != fmt.Sprint(first) {
+					t.Fatalf("q%d trial %d %s: rows diverge from first run\nquery: %s", qi, trial, label, src)
+				}
+			}
+			for _, w := range []int{1, 4} {
+				e := NewWithCache(idx, Options{Workers: w}, view)
+				check(e, fmt.Sprintf("cold workers=%d", w))
+				check(e, fmt.Sprintf("warm workers=%d", w))
+			}
+			// Retire the generation: the old view must bypass, not break.
+			mc.Advance(2)
+			check(NewWithCache(idx, Options{Workers: 2}, view), "retired view")
+			if st := mc.Stats(); st.Hits == 0 && st.Misses > 0 {
+				t.Fatalf("q%d trial %d: warm passes never hit the cache: %+v", qi, trial, st)
+			}
+		}
+	}
+}
+
 func TestDifferentialRandomWellDesigned(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 120; trial++ {

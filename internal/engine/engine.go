@@ -48,11 +48,25 @@ type Engine struct {
 	idx  *bitmat.Index
 	dict *rdf.Dictionary
 	opts Options
+	// mc is the engine's generation-bound view of the store-level
+	// cross-query materialization cache; nil when the engine stands alone
+	// (benchmark harnesses, tests) or caching is disabled.
+	mc *MatCacheView
 }
 
 // New returns an engine over idx.
 func New(idx *bitmat.Index, opts Options) *Engine {
 	return &Engine{idx: idx, dict: idx.Dictionary(), opts: opts}
+}
+
+// NewWithCache returns an engine over idx that materializes triple-pattern
+// BitMats through the given cache view. The view must be the one minted by
+// the MatCache.Advance that accompanied this index snapshot: the pairing
+// pins every cached matrix the engine reads to its own generation.
+func NewWithCache(idx *bitmat.Index, opts Options, mc *MatCacheView) *Engine {
+	e := New(idx, opts)
+	e.mc = mc
+	return e
 }
 
 // Stats reports the Section 6.1 evaluation metrics of one execution.

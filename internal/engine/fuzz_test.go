@@ -35,6 +35,16 @@ var fuzzSeedQueries = []string{
 	`SELECT * WHERE { { ?x <p0> ?y . OPTIONAL { ?y <p1> ?m . } } UNION { ?x <p2> ?y . } }`,
 	`SELECT DISTINCT ?x WHERE { ?x <p0> ?y . } ORDER BY ?x`,
 	`SELECT * WHERE { ?x <p0> ?y . OPTIONAL { ?x <p1> ?m . OPTIONAL { ?m <p2> ?t . } } }`,
+	// Cache-stressing shapes (PR 5): the same subpattern recurring across
+	// UNION branches (per-query tier) and across the warm re-execution the
+	// fuzz body runs over a shared MatCache (cross-query tier), plus the
+	// same predicate used in both orientations so the orientation
+	// component of the cache key carries weight.
+	`SELECT * WHERE { { ?x <p0> ?y . ?y <p1> ?z . } UNION { ?x <p0> ?y . ?y <p2> ?z . } UNION { ?x <p0> ?y . } }`,
+	`SELECT * WHERE { { ?a <p0> ?b . } UNION { ?b <p0> ?a . } }`,
+	`SELECT * WHERE { ?x <p0> ?y . ?y <p0> ?x . OPTIONAL { ?x <p1> ?m . } }`,
+	`SELECT * WHERE { { ?s ?p ?o . } UNION { ?o ?q ?s . } }`,
+	`SELECT * WHERE { ?x <p0> ?y . OPTIONAL { ?y <p0> ?z . } OPTIONAL { ?z <p0> ?w . } }`,
 }
 
 // isUnsupportedQuery classifies engine errors the fuzzer must tolerate:
@@ -206,6 +216,28 @@ func FuzzQueryDifferential(f *testing.F) {
 				seq = exact
 			} else if strings.Join(exact, "\n") != strings.Join(seq, "\n") {
 				t.Fatalf("workers=%d row order diverges from sequential\nquery: %s", w, src)
+			}
+		}
+		if q.Ask || seq == nil {
+			return
+		}
+		// Cross-query cache differential: execute the query twice through
+		// one engine holding a store-level MatCache view, so the second
+		// run loads every pattern from the cache (clone + mask-unfold).
+		// Both the cold and the warm pass must stay byte-identical to the
+		// uncached sequential rows.
+		mc := NewMatCache(1 << 22)
+		ce := NewWithCache(idx, Options{Workers: 2}, mc.Advance(1))
+		for pass := 0; pass < 2; pass++ {
+			res, err := ce.ExecuteContext(context.Background(), q)
+			if err != nil {
+				// The uncached runs above already proved the query is
+				// supported, so any error here is a cache bug — never skip.
+				t.Fatalf("cached pass %d on %q: %v", pass, src, err)
+			}
+			if got := exactRows(res); strings.Join(got, "\n") != strings.Join(seq, "\n") {
+				t.Fatalf("cached pass %d diverges from uncached run\nquery: %s\ncached: %v\nwant:   %v",
+					pass, src, got, seq)
 			}
 		}
 	})

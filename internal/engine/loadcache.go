@@ -99,12 +99,53 @@ func (c *loadCache) get(pat string, orient uint8, build func() *bitmat.Matrix) *
 	return e.mat
 }
 
+// cachedPristine returns a private pristine materialization of the pattern
+// through the two cache tiers — the per-query branch cache first (patterns
+// recurring across this query's UNF branches), then the store-level
+// cross-query MatCache — or nil when both tiers decline, in which case
+// the caller builds directly (with its masks folded into the build,
+// exactly as before caching existed). Tier results are shared and
+// therefore cloned here, so the caller may prune the returned matrix
+// freely. masked tells the store tier whether the caller has load-time
+// masks to fold into a direct build; it then admits the pattern only on
+// repeated touches (see MatCacheView.get).
+func (e *Engine) cachedPristine(qc *loadCache, patKey string, orient uint8, masked bool, build func() *bitmat.Matrix) *bitmat.Matrix {
+	if base := qc.get(patKey, orient, e.storeBuild(patKey, orient, build)); base != nil {
+		return base.Clone()
+	}
+	if mat, ok := e.mc.get(patKey, orient, masked, build); ok {
+		return mat.Clone()
+	}
+	return nil
+}
+
+// storeBuild wraps a pristine build so a per-query cache miss still fills
+// (or reads) the store-level tier: the per-query entry then holds the
+// store cache's shared matrix — both tiers treat it as read-only, and
+// branches clone before pruning. The per-query tier only engages for
+// patterns recurring across branches, which justifies admitting them to
+// the store tier on first touch (masked=false): the pristine build is
+// about to be shared either way.
+func (e *Engine) storeBuild(patKey string, orient uint8, build func() *bitmat.Matrix) func() *bitmat.Matrix {
+	if e.mc == nil {
+		return build
+	}
+	return func() *bitmat.Matrix {
+		if mat, ok := e.mc.get(patKey, orient, false, build); ok {
+			return mat
+		}
+		return build()
+	}
+}
+
 // cachedOr returns a private copy of the cached materialization of the
 // pattern — a clone, so the caller may prune it freely — or build()'s
-// result directly when the pattern is not shared (or cache is nil).
-func cachedOr(cache *loadCache, patKey string, orient uint8, build func() *bitmat.Matrix) *bitmat.Matrix {
-	if base := cache.get(patKey, orient, build); base != nil {
-		return base.Clone()
+// result directly when no cache tier covers the pattern. Callers here
+// have no load-time masks (build() already is the final matrix), so the
+// store tier admits on first touch.
+func (e *Engine) cachedOr(cache *loadCache, patKey string, orient uint8, build func() *bitmat.Matrix) *bitmat.Matrix {
+	if m := e.cachedPristine(cache, patKey, orient, false, build); m != nil {
+		return m
 	}
 	return build()
 }

@@ -1,0 +1,290 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/bitmat"
+)
+
+// MatCache is the store-level, cross-query BitMat materialization cache:
+// a bounded, cost-weighted LRU of pristine (unmasked, unpruned) matrices
+// keyed on (normalized pattern, orientation) within one index-snapshot
+// generation. It amortizes the paper's dominant setup cost — per-pattern
+// BitMat construction (Tinit) — across the concurrent queries of a
+// serving workload, where OPTIONAL-heavy dashboards repeat the same small
+// set of subpatterns.
+//
+// Concurrency contract:
+//
+//   - Entries are single-flight: concurrent queries needing the same
+//     pattern block on one build instead of racing duplicate work.
+//   - Cached matrices are immutable. Queries clone before applying their
+//     active-pruning masks and semi-join pruning, so no query ever
+//     observes another's pruning and parallel execution stays
+//     byte-identical to sequential.
+//   - Invalidation is generation-based: the owning Store bumps the
+//     generation on every index rebuild (Advance), which atomically
+//     retires every cached entry. A query still running against a retired
+//     snapshot bypasses the cache entirely — it can neither read a
+//     new-generation matrix nor poison the cache with an old one.
+//
+// The zero budget is not meaningful here; the owning layer (lbr.Store)
+// resolves its CacheBudget option and passes the byte bound, or keeps the
+// cache nil to disable caching. All methods are nil-safe.
+type MatCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	gen    uint64
+	m      map[matKey]*matEntry
+	lru    *list.List // *matEntry; front = most recently used
+	// touched records (pattern, orientation) keys whose masked load was
+	// seen once this generation: masked loads are admitted to the cache
+	// on their second touch only, so a one-off selective query keeps its
+	// cheaper filtered build instead of materializing the full pristine
+	// matrix for a cache nobody will read. Cleared on Advance and when it
+	// grows past touchedCap (an epoch reset, so a hostile stream of
+	// distinct patterns cannot grow it without bound).
+	touched map[matKey]bool
+
+	// Counters, guarded by mu (every path that updates them holds it).
+	hits          int64
+	misses        int64
+	evictions     int64
+	invalidations int64
+	staleBypasses int64
+	firstTouches  int64
+	oversize      int64
+}
+
+// touchedCap bounds the masked first-touch set per generation.
+const touchedCap = 1 << 14
+
+type matKey struct {
+	pat    string
+	orient uint8
+}
+
+type matEntry struct {
+	key  matKey
+	once sync.Once
+	mat  *bitmat.Matrix
+	cost int64
+	// built flips under the cache mutex once the matrix and cost are
+	// accounted; entries still being built are never evicted (their cost
+	// is unknown and a builder holds a pointer to them).
+	built bool
+	elem  *list.Element
+}
+
+// NewMatCache returns a cache bounded to budget bytes. A non-positive
+// budget returns nil — the disabled cache — which every method accepts.
+func NewMatCache(budget int64) *MatCache {
+	if budget <= 0 {
+		return nil
+	}
+	return &MatCache{
+		budget:  budget,
+		m:       map[matKey]*matEntry{},
+		touched: map[matKey]bool{},
+		lru:     list.New(),
+	}
+}
+
+// Advance starts generation g: it atomically retires every cached entry
+// (they belong to the previous index snapshot) and returns the view new
+// engine snapshots read through. Queries already holding an older view
+// bypass the cache from this moment on. Nil-safe: a nil cache yields a
+// nil view, and a nil view builds directly.
+func (c *MatCache) Advance(g uint64) *MatCacheView {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen = g
+	c.invalidations += int64(len(c.m))
+	c.m = map[matKey]*matEntry{}
+	c.touched = map[matKey]bool{}
+	c.lru.Init()
+	c.used = 0
+	return &MatCacheView{c: c, gen: g}
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters, exposed
+// through lbr.Store.CacheStats and the server's /metrics.
+type CacheStats struct {
+	// Hits counts gets served from an existing entry (including callers
+	// that joined an in-flight single-flight build).
+	Hits int64 `json:"hits"`
+	// Misses counts gets that created the entry and built the matrix.
+	Misses int64 `json:"misses"`
+	// Evictions counts entries dropped by the cost-weighted LRU bound.
+	Evictions int64 `json:"evictions"`
+	// Invalidations counts entries retired by generation advances
+	// (index rebuilds after writes).
+	Invalidations int64 `json:"invalidations"`
+	// StaleBypasses counts builds done outside the cache by queries still
+	// running against a retired snapshot generation.
+	StaleBypasses int64 `json:"stale_bypasses"`
+	// FirstTouches counts masked loads declined because their pattern had
+	// not been seen before this generation (they kept the cheaper
+	// filtered build; a second touch admits the pattern).
+	FirstTouches int64 `json:"first_touches"`
+	// Oversize counts built matrices larger than the whole budget, which
+	// are returned to their query but never retained.
+	Oversize int64 `json:"oversize"`
+	// Entries and BytesUsed describe the current residency; Budget and
+	// Generation the configuration and the live snapshot generation.
+	Entries    int    `json:"entries"`
+	BytesUsed  int64  `json:"bytes_used"`
+	Budget     int64  `json:"budget"`
+	Generation uint64 `json:"generation"`
+}
+
+// Stats snapshots the counters. A nil cache reports zeroes.
+func (c *MatCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		StaleBypasses: c.staleBypasses,
+		FirstTouches:  c.firstTouches,
+		Oversize:      c.oversize,
+		Entries:       len(c.m),
+		BytesUsed:     c.used,
+		Budget:        c.budget,
+		Generation:    c.gen,
+	}
+}
+
+// MatCacheView is one snapshot generation's read/write handle on the
+// cache. An Engine holds the view created by the Advance that accompanied
+// its index snapshot; the pairing is what pins queries to their own
+// generation's matrices.
+type MatCacheView struct {
+	c   *MatCache
+	gen uint64
+}
+
+// Generation reports the snapshot generation the view is bound to.
+func (v *MatCacheView) Generation() uint64 {
+	if v == nil {
+		return 0
+	}
+	return v.gen
+}
+
+// get returns the shared pristine matrix for the pattern, or (nil,
+// false) when the cache declines and the caller should build directly —
+// with its load-time masks folded in, which is cheaper than the pristine
+// materialization the cache would have wanted. The cache declines for a
+// nil view, for a retired snapshot generation (the query must neither
+// read a new-generation matrix nor resurrect an old one), and for a
+// masked load whose pattern is on its first touch this generation
+// (admission-on-repeat: a one-off selective query keeps its filtered
+// build; the second touch admits the pattern). All checks and the
+// hit/miss bookkeeping happen under one lock acquisition.
+//
+// A returned matrix must be treated as read-only — callers clone before
+// pruning. Oversize results are shared too: every waiter that joined the
+// single-flight build holds the same matrix even though it was
+// immediately dropped from the map.
+//
+// The entry is built single-flight: the first getter runs build() with no
+// lock held; concurrent getters for the same key block on the entry, not
+// on the cache, so a slow materialization never serializes unrelated
+// loads.
+func (v *MatCacheView) get(pat string, orient uint8, masked bool, build func() *bitmat.Matrix) (*bitmat.Matrix, bool) {
+	if v == nil {
+		return nil, false
+	}
+	c := v.c
+	key := matKey{pat: pat, orient: orient}
+	c.mu.Lock()
+	if v.gen != c.gen {
+		c.staleBypasses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	e, ok := c.m[key]
+	if ok {
+		c.hits++
+		c.lru.MoveToFront(e.elem)
+	} else {
+		if masked && !c.touched[key] {
+			if len(c.touched) >= touchedCap {
+				c.touched = map[matKey]bool{}
+			}
+			c.touched[key] = true
+			c.firstTouches++
+			c.mu.Unlock()
+			return nil, false
+		}
+		e = &matEntry{key: key}
+		e.elem = c.lru.PushFront(e)
+		c.m[key] = e
+		c.misses++
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		mat := build()
+		cost := matCost(mat)
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		e.mat, e.cost = mat, cost
+		// The generation may have advanced (or the entry been evicted)
+		// while we built: then the entry is no longer in the map and must
+		// not be accounted — the waiting getters still use the matrix.
+		if c.m[key] != e {
+			return
+		}
+		if cost > c.budget {
+			c.oversize++
+			delete(c.m, key)
+			c.lru.Remove(e.elem)
+			return
+		}
+		e.built = true
+		c.used += cost
+		c.evictLocked(e)
+	})
+	return e.mat, true
+}
+
+// evictLocked drops least-recently-used built entries until the cache is
+// within budget. keep (the entry just inserted) and entries still being
+// built are skipped; the caller holds c.mu.
+func (c *MatCache) evictLocked(keep *matEntry) {
+	el := c.lru.Back()
+	for c.used > c.budget && el != nil {
+		prev := el.Prev()
+		e := el.Value.(*matEntry)
+		if e != keep && e.built {
+			delete(c.m, e.key)
+			c.lru.Remove(el)
+			c.used -= e.cost
+			c.evictions++
+		}
+		el = prev
+	}
+}
+
+// matCost estimates the resident bytes of a cached matrix: the row table
+// (one pointer per row), the compressed row payloads (4-byte words in the
+// hybrid encoding), and a fixed header. It only weighs the LRU — a rough
+// but monotone estimate is enough for eviction order.
+func matCost(mat *bitmat.Matrix) int64 {
+	if mat == nil {
+		return 64
+	}
+	return 64 + int64(mat.NRows())*8 + mat.WireSize()*4
+}

@@ -1,0 +1,289 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/bitvec"
+)
+
+// testMat builds a small matrix with nRows rows and one set bit per row,
+// so matCost is deterministic and nonzero.
+func testMat(nRows int) *bitmat.Matrix {
+	m := bitmat.NewMatrix(nRows, 8)
+	for r := 0; r < nRows; r++ {
+		m.SetRow(r, bitvec.RowFromPositions(8, []uint32{uint32(r % 8)}))
+	}
+	return m
+}
+
+func TestMatCacheNilSafety(t *testing.T) {
+	var c *MatCache
+	if v := c.Advance(1); v != nil {
+		t.Fatalf("nil cache advanced to non-nil view")
+	}
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", s)
+	}
+	var v *MatCacheView
+	if v.Generation() != 0 {
+		t.Fatalf("nil view generation != 0")
+	}
+	built := 0
+	mat, ok := v.get("p", orientSO, false, func() *bitmat.Matrix { built++; return testMat(1) })
+	if mat != nil || ok || built != 0 {
+		t.Fatalf("nil view must decline without building: mat=%v ok=%v built=%d", mat, ok, built)
+	}
+	if NewMatCache(0) != nil || NewMatCache(-5) != nil {
+		t.Fatalf("non-positive budget must disable the cache")
+	}
+}
+
+// TestMatCacheMaskedAdmissionOnRepeat pins the admission heuristic: a
+// masked load declines on its first touch (the caller keeps the cheaper
+// filtered build) and is admitted from the second touch on; unmasked
+// loads cache immediately.
+func TestMatCacheMaskedAdmissionOnRepeat(t *testing.T) {
+	c := NewMatCache(1 << 20)
+	view := c.Advance(1)
+	builds := 0
+	build := func() *bitmat.Matrix { builds++; return testMat(2) }
+	if mat, ok := view.get("m", orientSO, true, build); mat != nil || ok {
+		t.Fatalf("masked first touch must decline")
+	}
+	if builds != 0 {
+		t.Fatalf("declined get ran the build")
+	}
+	if s := c.Stats(); s.FirstTouches != 1 || s.Entries != 0 {
+		t.Fatalf("first-touch stats = %+v", s)
+	}
+	if _, ok := view.get("m", orientSO, true, build); !ok || builds != 1 {
+		t.Fatalf("masked second touch must admit and build (builds=%d)", builds)
+	}
+	if _, ok := view.get("m", orientSO, true, build); !ok || builds != 1 {
+		t.Fatalf("masked third touch must hit (builds=%d)", builds)
+	}
+	// Unmasked loads admit on first touch.
+	if _, ok := view.get("u", orientSO, false, build); !ok || builds != 2 {
+		t.Fatalf("unmasked first touch must cache (builds=%d)", builds)
+	}
+	// Advance resets the touch memory along with the entries.
+	v2 := c.Advance(2)
+	if mat, ok := v2.get("m", orientSO, true, build); mat != nil || ok {
+		t.Fatalf("new generation must re-learn touches")
+	}
+}
+
+func TestMatCacheSingleFlight(t *testing.T) {
+	c := NewMatCache(1 << 20)
+	view := c.Advance(1)
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	mats := make([]*bitmat.Matrix, 16)
+	for i := range mats {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mat, shared := view.get("pat", orientSO, false, func() *bitmat.Matrix {
+				builds.Add(1)
+				return testMat(4)
+			})
+			if !shared {
+				t.Errorf("goroutine %d: not shared", i)
+			}
+			mats[i] = mat
+		}(i)
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("builds = %d, want 1 (single-flight)", builds.Load())
+	}
+	for i, m := range mats {
+		if m != mats[0] {
+			t.Fatalf("goroutine %d got a different matrix instance", i)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 15 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestMatCacheOrientationsAreDistinct(t *testing.T) {
+	c := NewMatCache(1 << 20)
+	view := c.Advance(1)
+	a, _ := view.get("pat", orientSO, false, func() *bitmat.Matrix { return testMat(2) })
+	b, _ := view.get("pat", orientOS, false, func() *bitmat.Matrix { return testMat(3) })
+	if a == b {
+		t.Fatalf("orientations shared one entry")
+	}
+	if s := c.Stats(); s.Entries != 2 || s.Misses != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestMatCacheLRUEviction(t *testing.T) {
+	// Each testMat(2) entry costs 64 + 2*8 + WireSize*4; budget fits two
+	// entries but not three, so inserting a third evicts the least
+	// recently used.
+	cost := matCost(testMat(2))
+	c := NewMatCache(2 * cost)
+	view := c.Advance(1)
+	builds := map[string]int{}
+	load := func(pat string) {
+		view.get(pat, orientSO, false, func() *bitmat.Matrix {
+			builds[pat]++
+			return testMat(2)
+		})
+	}
+	load("a")
+	load("b")
+	load("a") // touch a: b becomes LRU
+	load("c") // evicts b
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("after eviction: %+v", s)
+	}
+	load("b") // must rebuild
+	load("a")
+	if builds["b"] != 2 {
+		t.Fatalf("b built %d times, want 2 (evicted then rebuilt)", builds["b"])
+	}
+	if builds["a"] != 1 && builds["a"] != 2 {
+		t.Fatalf("a built %d times", builds["a"])
+	}
+}
+
+func TestMatCacheOversizeNotRetained(t *testing.T) {
+	small := matCost(testMat(1))
+	c := NewMatCache(small) // budget below the big matrix's cost
+	view := c.Advance(1)
+	big := testMat(64)
+	if matCost(big) <= small {
+		t.Fatalf("fixture: big not bigger than budget")
+	}
+	mat, shared := view.get("big", orientSO, false, func() *bitmat.Matrix { return big })
+	if mat != big || !shared {
+		t.Fatalf("oversize build not returned to caller")
+	}
+	s := c.Stats()
+	if s.Oversize != 1 || s.Entries != 0 || s.BytesUsed != 0 {
+		t.Fatalf("oversize stats = %+v", s)
+	}
+}
+
+func TestMatCacheAdvanceRetiresEntries(t *testing.T) {
+	c := NewMatCache(1 << 20)
+	v1 := c.Advance(1)
+	builds := 0
+	get := func(v *MatCacheView) (*bitmat.Matrix, bool) {
+		return v.get("pat", orientSO, false, func() *bitmat.Matrix {
+			builds++
+			return testMat(2)
+		})
+	}
+	get(v1)
+	if s := c.Stats(); s.Entries != 1 || s.Generation != 1 {
+		t.Fatalf("gen1 stats = %+v", s)
+	}
+	v2 := c.Advance(2)
+	s := c.Stats()
+	if s.Entries != 0 || s.Invalidations != 1 || s.BytesUsed != 0 || s.Generation != 2 {
+		t.Fatalf("post-advance stats = %+v", s)
+	}
+	// The retired view declines (the caller then builds directly, masks
+	// folded in) and must neither read nor populate the new generation's
+	// cache.
+	if mat, ok := get(v1); mat != nil || ok {
+		t.Fatalf("retired view did not decline")
+	}
+	if s := c.Stats(); s.StaleBypasses != 1 || s.Entries != 0 {
+		t.Fatalf("stale bypass stats = %+v", s)
+	}
+	// The current view rebuilds under the new generation.
+	if _, ok := get(v2); !ok {
+		t.Fatalf("current view not shared")
+	}
+	if builds != 2 {
+		t.Fatalf("builds = %d, want 2 (gen1 and gen2; the stale get declines without building)", builds)
+	}
+}
+
+// TestMatCacheAdvanceDuringBuild pins the race the generation key exists
+// for: a build in flight when the generation advances completes for its
+// own query but is not accounted into (or reachable from) the new
+// generation's cache.
+func TestMatCacheAdvanceDuringBuild(t *testing.T) {
+	c := NewMatCache(1 << 20)
+	v1 := c.Advance(1)
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan *bitmat.Matrix)
+	go func() {
+		mat, _ := v1.get("pat", orientSO, false, func() *bitmat.Matrix {
+			close(enter)
+			<-release
+			return testMat(2)
+		})
+		done <- mat
+	}()
+	<-enter
+	c.Advance(2)
+	close(release)
+	if mat := <-done; mat == nil {
+		t.Fatalf("in-flight build lost its matrix")
+	}
+	s := c.Stats()
+	if s.Entries != 0 || s.BytesUsed != 0 {
+		t.Fatalf("orphaned build leaked into the new generation: %+v", s)
+	}
+}
+
+// TestMatCacheConcurrentAdvance hammers gets against repeated generation
+// advances; run under -race this pins the locking discipline, and the
+// final state must be consistent (used bytes match resident entries).
+func TestMatCacheConcurrentAdvance(t *testing.T) {
+	c := NewMatCache(1 << 16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	views := make(chan *MatCacheView, 1)
+	views <- c.Advance(1)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pats := []string{"a", "b", "c", "d"}
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := <-views
+				views <- v
+				mat, ok := v.get(pats[(i+n)%len(pats)], orientSO, false, func() *bitmat.Matrix {
+					return testMat(1 + n%4)
+				})
+				if ok && mat == nil {
+					t.Error("shared get returned a nil matrix")
+					return
+				}
+			}
+		}(i)
+	}
+	for g := uint64(2); g < 30; g++ {
+		v := c.Advance(g)
+		<-views
+		views <- v
+	}
+	close(stop)
+	wg.Wait()
+	s := c.Stats()
+	if s.Entries == 0 && s.BytesUsed != 0 {
+		t.Fatalf("inconsistent residency: %+v", s)
+	}
+	if s.BytesUsed > (1 << 16) {
+		t.Fatalf("budget exceeded at rest: %+v", s)
+	}
+}

@@ -183,13 +183,16 @@ func (e *Engine) loadMask(v sparql.Var, axisSpace Space, idx int, loaded []*tpSt
 // that recur across the query's UNF branches: the shared matrix is built
 // single-flight, cloned per branch, and the branch's masks are applied to
 // the clone — bit-identical to building the filtered matrix directly,
-// since both paths read out-of-range mask bits as 0.
+// since both paths read out-of-range mask bits as 0. Below that per-query
+// tier sits the engine's store-level MatCache view (e.mc), which shares
+// the same pristine materializations across concurrent queries of one
+// index snapshot under the identical clone-then-mask discipline.
 func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Plan, loaded []*tpState, cache *loadCache) (*tpState, error) {
 	st := &tpState{idx: idx, pat: tp, sn: sn}
 	dict := e.dict
 	sVar, pVar, oVar := tp.S.IsVar, tp.P.IsVar, tp.O.IsVar
 	patKey := ""
-	if cache != nil {
+	if cache != nil || e.mc != nil {
 		patKey = tp.String()
 	}
 
@@ -220,7 +223,7 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 			// reduced to a single row over the subject dimension.
 			st.colVar, st.colSpace = tp.S.Var, SpaceS
 			st.rowSpace = SpaceNone
-			st.mat = cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+			st.mat = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
 				diag := bitmat.NewMatrix(1, dict.NumSubjects())
 				if !unknown {
 					so := e.idx.MatSO(p)
@@ -263,8 +266,8 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 		if rowVar != tp.S.Var {
 			orient, build = orientOS, func() *bitmat.Matrix { return e.idx.MatOS(p) }
 		}
-		if base := cache.get(patKey, orient, build); base != nil {
-			st.mat = base.Clone()
+		if base := e.cachedPristine(cache, patKey, orient, rowMask != nil || colMask != nil, build); base != nil {
+			st.mat = base
 			if rowMask != nil {
 				st.mat.UnfoldRows(rowMask)
 			}
@@ -278,7 +281,7 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 		}
 	case sVar && !pVar && !oVar:
 		// (?var :p :o): one row of the P-S BitMat of o (Section 5).
-		st.mat = cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+		st.mat = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
 			if unknown {
 				return bitmat.NewMatrix(1, dict.NumSubjects())
 			}
@@ -288,7 +291,7 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 		st.rowSpace = SpaceNone
 	case !sVar && !pVar && oVar:
 		// (:s :p ?var): one row of the P-O BitMat of s.
-		st.mat = cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+		st.mat = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
 			if unknown {
 				return bitmat.NewMatrix(1, dict.NumObjects())
 			}
@@ -299,7 +302,7 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 	case !sVar && pVar && oVar:
 		// (:s ?p ?o): the P-O BitMat of s; the predicate variable rides the
 		// row axis (never a join variable, enforced by the GoJ).
-		st.mat = cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+		st.mat = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
 			if unknown {
 				return bitmat.NewMatrix(dict.NumPredicates(), dict.NumObjects())
 			}
@@ -309,7 +312,7 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 		st.colVar, st.colSpace = tp.O.Var, SpaceO
 	case sVar && pVar && !oVar:
 		// (?s ?p :o): the P-S BitMat of o.
-		st.mat = cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+		st.mat = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
 			if unknown {
 				return bitmat.NewMatrix(dict.NumPredicates(), dict.NumSubjects())
 			}
@@ -319,7 +322,7 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 		st.colVar, st.colSpace = tp.S.Var, SpaceS
 	case !sVar && pVar && !oVar:
 		// (:s ?p :o): the predicates linking s to o.
-		st.mat = cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+		st.mat = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
 			if unknown {
 				return bitmat.NewMatrix(1, dict.NumPredicates())
 			}

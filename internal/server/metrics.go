@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	lbr "repro"
 )
 
 // latencyBoundsMS are the upper bounds (milliseconds) of the query latency
@@ -44,15 +46,31 @@ type LatencyBucket struct {
 	Count int64  `json:"count"`
 }
 
-// Snapshot is a point-in-time copy of the metrics, shaped for JSON.
+// ResultCacheSnapshot is the /metrics view of the server's result cache:
+// serialized documents replayed for repeat queries of one index snapshot.
+type ResultCacheSnapshot struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int64 `json:"entries"`
+	BytesUsed int64 `json:"bytes_used"`
+	Budget    int64 `json:"budget"`
+}
+
+// Snapshot is a point-in-time copy of the metrics, shaped for JSON. The
+// two cache sections are filled by the /metrics handler (they live on the
+// server and the store, not on the counter block) and stay nil when the
+// snapshot comes straight from Metrics.Snapshot.
 type Snapshot struct {
-	QueriesServed  int64           `json:"queries_served"`
-	QueryErrors    int64           `json:"query_errors"`
-	Rejected       int64           `json:"rejected"`
-	Timeouts       int64           `json:"timeouts"`
-	InFlight       int64           `json:"in_flight"`
-	RowsStreamed   int64           `json:"rows_streamed"`
-	LatencyBuckets []LatencyBucket `json:"latency_buckets"`
+	QueriesServed  int64                `json:"queries_served"`
+	QueryErrors    int64                `json:"query_errors"`
+	Rejected       int64                `json:"rejected"`
+	Timeouts       int64                `json:"timeouts"`
+	InFlight       int64                `json:"in_flight"`
+	RowsStreamed   int64                `json:"rows_streamed"`
+	LatencyBuckets []LatencyBucket      `json:"latency_buckets"`
+	ResultCache    *ResultCacheSnapshot `json:"result_cache,omitempty"`
+	BitMatCache    *lbr.CacheStats      `json:"bitmat_cache,omitempty"`
 }
 
 // Snapshot captures the current counter values.
@@ -80,10 +98,20 @@ func formatBound(f float64) string {
 	return string(b)
 }
 
-// ServeHTTP writes the snapshot as an indented JSON document.
-func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+// writeMetricsJSON is the one metrics serialization: both the bare
+// Metrics handler and the server's /metrics (which adds the cache
+// sections first) write through it, so the format cannot diverge.
+func writeMetricsJSON(w http.ResponseWriter, snap Snapshot) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(m.Snapshot())
+	_ = enc.Encode(snap)
+}
+
+// ServeHTTP writes the snapshot as an indented JSON document. The
+// server's own /metrics route goes through handleMetrics instead, which
+// extends the snapshot with the cache tiers; this handler remains for
+// embedders that mount a bare Metrics.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	writeMetricsJSON(w, m.Snapshot())
 }

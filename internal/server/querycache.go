@@ -1,0 +1,181 @@
+package server
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"repro/internal/results"
+)
+
+// queryCache is the server-side result cache for hot dashboards: a
+// bounded LRU of fully serialized result documents keyed on (index
+// snapshot generation, whitespace-normalized query text, result format).
+// The generation component makes invalidation free — a write that
+// rebuilds the index bumps the store's generation, so every entry of the
+// previous snapshot simply stops matching and ages out of the LRU.
+//
+// Entries hold the uncompressed serialized body; content coding (gzip) is
+// applied per response at replay time, so one cached document serves
+// clients with and without Accept-Encoding alike.
+type queryCache struct {
+	mu       sync.Mutex
+	budget   int64 // total byte bound over cached bodies
+	maxEntry int64 // per-document bound; larger results are not retained
+	used     int64
+	m        map[qcKey]*qcEntry
+	lru      *list.List // *qcEntry; front = most recently used
+
+	hits, misses, evictions int64
+}
+
+type qcKey struct {
+	gen    uint64
+	query  string
+	format results.Format
+}
+
+type qcEntry struct {
+	key  qcKey
+	body []byte
+	// rows is how many result rows the document serializes, credited to
+	// the rows-streamed metric on every replay so cached and executed
+	// deliveries count alike.
+	rows int64
+	elem *list.Element
+}
+
+// newQueryCache returns a cache bounded to budget bytes, or nil (disabled,
+// nil-safe everywhere) for a non-positive budget. Individual documents are
+// capped at 1/8 of the budget: one huge dump must not wipe the dashboard
+// set the cache exists for.
+func newQueryCache(budget int64) *queryCache {
+	if budget <= 0 {
+		return nil
+	}
+	maxEntry := budget / 8
+	if maxEntry < 1 {
+		maxEntry = 1
+	}
+	return &queryCache{
+		budget:   budget,
+		maxEntry: maxEntry,
+		m:        map[qcKey]*qcEntry{},
+		lru:      list.New(),
+	}
+}
+
+// normalizeQuery collapses runs of whitespace so that cosmetic formatting
+// differences (indentation, newlines) between otherwise identical queries
+// share one cache entry. Whitespace is NOT cosmetic inside quoted
+// literals ("a  b" vs "a b") or around '#' comments (a newline ends the
+// comment, so collapsing it swallows whatever follows into it) — queries
+// containing any of those characters are keyed verbatim rather than
+// risking two semantically different queries sharing one document. It
+// deliberately stops there: anything deeper (variable renaming, pattern
+// reordering) would need a full parse and buys little for
+// machine-generated dashboard queries.
+func normalizeQuery(src string) string {
+	if strings.ContainsAny(src, "#\"'") {
+		return src
+	}
+	return strings.Join(strings.Fields(src), " ")
+}
+
+// get returns the cached document for the key and its row count, or a
+// nil body. The caller owns nothing: the returned slice is shared and
+// must only be read.
+func (c *queryCache) get(gen uint64, query string, format results.Format) ([]byte, int64) {
+	if c == nil {
+		return nil, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[qcKey{gen: gen, query: query, format: format}]
+	if !ok {
+		c.misses++
+		return nil, 0
+	}
+	c.hits++
+	c.lru.MoveToFront(e.elem)
+	return e.body, e.rows
+}
+
+// put retains a successfully serialized document, evicting LRU entries
+// over budget. Oversized documents are dropped silently; body must not be
+// mutated after the call.
+func (c *queryCache) put(gen uint64, query string, format results.Format, body []byte, rows int64) {
+	if c == nil || int64(len(body)) > c.maxEntry {
+		return
+	}
+	key := qcKey{gen: gen, query: query, format: format}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.m[key]; ok {
+		// A concurrent miss of the same query raced us here; the bodies
+		// are byte-identical (same snapshot, same serializer), keep the
+		// incumbent.
+		c.lru.MoveToFront(old.elem)
+		return
+	}
+	e := &qcEntry{key: key, body: body, rows: rows}
+	e.elem = c.lru.PushFront(e)
+	c.m[key] = e
+	c.used += int64(len(body))
+	for c.used > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*qcEntry)
+		if ev == e {
+			break
+		}
+		c.lru.Remove(back)
+		delete(c.m, ev.key)
+		c.used -= int64(len(ev.body))
+		c.evictions++
+	}
+}
+
+// entryCap reports the per-document retention bound, 0 when the cache is
+// disabled (so a recorder capped by it overflows immediately and records
+// nothing).
+func (c *queryCache) entryCap() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.maxEntry
+}
+
+// stats reports (hits, misses, evictions, entries, bytes used).
+func (c *queryCache) stats() (hits, misses, evictions, entries, used int64) {
+	if c == nil {
+		return 0, 0, 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, int64(len(c.m)), c.used
+}
+
+// capWriter tees everything written through it into an in-memory buffer
+// until the cap is exceeded, at which point it stops recording (the
+// response itself is unaffected). It is how the server captures a result
+// document for the cache while streaming it to the client.
+type capWriter struct {
+	buf      []byte
+	max      int64
+	overflow bool
+}
+
+func (c *capWriter) record(p []byte) {
+	if c.overflow {
+		return
+	}
+	if int64(len(c.buf)+len(p)) > c.max {
+		c.overflow = true
+		c.buf = nil
+		return
+	}
+	c.buf = append(c.buf, p...)
+}

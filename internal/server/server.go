@@ -5,11 +5,15 @@
 // produces them — constant memory however large the result — with a
 // bounded admission semaphore layered over the store's worker pool, a
 // per-request timeout wired into QueryStreamRows' context, structured
-// JSON errors, a /healthz probe, and expvar-style /metrics.
+// JSON errors, gzip content coding (streaming-safe), a result cache
+// keyed on (index snapshot generation, normalized query, format) for
+// hot dashboards, a /healthz probe, and expvar-style /metrics covering
+// both cache tiers.
 package server
 
 import (
 	"bufio"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
@@ -19,6 +23,8 @@ import (
 	"mime"
 	"net/http"
 	"net/url"
+	"strconv"
+	"strings"
 	"time"
 
 	lbr "repro"
@@ -46,9 +52,21 @@ type Config struct {
 	// response buffer before an explicit flush; 0 means 4096. The 32 KiB
 	// write buffer also flushes itself whenever it fills.
 	FlushEveryRows int
+	// ResultCacheBudget bounds, in bytes, the server's result cache: a
+	// per-(snapshot generation, normalized query, format) LRU of fully
+	// serialized result documents, replayed to repeat queries of an
+	// unchanged index without touching the engine — the hot-dashboard
+	// path. A store mutation rebuilds the index under a new generation,
+	// so stale documents stop matching immediately. 0 picks the default
+	// (16 MiB); negative disables the cache.
+	ResultCacheBudget int64
 	// Log receives one line per failed request; nil uses log.Printf.
 	Log func(format string, args ...any)
 }
+
+// defaultResultCacheBudget is the result cache bound a zero
+// Config.ResultCacheBudget selects.
+const defaultResultCacheBudget = 16 << 20
 
 // Server is the SPARQL Protocol front end over one store.
 type Server struct {
@@ -56,6 +74,7 @@ type Server struct {
 	cfg     Config
 	sem     chan struct{}
 	metrics Metrics
+	qcache  *queryCache
 }
 
 // New builds a Server for the store. The store may be pre-built or not:
@@ -71,13 +90,17 @@ func New(store *lbr.Store, cfg Config) *Server {
 	if cfg.FlushEveryRows <= 0 {
 		cfg.FlushEveryRows = 4096
 	}
+	if cfg.ResultCacheBudget == 0 {
+		cfg.ResultCacheBudget = defaultResultCacheBudget
+	}
 	if cfg.Log == nil {
 		cfg.Log = log.Printf
 	}
 	return &Server{
-		store: store,
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		store:  store,
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		qcache: newQueryCache(cfg.ResultCacheBudget),
 	}
 }
 
@@ -93,8 +116,23 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sparql", s.handleSPARQL)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.Handle("/metrics", &s.metrics)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
+}
+
+// handleMetrics serves the counter snapshot extended with the two cache
+// tiers: the server's result cache and the store's cross-query BitMat
+// materialization cache.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.metrics.Snapshot()
+	hits, misses, evictions, entries, used := s.qcache.stats()
+	snap.ResultCache = &ResultCacheSnapshot{
+		Hits: hits, Misses: misses, Evictions: evictions,
+		Entries: entries, BytesUsed: used, Budget: max(s.cfg.ResultCacheBudget, 0),
+	}
+	bm := s.store.CacheStats()
+	snap.BitMatCache = &bm
+	writeMetricsJSON(w, snap)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -272,25 +310,236 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	s.serveSelect(ctx, w, r, format, src, start)
 }
 
+// acceptsGzip reports whether the request's Accept-Encoding admits gzip
+// with a nonzero quality. Per RFC 9110 §12.5.3 the most specific member
+// governs: an explicit gzip;q=0 refuses the coding even when a wildcard
+// elsewhere in the header would allow it ("*" matches only codings not
+// otherwise named).
+func acceptsGzip(r *http.Request) bool {
+	var gzipQ, starQ float64
+	var gzipSeen, starSeen bool
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		fields := strings.Split(strings.TrimSpace(part), ";")
+		coding := strings.TrimSpace(fields[0])
+		isGzip := strings.EqualFold(coding, "gzip")
+		if !isGzip && coding != "*" {
+			continue
+		}
+		q := 1.0
+		for _, p := range fields[1:] {
+			if p = strings.TrimSpace(p); strings.HasPrefix(p, "q=") {
+				if v, err := strconv.ParseFloat(p[len("q="):], 64); err == nil {
+					q = v
+				}
+			}
+		}
+		if isGzip {
+			gzipQ, gzipSeen = q, true
+		} else {
+			starQ, starSeen = q, true
+		}
+	}
+	if gzipSeen {
+		return gzipQ > 0
+	}
+	return starSeen && starQ > 0
+}
+
+// setResultHeaders stamps the headers every result document carries. The
+// response splits on Accept and Accept-Encoding, so Vary covers both.
+func setResultHeaders(w http.ResponseWriter, format results.Format, gzipped bool) {
+	w.Header().Set("Content-Type", format.ContentType())
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.Header().Set("Vary", "Accept, Accept-Encoding")
+	if gzipped {
+		w.Header().Set("Content-Encoding", "gzip")
+	}
+}
+
+// replayCached streams a cached result document: headers, then the body
+// in bounded chunks (gzip-compressed on the fly when negotiated) with
+// explicit flushes, so a replayed megabyte dashboard behaves like a
+// streamed one rather than one giant write.
+func (s *Server) replayCached(w http.ResponseWriter, r *http.Request, format results.Format, body []byte) bool {
+	useGzip := acceptsGzip(r)
+	setResultHeaders(w, format, useGzip)
+	w.Header().Set("X-Cache", "hit")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	var out io.Writer = w
+	var gz *gzip.Writer
+	if useGzip {
+		gz = gzip.NewWriter(w)
+		out = gz
+	}
+	const chunk = 64 << 10
+	for off := 0; off < len(body); off += chunk {
+		end := off + chunk
+		if end > len(body) {
+			end = len(body)
+		}
+		if _, err := out.Write(body[off:end]); err != nil {
+			return false
+		}
+		if end < len(body) {
+			if gz != nil {
+				if err := gz.Flush(); err != nil {
+					return false
+				}
+			}
+			if err := rc.Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+				return false
+			}
+		}
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *Server) serveAsk(ctx context.Context, w http.ResponseWriter, r *http.Request, format results.Format, src string, start time.Time) {
+	// With the result cache disabled, skip its machinery wholesale
+	// (normalization, generation lookup, the tee) — the path must stay
+	// the pre-cache one, which the server bench baseline measures.
+	var (
+		norm string
+		gen  uint64
+	)
+	if s.qcache != nil {
+		var ok bool
+		norm = normalizeQuery(src)
+		if gen, ok = s.snapshotGen(ctx, w, r); !ok {
+			return
+		}
+		if body, _ := s.qcache.get(gen, norm, format); body != nil {
+			if !s.replayCached(w, r, format, body) {
+				s.metrics.errors.Add(1)
+				panic(http.ErrAbortHandler)
+			}
+			s.metrics.queries.Add(1)
+			s.metrics.observeLatency(time.Since(start))
+			return
+		}
+	}
 	b, err := s.store.AskContext(ctx, src)
 	if err != nil {
 		s.failBeforeStream(ctx, w, r, err)
 		return
 	}
-	w.Header().Set("Content-Type", format.ContentType())
-	if err := results.NewWriter(format, w).Boolean(b); err != nil {
+	useGzip := acceptsGzip(r)
+	setResultHeaders(w, format, useGzip)
+	var out io.Writer = w
+	var gz *gzip.Writer
+	if useGzip {
+		gz = gzip.NewWriter(w)
+		out = gz
+	}
+	var rec *capWriter
+	if s.qcache != nil {
+		rec = &capWriter{max: s.qcache.entryCap()}
+		out = &teeWriter{w: out, rec: rec}
+	}
+	err = results.NewWriter(format, out).Boolean(b)
+	if err == nil && gz != nil {
+		err = gz.Close()
+	}
+	if err != nil {
 		s.metrics.errors.Add(1)
 		return
+	}
+	// As in serveSelect: retain only when the snapshot generation is
+	// still the one the key carries.
+	if rec != nil && !rec.overflow {
+		if gen2, err := s.store.SnapshotGeneration(); err == nil && gen2 == gen {
+			s.qcache.put(gen, norm, format, rec.buf, 0)
+		}
 	}
 	s.metrics.queries.Add(1)
 	s.metrics.observeLatency(time.Since(start))
 }
 
+// snapshotGen resolves the store's current snapshot generation (building
+// the index on demand), reporting failure through the protocol error path.
+// The boolean is false when an error response was already written.
+func (s *Server) snapshotGen(ctx context.Context, w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	gen, err := s.store.SnapshotGeneration()
+	if err != nil {
+		s.failBeforeStream(ctx, w, r, err)
+		return 0, false
+	}
+	return gen, true
+}
+
+// teeWriter forwards writes and records the forwarded bytes for the
+// result cache. Recording is applied to the serialized (uncompressed)
+// document, upstream of any content coding.
+type teeWriter struct {
+	w   io.Writer
+	rec *capWriter
+}
+
+func (t *teeWriter) Write(p []byte) (int, error) {
+	n, err := t.w.Write(p)
+	if n > 0 {
+		t.rec.record(p[:n])
+	}
+	return n, err
+}
+
 func (s *Server) serveSelect(ctx context.Context, w http.ResponseWriter, r *http.Request, format results.Format, src string, start time.Time) {
+	// With the result cache disabled, skip its machinery wholesale
+	// (normalization, generation lookup, the per-row tee) — the path must
+	// stay the pre-cache one, which the server bench baseline measures.
+	var (
+		norm string
+		gen  uint64
+	)
+	if s.qcache != nil {
+		var ok bool
+		norm = normalizeQuery(src)
+		if gen, ok = s.snapshotGen(ctx, w, r); !ok {
+			return
+		}
+		// Result cache: an identical query against an unchanged index
+		// snapshot replays the serialized document without touching the
+		// engine.
+		if body, cachedRows := s.qcache.get(gen, norm, format); body != nil {
+			if !s.replayCached(w, r, format, body) {
+				s.metrics.errors.Add(1)
+				s.cfg.Log("sparql: cached replay aborted")
+				panic(http.ErrAbortHandler)
+			}
+			s.metrics.rowsStreamed.Add(cachedRows)
+			s.metrics.queries.Add(1)
+			s.metrics.observeLatency(time.Since(start))
+			return
+		}
+	}
+
+	useGzip := acceptsGzip(r)
 	rc := http.NewResponseController(w)
-	bw := bufio.NewWriterSize(w, 32<<10)
-	sw := results.NewWriter(format, bw)
+	// Write path: serializer -> tee (records the uncompressed document for
+	// the cache; absent when it is disabled) -> 32 KiB buffer -> optional
+	// gzip -> socket. The gzip layer sits under the buffer so each
+	// explicit flush compresses one sizable block instead of many
+	// row-sized ones.
+	var sink io.Writer = w
+	var gz *gzip.Writer
+	if useGzip {
+		gz = gzip.NewWriter(w)
+		sink = gz
+	}
+	bw := bufio.NewWriterSize(sink, 32<<10)
+	var rowSink io.Writer = bw
+	var rec *capWriter
+	if s.qcache != nil {
+		rec = &capWriter{max: s.qcache.entryCap()}
+		rowSink = &teeWriter{w: bw, rec: rec}
+	}
+	sw := results.NewWriter(format, rowSink)
 	var (
 		headerVars []string
 		streaming  bool // response status and result header are on the wire
@@ -303,12 +552,27 @@ func (s *Server) serveSelect(ctx context.Context, w http.ResponseWriter, r *http
 	// before producing anything still gets a real error status instead of
 	// a truncated 200.
 	begin := func() bool {
-		w.Header().Set("Content-Type", format.ContentType())
-		w.Header().Set("X-Content-Type-Options", "nosniff")
+		setResultHeaders(w, format, useGzip)
 		w.WriteHeader(http.StatusOK)
 		streaming = true
 		ioErr = sw.Begin(headerVars)
 		return ioErr == nil
+	}
+	flushAll := func() error {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if gz != nil {
+			// Flush (not Close): emits the compressed block so the client
+			// sees the rows now, keeps the stream open for more.
+			if err := gz.Flush(); err != nil {
+				return err
+			}
+		}
+		if err := rc.Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+			return err
+		}
+		return nil
 	}
 	err := s.store.QueryStreamRows(ctx, src, func(vars []string, row []lbr.Term) bool {
 		if row == nil {
@@ -325,14 +589,10 @@ func (s *Server) serveSelect(ctx context.Context, w http.ResponseWriter, r *http
 		sinceFl++
 		if sinceFl >= s.cfg.FlushEveryRows {
 			sinceFl = 0
-			if ioErr = bw.Flush(); ioErr != nil {
-				return false
-			}
 			// Push the chunk to the client even when the HTTP stack is
 			// still under its own buffer threshold; streaming consumers
 			// read rows long before the query finishes.
-			if err := rc.Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
-				ioErr = err
+			if ioErr = flushAll(); ioErr != nil {
 				return false
 			}
 		}
@@ -367,9 +627,25 @@ func (s *Server) serveSelect(ctx context.Context, w http.ResponseWriter, r *http
 	if err := sw.End(); err == nil {
 		err = bw.Flush()
 	}
+	if err == nil && gz != nil {
+		err = gz.Close()
+	}
 	if err != nil {
 		s.metrics.errors.Add(1)
 		panic(http.ErrAbortHandler)
+	}
+	// Retain the complete document for repeat queries of this snapshot.
+	// Only a fully successful serialization gets here, so the cache can
+	// never hold a truncated body — and only if the store's generation
+	// still matches the one read before execution: a rebuild racing this
+	// query may have run it against a newer snapshot, and filing that
+	// body under the old generation would deposit a dead entry that only
+	// wastes budget (generations are monotonic, so it could never be
+	// served stale — just uselessly).
+	if rec != nil && !rec.overflow {
+		if gen2, err := s.store.SnapshotGeneration(); err == nil && gen2 == gen {
+			s.qcache.put(gen, norm, format, rec.buf, rows)
+		}
 	}
 	s.metrics.queries.Add(1)
 	s.metrics.observeLatency(time.Since(start))

@@ -43,6 +43,10 @@ type Triple = rdf.Triple
 // whether best-match was needed.
 type Stats = engine.Stats
 
+// CacheStats carries the counters of the store's cross-query BitMat
+// materialization cache (see Options.CacheBudget and Store.CacheStats).
+type CacheStats = engine.CacheStats
+
 // IRI builds an IRI term.
 func IRI(iri string) Term { return rdf.NewIRI(iri) }
 
@@ -79,6 +83,33 @@ type Options struct {
 	// negative values mean one partition per worker. Purely a performance
 	// knob: every factor yields byte-identical rows in the same order.
 	PartitionFactor int
+	// CacheBudget bounds, in bytes, the store's cross-query BitMat
+	// materialization cache: a cost-weighted LRU of pristine (unmasked,
+	// unpruned) per-pattern matrices shared by all queries running against
+	// one index snapshot, built single-flight and retired wholesale
+	// whenever a mutation rebuilds the index. Queries clone cached
+	// matrices before pruning, so results are byte-identical with the
+	// cache on, off, or at any budget. 0 selects the default (64 MiB);
+	// negative values disable the cache.
+	CacheBudget int64
+}
+
+// defaultCacheBudget is the materialization cache bound CacheBudget = 0
+// selects.
+const defaultCacheBudget = 64 << 20
+
+// EffectiveCacheBudget reports the byte bound the options resolve to:
+// CacheBudget when positive, 64 MiB when zero, and 0 (cache disabled) for
+// negative values.
+func (o Options) EffectiveCacheBudget() int64 {
+	switch {
+	case o.CacheBudget > 0:
+		return o.CacheBudget
+	case o.CacheBudget == 0:
+		return defaultCacheBudget
+	default:
+		return 0
+	}
 }
 
 // EffectiveWorkers reports the worker count the options resolve to:
@@ -100,6 +131,13 @@ type Store struct {
 	index *bitmat.Index
 	eng   *engine.Engine
 	opts  Options
+	// cache is the cross-query BitMat materialization cache (nil when
+	// Options.CacheBudget is negative). gen counts index snapshots: every
+	// buildLocked bumps it and retires the previous generation's cache
+	// entries, so a query can never read a matrix from a snapshot other
+	// than the one it runs against.
+	cache *engine.MatCache
+	gen   uint64
 }
 
 // NewStore returns an empty store.
@@ -107,7 +145,11 @@ func NewStore() *Store { return NewStoreWithOptions(Options{}) }
 
 // NewStoreWithOptions returns an empty store with engine options.
 func NewStoreWithOptions(opts Options) *Store {
-	return &Store{graph: rdf.NewGraph(), opts: opts}
+	return &Store{
+		graph: rdf.NewGraph(),
+		opts:  opts,
+		cache: engine.NewMatCache(opts.EffectiveCacheBudget()),
+	}
 }
 
 // Options returns the options the store was constructed with. They are
@@ -206,9 +248,41 @@ func (s *Store) buildLocked() error {
 	if err != nil {
 		return err
 	}
-	s.index = idx
-	s.eng = engine.New(idx, s.opts.engineOptions())
+	s.installIndexLocked(idx)
 	return nil
+}
+
+// installIndexLocked adopts idx as the new immutable snapshot: it starts
+// the next snapshot generation, retires the previous generation's cached
+// materializations atomically, and binds a fresh engine to the new
+// generation's cache view. The caller holds mu.
+func (s *Store) installIndexLocked(idx *bitmat.Index) {
+	s.gen++
+	s.index = idx
+	s.eng = engine.NewWithCache(idx, s.opts.engineOptions(), s.cache.Advance(s.gen))
+}
+
+// CacheStats reports the counters of the cross-query materialization
+// cache: hits, misses, evictions, generation invalidations, and current
+// residency. All zeroes when the cache is disabled (negative
+// Options.CacheBudget). Safe to call concurrently with queries and
+// mutation.
+func (s *Store) CacheStats() engine.CacheStats { return s.cache.Stats() }
+
+// SnapshotGeneration reports the generation number of the current index
+// snapshot, building it first if the store was mutated or never built.
+// Generations increase by one per (re)build, so two equal generations
+// bracket an unchanged index — the key layers above use to cache derived
+// artifacts (the HTTP server's result cache keys on it). Under concurrent
+// mutation the value is a snapshot in time, exactly like the data a
+// concurrent query sees.
+func (s *Store) SnapshotGeneration() (uint64, error) {
+	if _, _, err := s.ensureSnapshot(); err != nil {
+		return 0, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen, nil
 }
 
 // Built reports whether an index covering every mutation so far exists.

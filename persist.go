@@ -92,8 +92,7 @@ func OpenIndexWithOptions(r io.Reader, opts Options) (*Store, error) {
 			st.graph.Add(rdf.Triple{S: sTerm, P: pred, O: oTerm})
 		}
 	}
-	st.index = idx
-	st.eng = engine.New(idx, opts.engineOptions())
+	st.installIndexLocked(idx)
 	return st, nil
 }
 
