@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify test-cache serve-smoke fuzz-smoke bench bench-parallel bench-union bench-build bench-server bench-cache
+.PHONY: all build test race vet fmt-check verify test-cache test-update serve-smoke fuzz-smoke bench bench-parallel bench-union bench-build bench-server bench-cache
 
 # The default target is the full tier-1 verification, race detector included.
 all: verify
@@ -37,19 +37,33 @@ test-cache:
 		-run 'TestMatCache|TestCrossQueryCache|TestCacheInvalidation|TestEffectiveCacheBudget|TestDifferentialCacheRegressions|TestCacheTable|TestCacheReport|TestResultCache|TestGzip' \
 		./internal/engine ./internal/bench ./internal/server .
 
+# test-update runs the write-path test surface under -race: SPARQL Update
+# semantics and the differential update oracle, WAL crash recovery, MVCC
+# snapshot isolation, overlay-vs-rebuild equivalence, the update parser,
+# and the server's update endpoint/ETag tests. The full `make` covers all
+# of these too; this target is the fast loop while working on writes.
+test-update:
+	$(GO) test -race -count=1 \
+		-run 'TestApplyUpdate|TestUpdate|TestAutoCompact|TestWAL|TestOverlay|TestExtend|TestParseUpdate|TestETag|TestMetricsSnapshotGeneration|TestStoreMutation' \
+		./internal/rdf ./internal/bitmat ./internal/sparql ./internal/server .
+
 # serve-smoke boots the real lbrserver binary on an ephemeral port, runs a
 # content-negotiated SPARQL Protocol query over HTTP, and asserts the JSON
 # body (see scripts/serve_smoke.sh).
 serve-smoke:
 	GO=$(GO) sh scripts/serve_smoke.sh
 
-# fuzz-smoke runs the differential query fuzzer (engine vs the naive
-# reference evaluator, across worker counts) briefly — long enough to
-# replay the seed corpus and mutate around it, short enough for CI. Local
-# deep runs: go test ./internal/engine -run='^$' -fuzz=FuzzQueryDifferential
+# fuzz-smoke runs the two differential fuzzers briefly — long enough to
+# replay the seed corpora and mutate around them, short enough for CI:
+# FuzzQueryDifferential (engine vs the naive reference evaluator, across
+# worker counts and delta overlays) and FuzzUpdateDifferential (update
+# streams through the delta-overlay store vs the reference applier, across
+# compaction and cold rebuild). Local deep runs: go test ./internal/engine
+# -run='^$' -fuzz=FuzzQueryDifferential (or . -fuzz=FuzzUpdateDifferential).
 FUZZTIME ?= 20s
 fuzz-smoke:
 	$(GO) test ./internal/engine -run='^$$' -fuzz=FuzzQueryDifferential -fuzztime=$(FUZZTIME)
+	$(GO) test . -run='^$$' -fuzz=FuzzUpdateDifferential -fuzztime=$(FUZZTIME)
 
 # bench regenerates the paper's evaluation tables at the default scales.
 bench:

@@ -195,16 +195,39 @@ func TestCacheInvalidationConcurrentWriters(t *testing.T) {
 			TripleLit(fmt.Sprintf("w%d", g), "mail", fmt.Sprintf("m%d", g)),
 		}
 	}
-	// Legal results: one per prefix of applied batches.
+	// Legal results: for each prefix of applied batches, both snapshot
+	// renderings a reader can observe — the freshly built index (after the
+	// writer's Build) and the delta overlay (after AddAll, before Build),
+	// whose base is the previous prefix. Row sets match; enumeration order
+	// may differ because the overlay appends new terms to the dictionary.
 	legal := map[string]int{}
-	ref := NewStoreWithOptions(Options{CacheBudget: -1})
-	for g := 0; g < batches; g++ {
-		ref.AddAll(batch(g))
-		res, err := ref.Query(q)
+	record := func(st *Store, g int) {
+		res, err := st.Query(q)
 		if err != nil {
 			t.Fatal(err)
 		}
 		legal[res.String()] = g
+	}
+	for g := 0; g < batches; g++ {
+		fresh := NewStoreWithOptions(Options{CacheBudget: -1})
+		for h := 0; h <= g; h++ {
+			fresh.AddAll(batch(h))
+		}
+		if err := fresh.Build(); err != nil {
+			t.Fatal(err)
+		}
+		record(fresh, g)
+		if g > 0 {
+			ov := NewStoreWithOptions(Options{CacheBudget: -1})
+			for h := 0; h < g; h++ {
+				ov.AddAll(batch(h))
+			}
+			if err := ov.Build(); err != nil {
+				t.Fatal(err)
+			}
+			ov.AddAll(batch(g))
+			record(ov, g)
+		}
 	}
 
 	s := NewStoreWithOptions(Options{Workers: 2})

@@ -10,9 +10,13 @@
 //	curl 'http://localhost:8080/sparql?query=SELECT+*+WHERE+%7B+%3Fs+%3Fp+%3Fo+.+%7D'
 //	curl -H 'Accept: text/csv' --data-urlencode 'query=ASK { ?s ?p ?o . }' http://localhost:8080/sparql
 //
-// The endpoint is GET/POST /sparql; /healthz is a liveness probe and
-// /metrics reports queries served, in-flight, rows streamed, and latency
-// buckets as JSON. SIGINT/SIGTERM drain in-flight queries before exit.
+// The endpoint is GET/POST /sparql; POST bodies may also carry SPARQL 1.1
+// Update requests (application/sparql-update or a form update= field),
+// applied to a delta overlay over the base index and optionally made
+// durable with -wal. /healthz is a liveness probe and /metrics reports
+// queries served, updates applied, in-flight, rows streamed, the snapshot
+// generation, and latency buckets as JSON. SIGINT/SIGTERM drain in-flight
+// requests before exit.
 package main
 
 import (
@@ -43,6 +47,11 @@ func main() {
 			"byte bound of the store's cross-query BitMat materialization cache (0 = 64 MiB default, negative = disabled)")
 		resultCache = flag.Int64("result-cache", 0,
 			"byte bound of the server's result cache keyed on (index snapshot, query, format) (0 = 16 MiB default, negative = disabled)")
+		walPath = flag.String("wal", "",
+			"write-ahead log file for SPARQL updates; replayed on startup, so a killed server recovers uncompacted writes (empty = updates are not durable)")
+		compactThreshold = flag.Int("compact-threshold", 0,
+			"delta entries (inserts+deletes since the last base build) that trigger a background compaction (0 = only explicit compaction)")
+		maxConcUpdates = flag.Int("max-concurrent-updates", 0, "max updates executing at once (0 = 1)")
 	)
 	flag.Parse()
 
@@ -52,15 +61,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	store, err := loadStore(*dataPath, *indexPath, *workers, *cacheBudget)
+	store, err := loadStore(*dataPath, *indexPath, *workers, *cacheBudget, *compactThreshold)
 	if err != nil {
 		fatal(err)
 	}
+	if *walPath != "" {
+		replayed, err := store.OpenWAL(*walPath)
+		if err != nil {
+			fatal(err)
+		}
+		if replayed > 0 {
+			fmt.Fprintf(os.Stderr, "lbrserver: replayed %d uncompacted updates from %s\n", replayed, *walPath)
+		}
+		defer store.CloseWAL()
+	}
 
 	srv := server.New(store, server.Config{
-		Timeout:           *timeout,
-		MaxConcurrent:     *maxConc,
-		ResultCacheBudget: *resultCache,
+		Timeout:              *timeout,
+		MaxConcurrent:        *maxConc,
+		ResultCacheBudget:    *resultCache,
+		MaxConcurrentUpdates: *maxConcUpdates,
 	})
 	httpSrv := &http.Server{
 		Handler: srv.Handler(),
@@ -104,13 +124,14 @@ func main() {
 		}
 	}
 	snap := srv.Metrics().Snapshot()
-	fmt.Fprintf(os.Stderr, "lbrserver: served %d queries (%d rows, %d errors)\n",
-		snap.QueriesServed, snap.RowsStreamed, snap.QueryErrors)
+	fmt.Fprintf(os.Stderr, "lbrserver: served %d queries (%d rows, %d errors) and %d updates (+%d/-%d triples)\n",
+		snap.QueriesServed, snap.RowsStreamed, snap.QueryErrors,
+		snap.UpdatesServed, snap.TriplesIns, snap.TriplesDel)
 }
 
-func loadStore(dataPath, indexPath string, workers int, cacheBudget int64) (*lbr.Store, error) {
+func loadStore(dataPath, indexPath string, workers int, cacheBudget int64, compactThreshold int) (*lbr.Store, error) {
 	start := time.Now()
-	opts := lbr.Options{Workers: workers, CacheBudget: cacheBudget}
+	opts := lbr.Options{Workers: workers, CacheBudget: cacheBudget, CompactThreshold: compactThreshold}
 	if indexPath != "" {
 		f, err := os.Open(indexPath)
 		if err != nil {

@@ -1,0 +1,315 @@
+package bitmat
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/rdf"
+)
+
+// Overlay is a delta layer over a base Index: a normalized set of inserted
+// and deleted triples applied at materialization time. The engine queries
+// it through the same Source surface as a compacted index, and every
+// matrix, row, and cardinality it produces is identical to what a freshly
+// rebuilt index over base ⊎ delta would produce — modulo the coordinate
+// system, which keeps the base dictionary's IDs and appends new terms past
+// the end of each dimension (see rdf.Dictionary.Extend).
+//
+// Invariants established by NewOverlay and relied on everywhere else:
+// every inserted triple is absent from the base, every deleted triple is
+// present in it, and the two sets are disjoint. That is what makes exact
+// cardinalities a matter of counting list lengths.
+type Overlay struct {
+	base *Index
+	dict *rdf.Dictionary // base dict extended with the delta's new terms
+
+	insSet map[rdf.IDTriple]struct{}
+	delSet map[rdf.IDTriple]struct{}
+
+	// Delta pair lists in the same four sort orders the base keeps, grouped
+	// by their owning key and (A,B)-sorted within each group.
+	insSO, delSO map[rdf.ID][]Pair // per predicate: (S,O)
+	insOS, delOS map[rdf.ID][]Pair // per predicate: (O,S)
+	insPO, delPO map[rdf.ID][]Pair // per subject: (P,O)
+	insPS, delPS map[rdf.ID][]Pair // per object: (P,S)
+
+	nTriples int64
+
+	// Merged views are built lazily, once per key, under mu. A merged list
+	// is immutable after construction so Source calls can share it freely.
+	mu       sync.Mutex
+	mergedSO map[rdf.ID][]Pair
+	mergedOS map[rdf.ID][]Pair
+	mergedPO map[rdf.ID][]Pair
+	mergedPS map[rdf.ID][]Pair
+}
+
+// NewOverlay builds the delta layer for a normalized update set: ins are
+// triples to add that the base does not contain, del are triples to remove
+// that it does contain. Both slices should be in a deterministic order
+// (the store keeps them key-sorted) so the extended dictionary assigns the
+// same IDs on every reconstruction of the same logical state.
+func NewOverlay(base *Index, ins, del []rdf.Triple) (*Overlay, error) {
+	dict := base.Dictionary().Extend(ins)
+	ov := &Overlay{
+		base:   base,
+		dict:   dict,
+		insSet: make(map[rdf.IDTriple]struct{}, len(ins)),
+		delSet: make(map[rdf.IDTriple]struct{}, len(del)),
+		insSO:  map[rdf.ID][]Pair{}, delSO: map[rdf.ID][]Pair{},
+		insOS: map[rdf.ID][]Pair{}, delOS: map[rdf.ID][]Pair{},
+		insPO: map[rdf.ID][]Pair{}, delPO: map[rdf.ID][]Pair{},
+		insPS: map[rdf.ID][]Pair{}, delPS: map[rdf.ID][]Pair{},
+	}
+	for _, tr := range ins {
+		it, err := dict.Encode(tr)
+		if err != nil {
+			return nil, fmt.Errorf("bitmat: overlay insert: %w", err)
+		}
+		if base.Contains(it.S, it.P, it.O) {
+			return nil, fmt.Errorf("bitmat: overlay insert %v already in base", tr)
+		}
+		if _, dup := ov.insSet[it]; dup {
+			return nil, fmt.Errorf("bitmat: duplicate overlay insert %v", tr)
+		}
+		ov.insSet[it] = struct{}{}
+		ov.insSO[it.P] = append(ov.insSO[it.P], Pair{A: uint32(it.S), B: uint32(it.O)})
+		ov.insOS[it.P] = append(ov.insOS[it.P], Pair{A: uint32(it.O), B: uint32(it.S)})
+		ov.insPO[it.S] = append(ov.insPO[it.S], Pair{A: uint32(it.P), B: uint32(it.O)})
+		ov.insPS[it.O] = append(ov.insPS[it.O], Pair{A: uint32(it.P), B: uint32(it.S)})
+	}
+	for _, tr := range del {
+		it, err := dict.Encode(tr)
+		if err != nil {
+			return nil, fmt.Errorf("bitmat: overlay delete: %w", err)
+		}
+		if !base.Contains(it.S, it.P, it.O) {
+			return nil, fmt.Errorf("bitmat: overlay delete %v not in base", tr)
+		}
+		if _, dup := ov.delSet[it]; dup {
+			return nil, fmt.Errorf("bitmat: duplicate overlay delete %v", tr)
+		}
+		ov.delSet[it] = struct{}{}
+		ov.delSO[it.P] = append(ov.delSO[it.P], Pair{A: uint32(it.S), B: uint32(it.O)})
+		ov.delOS[it.P] = append(ov.delOS[it.P], Pair{A: uint32(it.O), B: uint32(it.S)})
+		ov.delPO[it.S] = append(ov.delPO[it.S], Pair{A: uint32(it.P), B: uint32(it.O)})
+		ov.delPS[it.O] = append(ov.delPS[it.O], Pair{A: uint32(it.P), B: uint32(it.S)})
+	}
+	for _, m := range []map[rdf.ID][]Pair{ov.insSO, ov.delSO, ov.insOS, ov.delOS, ov.insPO, ov.delPO, ov.insPS, ov.delPS} {
+		for _, l := range m {
+			sort.Slice(l, func(i, j int) bool {
+				if l[i].A != l[j].A {
+					return l[i].A < l[j].A
+				}
+				return l[i].B < l[j].B
+			})
+		}
+	}
+	ov.nTriples = base.NumTriples() + int64(len(ins)) - int64(len(del))
+	return ov, nil
+}
+
+// Base returns the underlying compacted index.
+func (ov *Overlay) Base() *Index { return ov.base }
+
+// DeltaSize reports the number of delta entries (inserts plus deletes).
+func (ov *Overlay) DeltaSize() int { return len(ov.insSet) + len(ov.delSet) }
+
+// Dictionary returns the extended dictionary covering base and delta terms.
+func (ov *Overlay) Dictionary() *rdf.Dictionary { return ov.dict }
+
+// NumTriples reports the merged triple count.
+func (ov *Overlay) NumTriples() int64 { return ov.nTriples }
+
+// PredicateCardinality returns the merged triple count of predicate p.
+func (ov *Overlay) PredicateCardinality(p rdf.ID) int {
+	return ov.base.PredicateCardinality(p) + len(ov.insSO[p]) - len(ov.delSO[p])
+}
+
+// SubjectCardinality returns the merged triple count of subject s.
+func (ov *Overlay) SubjectCardinality(s rdf.ID) int {
+	return ov.base.SubjectCardinality(s) + len(ov.insPO[s]) - len(ov.delPO[s])
+}
+
+// ObjectCardinality returns the merged triple count of object o.
+func (ov *Overlay) ObjectCardinality(o rdf.ID) int {
+	return ov.base.ObjectCardinality(o) + len(ov.insPS[o]) - len(ov.delPS[o])
+}
+
+// mergePairs produces (base − del) ∪ ins in (A,B) order. All three inputs
+// are (A,B)-sorted; del ⊆ base and ins ∩ base = ∅, which a single linear
+// merge exploits. The result shares no backing with the inputs unless the
+// delta for this key is empty, in which case the base list is returned
+// as-is (it is immutable anyway).
+func mergePairs(base, del, ins []Pair) []Pair {
+	if len(del) == 0 && len(ins) == 0 {
+		return base
+	}
+	out := make([]Pair, 0, len(base)-len(del)+len(ins))
+	di, ii := 0, 0
+	less := func(a, b Pair) bool {
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	}
+	for _, pr := range base {
+		if di < len(del) && del[di] == pr {
+			di++
+			continue
+		}
+		for ii < len(ins) && less(ins[ii], pr) {
+			out = append(out, ins[ii])
+			ii++
+		}
+		out = append(out, pr)
+	}
+	out = append(out, ins[ii:]...)
+	return out
+}
+
+// merged returns the memoized merged list for key, building it on first use.
+func (ov *Overlay) merged(cache *map[rdf.ID][]Pair, key rdf.ID, base []Pair, del, ins map[rdf.ID][]Pair) []Pair {
+	ov.mu.Lock()
+	defer ov.mu.Unlock()
+	if *cache == nil {
+		*cache = map[rdf.ID][]Pair{}
+	}
+	if l, ok := (*cache)[key]; ok {
+		return l
+	}
+	l := mergePairs(base, del[key], ins[key])
+	(*cache)[key] = l
+	return l
+}
+
+func (ov *Overlay) soMerged(p rdf.ID) []Pair {
+	return ov.merged(&ov.mergedSO, p, ov.base.SOPairs(p), ov.delSO, ov.insSO)
+}
+
+func (ov *Overlay) osMerged(p rdf.ID) []Pair {
+	return ov.merged(&ov.mergedOS, p, ov.base.OSPairs(p), ov.delOS, ov.insOS)
+}
+
+func (ov *Overlay) subjectMerged(s rdf.ID) []Pair {
+	return ov.merged(&ov.mergedPO, s, ov.base.SubjectPairs(s), ov.delPO, ov.insPO)
+}
+
+func (ov *Overlay) objectMerged(o rdf.ID) []Pair {
+	return ov.merged(&ov.mergedPS, o, ov.base.ObjectPairs(o), ov.delPS, ov.insPS)
+}
+
+// SOPairs returns the merged (S,O) pairs of predicate p, matching
+// Index.SOPairs. The slice is shared; do not mutate it.
+func (ov *Overlay) SOPairs(p rdf.ID) []Pair {
+	if p == 0 || int(p) > ov.dict.NumPredicates() {
+		return nil
+	}
+	return ov.soMerged(p)
+}
+
+// MatSO materializes the merged S-O BitMat of predicate p at the extended
+// dictionary's dimensions.
+func (ov *Overlay) MatSO(p rdf.ID) *Matrix { return ov.MatSOFiltered(p, nil, nil) }
+
+// MatSOFiltered is MatSO with load-time row/column masks. Masks sized for
+// the base dimensions are fine: bits beyond a mask's length read as clear,
+// which correctly excludes appended terms the caller never bound.
+func (ov *Overlay) MatSOFiltered(p rdf.ID, rowMask, colMask *bitvec.Bits) *Matrix {
+	if p == 0 || int(p) > ov.dict.NumPredicates() {
+		return NewMatrix(ov.dict.NumSubjects(), ov.dict.NumObjects())
+	}
+	return matrixFromSortedPairsFiltered(ov.dict.NumSubjects(), ov.dict.NumObjects(), ov.soMerged(p), rowMask, colMask)
+}
+
+// MatOS materializes the merged O-S BitMat of predicate p.
+func (ov *Overlay) MatOS(p rdf.ID) *Matrix { return ov.MatOSFiltered(p, nil, nil) }
+
+// MatOSFiltered is MatOS with load-time row/column masks.
+func (ov *Overlay) MatOSFiltered(p rdf.ID, rowMask, colMask *bitvec.Bits) *Matrix {
+	if p == 0 || int(p) > ov.dict.NumPredicates() {
+		return NewMatrix(ov.dict.NumObjects(), ov.dict.NumSubjects())
+	}
+	return matrixFromSortedPairsFiltered(ov.dict.NumObjects(), ov.dict.NumSubjects(), ov.osMerged(p), rowMask, colMask)
+}
+
+// MatPS materializes the merged P-S BitMat of object o.
+func (ov *Overlay) MatPS(o rdf.ID) *Matrix {
+	if o == 0 || int(o) > ov.dict.NumObjects() {
+		return NewMatrix(ov.dict.NumPredicates(), ov.dict.NumSubjects())
+	}
+	return matrixFromSortedPairs(ov.dict.NumPredicates(), ov.dict.NumSubjects(), ov.objectMerged(o))
+}
+
+// MatPO materializes the merged P-O BitMat of subject s.
+func (ov *Overlay) MatPO(s rdf.ID) *Matrix {
+	if s == 0 || int(s) > ov.dict.NumSubjects() {
+		return NewMatrix(ov.dict.NumPredicates(), ov.dict.NumObjects())
+	}
+	return matrixFromSortedPairs(ov.dict.NumPredicates(), ov.dict.NumObjects(), ov.subjectMerged(s))
+}
+
+// RowPS returns the merged subjects S with (S p o) as a 1 x |Vs| matrix.
+func (ov *Overlay) RowPS(p, o rdf.ID) *Matrix {
+	m := NewMatrix(1, ov.dict.NumSubjects())
+	if o == 0 || int(o) > ov.dict.NumObjects() || p == 0 {
+		return m
+	}
+	var pos []uint32
+	for _, pr := range pairRange(ov.objectMerged(o), uint32(p)) {
+		pos = append(pos, pr.B-1)
+	}
+	if len(pos) > 0 {
+		m.SetRow(0, bitvec.RowFromSortedPositions(ov.dict.NumSubjects(), pos))
+	}
+	return m
+}
+
+// RowPO returns the merged objects O with (s p O) as a 1 x |Vo| matrix.
+func (ov *Overlay) RowPO(p, s rdf.ID) *Matrix {
+	m := NewMatrix(1, ov.dict.NumObjects())
+	if s == 0 || int(s) > ov.dict.NumSubjects() || p == 0 {
+		return m
+	}
+	var pos []uint32
+	for _, pr := range pairRange(ov.subjectMerged(s), uint32(p)) {
+		pos = append(pos, pr.B-1)
+	}
+	if len(pos) > 0 {
+		m.SetRow(0, bitvec.RowFromSortedPositions(ov.dict.NumObjects(), pos))
+	}
+	return m
+}
+
+// RowP returns the merged predicates linking subject s to object o as a
+// 1 x |Vp| matrix.
+func (ov *Overlay) RowP(s, o rdf.ID) *Matrix {
+	m := NewMatrix(1, ov.dict.NumPredicates())
+	if s == 0 || int(s) > ov.dict.NumSubjects() || o == 0 {
+		return m
+	}
+	var pos []uint32
+	for _, pr := range ov.subjectMerged(s) {
+		if pr.B == uint32(o) {
+			pos = append(pos, pr.A-1)
+		}
+	}
+	if len(pos) > 0 {
+		m.SetRow(0, bitvec.RowFromSortedPositions(ov.dict.NumPredicates(), pos))
+	}
+	return m
+}
+
+// Contains reports whether the merged view holds the exact triple (s p o).
+func (ov *Overlay) Contains(s, p, o rdf.ID) bool {
+	it := rdf.IDTriple{S: s, P: p, O: o}
+	if _, ok := ov.insSet[it]; ok {
+		return true
+	}
+	if _, ok := ov.delSet[it]; ok {
+		return false
+	}
+	return ov.base.Contains(s, p, o)
+}

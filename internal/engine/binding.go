@@ -47,11 +47,15 @@ type Binding struct {
 	ID    rdf.ID
 }
 
-// canonical maps a raw (space, id) pair to canonical form given the size of
-// the shared S/O band.
-func canonical(space Space, id rdf.ID, shared int) Binding {
-	if space == SpaceO && int(id) <= shared {
-		return Binding{Space: SpaceS, ID: id}
+// canonical maps a raw (space, id) pair to canonical form under the given
+// dictionary: an object ID whose term also has a subject role (shared band
+// or extension pair) is stored under that subject ID in SpaceS, so equal
+// canonical bindings denote equal terms.
+func canonical(space Space, id rdf.ID, d *rdf.Dictionary) Binding {
+	if space == SpaceO {
+		if s := d.ObjectToSubject(id); s != 0 {
+			return Binding{Space: SpaceS, ID: s}
+		}
 	}
 	return Binding{Space: space, ID: id}
 }
@@ -59,13 +63,18 @@ func canonical(space Space, id rdf.ID, shared int) Binding {
 // axisIndex converts a canonical binding to a 0-based index on an axis of
 // the given space. ok is false when the bound term cannot occur on that
 // axis (e.g. a subject-only ID probed against an object axis).
-func axisIndex(b Binding, axis Space, shared int) (int, bool) {
+func axisIndex(b Binding, axis Space, d *rdf.Dictionary) (int, bool) {
 	if b.Space == axis {
 		return int(b.ID) - 1, true
 	}
-	if (b.Space == SpaceS && axis == SpaceO) || (b.Space == SpaceO && axis == SpaceS) {
-		if int(b.ID) <= shared {
-			return int(b.ID) - 1, true
+	if b.Space == SpaceS && axis == SpaceO {
+		if o := d.SubjectToObject(b.ID); o != 0 {
+			return int(o) - 1, true
+		}
+	}
+	if b.Space == SpaceO && axis == SpaceS {
+		if s := d.ObjectToSubject(b.ID); s != 0 {
+			return int(s) - 1, true
 		}
 	}
 	return 0, false

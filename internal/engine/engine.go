@@ -43,9 +43,10 @@ type Options struct {
 	PartitionFactor int
 }
 
-// Engine executes queries against one BitMat index.
+// Engine executes queries against one BitMat source: a compacted index or
+// a delta overlay merging uncompacted updates over one.
 type Engine struct {
-	idx  *bitmat.Index
+	idx  bitmat.Source
 	dict *rdf.Dictionary
 	opts Options
 	// mc is the engine's generation-bound view of the store-level
@@ -55,7 +56,7 @@ type Engine struct {
 }
 
 // New returns an engine over idx.
-func New(idx *bitmat.Index, opts Options) *Engine {
+func New(idx bitmat.Source, opts Options) *Engine {
 	return &Engine{idx: idx, dict: idx.Dictionary(), opts: opts}
 }
 
@@ -63,7 +64,7 @@ func New(idx *bitmat.Index, opts Options) *Engine {
 // BitMats through the given cache view. The view must be the one minted by
 // the MatCache.Advance that accompanied this index snapshot: the pairing
 // pins every cached matrix the engine reads to its own generation.
-func NewWithCache(idx *bitmat.Index, opts Options, mc *MatCacheView) *Engine {
+func NewWithCache(idx bitmat.Source, opts Options, mc *MatCacheView) *Engine {
 	e := New(idx, opts)
 	e.mc = mc
 	return e

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/rdf"
@@ -102,28 +103,47 @@ func TestCompareTermsNumericVsString(t *testing.T) {
 	}
 }
 
+// bandDict builds a base dictionary with a 10-term shared band and five
+// S-only / O-only terms each (IDs 11..15 on both dimensions).
+func bandDict() *rdf.Dictionary {
+	b := rdf.NewDictionaryBuilder()
+	p := rdf.NewIRI("p")
+	for i := 0; i < 10; i++ {
+		tm := rdf.NewIRI(fmt.Sprintf("c%02d", i))
+		b.Add(rdf.Triple{S: tm, P: p, O: tm})
+	}
+	for i := 10; i < 15; i++ {
+		b.Add(rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("s%02d", i)),
+			P: p,
+			O: rdf.NewIRI(fmt.Sprintf("o%02d", i)),
+		})
+	}
+	return b.Build()
+}
+
 func TestCanonicalBinding(t *testing.T) {
 	// Shared-band object IDs canonicalize to the subject space.
-	shared := 10
-	b := canonical(SpaceO, 5, shared)
+	dict := bandDict()
+	b := canonical(SpaceO, 5, dict)
 	if b.Space != SpaceS || b.ID != 5 {
 		t.Errorf("canonical(O,5) = %+v, want {S 5}", b)
 	}
-	b2 := canonical(SpaceO, 15, shared)
+	b2 := canonical(SpaceO, 15, dict)
 	if b2.Space != SpaceO || b2.ID != 15 {
 		t.Errorf("canonical(O,15) = %+v, want {O 15}", b2)
 	}
-	b3 := canonical(SpaceS, 15, shared)
+	b3 := canonical(SpaceS, 15, dict)
 	if b3.Space != SpaceS {
 		t.Errorf("canonical(S,15) = %+v", b3)
 	}
-	if canonical(SpaceP, 3, shared).Space != SpaceP {
+	if canonical(SpaceP, 3, dict).Space != SpaceP {
 		t.Error("predicate space must pass through")
 	}
 }
 
 func TestAxisIndex(t *testing.T) {
-	shared := 10
+	dict := bandDict()
 	cases := []struct {
 		b     Binding
 		axis  Space
@@ -139,7 +159,7 @@ func TestAxisIndex(t *testing.T) {
 		{Binding{SpaceP, 2}, SpaceS, 0, false},
 	}
 	for i, c := range cases {
-		got, ok := axisIndex(c.b, c.axis, shared)
+		got, ok := axisIndex(c.b, c.axis, dict)
 		if ok != c.valid || (ok && got != c.want) {
 			t.Errorf("case %d: axisIndex(%+v, %v) = (%d,%v), want (%d,%v)",
 				i, c.b, c.axis, got, ok, c.want, c.valid)

@@ -3,12 +3,14 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
 
 	"repro/internal/algebra"
 	"repro/internal/bitmat"
+	"repro/internal/rdf"
 	"repro/internal/ref"
 	"repro/internal/sparql"
 )
@@ -238,6 +240,78 @@ func FuzzQueryDifferential(f *testing.F) {
 			if got := exactRows(res); strings.Join(got, "\n") != strings.Join(seq, "\n") {
 				t.Fatalf("cached pass %d diverges from uncached run\nquery: %s\ncached: %v\nwant:   %v",
 					pass, src, got, seq)
+			}
+		}
+
+		// Update interleaving: apply k seed-derived mutations and require
+		// the delta-overlay view of the mutated graph to agree (as a
+		// sorted multiset) with both a cold rebuild and the reference
+		// evaluator. Inserts draw from a wider entity universe than the
+		// base graph so some of them pair a subject-only base term with an
+		// appended object — the extended-dictionary path.
+		mrng := rand.New(rand.NewSource(graphSeed ^ 0x5eed))
+		gm := g.Clone()
+		preds := []string{"p0", "p1", "p2", "p3"}
+		for i, k := 0, 2+mrng.Intn(5); i < k; i++ {
+			if mrng.Intn(2) == 0 && gm.Len() > 0 {
+				ts := gm.Triples()
+				gm.Remove(ts[mrng.Intn(len(ts))])
+			} else {
+				gm.Add(rdf.T(fmt.Sprintf("e%d", mrng.Intn(16)),
+					preds[mrng.Intn(len(preds))], fmt.Sprintf("e%d", mrng.Intn(16))))
+			}
+		}
+		var insT, delT []rdf.Triple
+		for _, tr := range gm.Triples() {
+			if !g.Contains(tr) {
+				insT = append(insT, tr)
+			}
+		}
+		for _, tr := range g.Triples() {
+			if !gm.Contains(tr) {
+				delT = append(delT, tr)
+			}
+		}
+		ov, err := bitmat.NewOverlay(idx, insT, delT)
+		if err != nil {
+			t.Fatalf("overlay over %d ins / %d del: %v", len(insT), len(delT), err)
+		}
+		mapsM, varsM, err := ref.New(gm).WithBudget(50000).Execute(q)
+		if err != nil {
+			t.Skip()
+		}
+		idxM, err := bitmat.Build(gm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, view := range []struct {
+			name string
+			src  bitmat.Source
+		}{{"overlay", ov}, {"rebuilt", idxM}} {
+			e := New(view.src, Options{Workers: 2})
+			if q.Ask {
+				got, err := e.AskContext(context.Background(), q)
+				if err != nil {
+					if isUnsupportedQuery(err) {
+						t.Skip()
+					}
+					t.Fatalf("post-update ask on %s: %v", view.name, err)
+				}
+				if got != (len(mapsM) > 0) {
+					t.Fatalf("post-update ask on %s: engine=%v ref=%v\nquery: %s", view.name, got, len(mapsM) > 0, src)
+				}
+				continue
+			}
+			resM, err := e.ExecuteContext(context.Background(), q)
+			if err != nil {
+				if isUnsupportedQuery(err) {
+					t.Skip()
+				}
+				t.Fatalf("post-update query on %s: %v", view.name, err)
+			}
+			if !sameRows(resM, mapsM, varsM) {
+				t.Fatalf("post-update %s diverges from reference\nquery: %s\nengine: %v\nref:    %v",
+					view.name, src, renderRows(resM, varsM), ref.SortedKeys(mapsM, varsM))
 			}
 		}
 	})

@@ -10,9 +10,10 @@ import (
 
 // intersectFolds ANDs two fold projections that may live in different ID
 // spaces. Folds over the same space intersect bit-wise; an S-dimension fold
-// against an O-dimension fold can only match inside the shared band, so the
-// result is truncated to it (Appendix D's common S-O identifier assignment
-// makes that a prefix AND).
+// against an O-dimension fold can only match on terms with both roles —
+// the shared band, where Appendix D's common S-O identifier assignment
+// makes that a prefix AND, plus any extension pairs an overlay dictionary
+// carries. The mixed result is always expressed in the S dimension.
 func (e *Engine) intersectFolds(a *bitvec.Bits, aSpace Space, b *bitvec.Bits, bSpace Space) *bitvec.Bits {
 	if aSpace == bSpace {
 		out := a.Clone()
@@ -24,11 +25,46 @@ func (e *Engine) intersectFolds(a *bitvec.Bits, aSpace Space, b *bitvec.Bits, bS
 		// P never joins S or O (enforced by the GoJ); empty intersection.
 		return bitvec.NewBits(0)
 	}
+	if len(e.dict.ExtSharedPairs()) == 0 {
+		shared := e.dict.NumShared()
+		out := bitvec.NewBits(shared)
+		out.SetAll()
+		out.AndCompat(a)
+		out.AndCompat(b)
+		return out
+	}
+	out := e.foldToSubjects(a, aSpace)
+	out.AndCompat(e.foldToSubjects(b, bSpace))
+	return out
+}
+
+// foldToSubjects re-expresses an S- or O-dimension fold on the S dimension,
+// keeping only terms that have a subject role: an S fold is zero-extended
+// to |Vs|, an O fold keeps its shared-band prefix in place and scatters
+// extension-pair bits to their subject positions. Bits for terms without a
+// subject role are dropped, which is exactly what a mixed S/O intersection
+// requires.
+func (e *Engine) foldToSubjects(f *bitvec.Bits, space Space) *bitvec.Bits {
+	ns := e.dict.NumSubjects()
+	out := bitvec.NewBits(ns)
+	if space == SpaceS {
+		out.SetAll()
+		out.AndCompat(f)
+		return out
+	}
 	shared := e.dict.NumShared()
-	out := bitvec.NewBits(shared)
-	out.SetAll()
-	out.AndCompat(a)
-	out.AndCompat(b)
+	f.ForEach(func(i int) bool {
+		if i >= shared {
+			return false
+		}
+		out.Set(i)
+		return true
+	})
+	for _, pr := range e.dict.ExtSharedPairs() {
+		if f.Test(int(pr.O) - 1) {
+			out.Set(int(pr.S) - 1)
+		}
+	}
 	return out
 }
 
@@ -45,6 +81,10 @@ func (e *Engine) semiJoin(j sparql.Var, slave, master *tpState) {
 		return
 	}
 	beta := e.intersectFolds(fm, ms, fs, ss)
+	betaSpace := ms
+	if ms != ss {
+		betaSpace = SpaceS // mixed S/O intersections are expressed on the S dimension
+	}
 	// beta is a subset of the slave's own projection; an equal population
 	// means the semi-join removes nothing, so the unfold can be skipped.
 	if beta.Count() == fs.Count() {
@@ -53,7 +93,7 @@ func (e *Engine) semiJoin(j sparql.Var, slave, master *tpState) {
 	// Express the mask in the slave's axis space: masks shorter than the
 	// axis clear everything beyond them, which is exactly right for
 	// shared-band intersections.
-	slave.unfoldVar(j, e.maskForSpace(beta, ms, ss))
+	slave.unfoldVar(j, e.maskForSpace(beta, betaSpace, ss))
 }
 
 // clusteredSemiJoin implements Algorithm 5.3 over the patterns sharing ?j:
@@ -107,15 +147,41 @@ func (e *Engine) maskForSpace(mask *bitvec.Bits, maskSpace, axisSpace Space) *bi
 	}
 	soPair := (maskSpace == SpaceS && axisSpace == SpaceO) || (maskSpace == SpaceO && axisSpace == SpaceS)
 	if soPair {
-		// Restrict to the shared band: bits beyond it cannot denote the
-		// same term in the other dimension.
 		shared := e.dict.NumShared()
-		if mask.Len() <= shared {
-			return mask
+		if len(e.dict.ExtSharedPairs()) == 0 {
+			// Restrict to the shared band: bits beyond it cannot denote
+			// the same term in the other dimension.
+			if mask.Len() <= shared {
+				return mask
+			}
+			out := bitvec.NewBits(shared)
+			out.SetAll()
+			out.AndCompat(mask)
+			return out
 		}
-		out := bitvec.NewBits(shared)
-		out.SetAll()
-		out.AndCompat(mask)
+		// Overlay dictionary: translate through the shared band (identity)
+		// and the extension pairs into the axis dimension.
+		n := e.dict.NumObjects()
+		if axisSpace == SpaceS {
+			n = e.dict.NumSubjects()
+		}
+		out := bitvec.NewBits(n)
+		mask.ForEach(func(i int) bool {
+			if i >= shared {
+				return false
+			}
+			out.Set(i)
+			return true
+		})
+		for _, pr := range e.dict.ExtSharedPairs() {
+			from, to := int(pr.S)-1, int(pr.O)-1
+			if maskSpace == SpaceO {
+				from, to = to, from
+			}
+			if mask.Test(from) {
+				out.Set(to)
+			}
+		}
 		return out
 	}
 	return bitvec.NewBits(0)

@@ -88,7 +88,7 @@ func (e *Engine) nodeID(n sparql.Node, space Space) rdf.ID {
 // EstimateCounts returns the exact number of index triples matching each
 // pattern, computed from index metadata without materializing BitMats
 // (Section 4: the condensed per-BitMat metadata makes selectivity cheap).
-func EstimateCounts(idx *bitmat.Index, patterns []sparql.TriplePattern) []int64 {
+func EstimateCounts(idx bitmat.Source, patterns []sparql.TriplePattern) []int64 {
 	dict := idx.Dictionary()
 	counts := make([]int64, len(patterns))
 	for i, tp := range patterns {
@@ -231,6 +231,13 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 					for i := 1; i <= dict.NumShared(); i++ {
 						if so.Test(i-1, i-1) {
 							pos = append(pos, uint32(i-1))
+						}
+					}
+					// Terms shared through an overlay's extension pairs sit
+					// off the band diagonal but are self-joins all the same.
+					for _, pr := range dict.ExtSharedPairs() {
+						if so.Test(int(pr.S)-1, int(pr.O)-1) {
+							pos = append(pos, uint32(pr.S-1))
 						}
 					}
 					if len(pos) > 0 {

@@ -27,6 +27,14 @@ type Dictionary struct {
 	predicateID map[string]ID
 
 	numSO int // |Vso|
+
+	// Extension bands (see extend.go). A base dictionary built by
+	// DictionaryBuilder leaves these nil: every shared term sits in the
+	// 1..numSO prefix. Extend populates them when a delta gives a term a
+	// second role that the prefix layout cannot express.
+	extSO    map[ID]ID // subject ID -> object ID for the same term, beyond the band
+	extOS    map[ID]ID // object ID -> subject ID for the same term, beyond the band
+	extPairs []ExtPair // the same mapping, sorted by S
 }
 
 // NumSubjects returns |Vs|.
@@ -79,11 +87,11 @@ func (d *Dictionary) Predicate(id ID) (Term, error) {
 }
 
 // SharedID reports whether an S ID and an O ID denote the same entity: true
-// exactly when they are equal and within the shared prefix, or when the two
-// dimensions resolve to the same term. For IDs produced by this dictionary
-// equality within 1..NumShared is the complete rule.
+// exactly when they are equal and within the shared prefix, or when an
+// extension pair links them. For IDs produced by a base dictionary equality
+// within 1..NumShared is the complete rule.
 func (d *Dictionary) SharedID(s, o ID) bool {
-	return s == o && int(s) <= d.numSO && s != 0
+	return s != 0 && d.SubjectToObject(s) == o
 }
 
 // DictionaryBuilder accumulates the term universe of a graph and assigns

@@ -42,6 +42,64 @@ func (g *Graph) AddAll(trs []Triple) int {
 	return n
 }
 
+// Remove deletes a triple if present and reports whether it was there. The
+// surviving triples get a fresh backing slice so that snapshots taken via
+// Triples before the removal keep seeing their original contents.
+func (g *Graph) Remove(tr Triple) bool {
+	k := tripleKey{tr.S.Key(), tr.P.Key(), tr.O.Key()}
+	if _, ok := g.seen[k]; !ok {
+		return false
+	}
+	delete(g.seen, k)
+	out := make([]Triple, 0, len(g.triples)-1)
+	for _, t := range g.triples {
+		if t.S.Key() == k.s && t.P.Key() == k.p && t.O.Key() == k.o {
+			continue
+		}
+		out = append(out, t)
+	}
+	g.triples = out
+	return true
+}
+
+// RemoveAll deletes every triple of trs that is present and returns the
+// number removed. Like Remove, it never mutates the previous backing slice.
+func (g *Graph) RemoveAll(trs []Triple) int {
+	drop := make(map[tripleKey]struct{}, len(trs))
+	for _, tr := range trs {
+		k := tripleKey{tr.S.Key(), tr.P.Key(), tr.O.Key()}
+		if _, ok := g.seen[k]; ok {
+			drop[k] = struct{}{}
+		}
+	}
+	if len(drop) == 0 {
+		return 0
+	}
+	out := make([]Triple, 0, len(g.triples)-len(drop))
+	for _, t := range g.triples {
+		k := tripleKey{t.S.Key(), t.P.Key(), t.O.Key()}
+		if _, ok := drop[k]; ok {
+			delete(g.seen, k)
+			continue
+		}
+		out = append(out, t)
+	}
+	g.triples = out
+	return len(drop)
+}
+
+// Clone returns an independent copy of the graph.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		triples: append(make([]Triple, 0, len(g.triples)), g.triples...),
+		seen:    make(map[tripleKey]struct{}, len(g.seen)),
+	}
+	for k := range g.seen {
+		ng.seen[k] = struct{}{}
+	}
+	return ng
+}
+
 // Len reports the number of distinct triples.
 func (g *Graph) Len() int { return len(g.triples) }
 

@@ -1,0 +1,98 @@
+package ref
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// ApplyUpdate parses and executes a SPARQL 1.1 Update request against g,
+// mutating it in place, and returns the effective insert and delete
+// counts. It is deliberately independent of the native store's delta
+// overlay, WAL, and compactor: operations apply directly to the graph
+// with the naive W3C semantics (WHERE evaluated against the pre-operation
+// graph, deletes before inserts, template triples with unbound variables
+// skipped), so the differential update oracle can replay one update
+// stream into both implementations and diff query results.
+func ApplyUpdate(g *rdf.Graph, src string) (ins, del int, err error) {
+	up, err := sparql.ParseUpdate(src)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := range up.Ops {
+		op := &up.Ops[i]
+		var delTs, insTs []rdf.Triple
+		switch op.Kind {
+		case sparql.UpdateInsertData:
+			insTs = op.Data
+		case sparql.UpdateDeleteData:
+			delTs = op.Data
+		case sparql.UpdateModify:
+			delTs, insTs, err = evalModify(g, up, op)
+			if err != nil {
+				return ins, del, err
+			}
+		default:
+			return ins, del, fmt.Errorf("ref: unsupported update op %v", op.Kind)
+		}
+		// Deletes before inserts, each counted only when it changes the
+		// graph.
+		for _, t := range delTs {
+			if g.Remove(t) {
+				del++
+			}
+		}
+		for _, t := range insTs {
+			if g.Add(t) {
+				ins++
+			}
+		}
+	}
+	return ins, del, nil
+}
+
+// evalModify evaluates op's WHERE clause against the pre-operation graph
+// and instantiates both templates.
+func evalModify(g *rdf.Graph, up *sparql.Update, op *sparql.UpdateOp) (del, ins []rdf.Triple, err error) {
+	q := &sparql.Query{Prefixes: up.Prefixes, Where: op.Where, Limit: -1, Offset: -1}
+	maps, _, err := New(g).Execute(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return instantiate(op.DeleteTemplates, maps), instantiate(op.InsertTemplates, maps), nil
+}
+
+// instantiate substitutes each solution mapping into the templates,
+// skipping template triples with unbound variables.
+func instantiate(tmpl []sparql.TriplePattern, maps []Mapping) []rdf.Triple {
+	if len(tmpl) == 0 {
+		return nil
+	}
+	bind := func(n sparql.Node, m Mapping) (rdf.Term, bool) {
+		if !n.IsVar {
+			return n.Term, true
+		}
+		t, ok := m[n.Var]
+		return t, ok && !t.IsZero()
+	}
+	var out []rdf.Triple
+	for _, m := range maps {
+		for _, tp := range tmpl {
+			s, ok := bind(tp.S, m)
+			if !ok {
+				continue
+			}
+			p, ok := bind(tp.P, m)
+			if !ok {
+				continue
+			}
+			o, ok := bind(tp.O, m)
+			if !ok {
+				continue
+			}
+			out = append(out, rdf.Triple{S: s, P: p, O: o})
+		}
+	}
+	return out
+}

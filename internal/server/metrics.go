@@ -17,13 +17,19 @@ var latencyBoundsMS = [...]float64{1, 5, 25, 100, 500, 2500}
 // increasing counters plus an in-flight gauge, all updated with atomics so
 // the hot path never takes a lock, and served as JSON from /metrics.
 type Metrics struct {
-	queries      atomic.Int64 // queries answered successfully
-	errors       atomic.Int64 // queries that failed (parse, execution, I/O)
-	rejected     atomic.Int64 // requests turned away by admission control
-	timeouts     atomic.Int64 // queries cancelled by the per-request timeout
-	inFlight     atomic.Int64 // queries currently executing
-	rowsStreamed atomic.Int64 // result rows serialized across all queries
-	buckets      [len(latencyBoundsMS) + 1]atomic.Int64
+	queries         atomic.Int64 // queries answered successfully
+	errors          atomic.Int64 // queries that failed (parse, execution, I/O)
+	rejected        atomic.Int64 // requests turned away by admission control
+	timeouts        atomic.Int64 // queries cancelled by the per-request timeout
+	inFlight        atomic.Int64 // requests currently executing
+	rowsStreamed    atomic.Int64 // result rows serialized across all queries
+	notModified     atomic.Int64 // conditional requests answered with 304
+	updates         atomic.Int64 // update requests applied successfully
+	updateErrors    atomic.Int64 // update requests that failed during execution
+	updateRejected  atomic.Int64 // updates turned away by the write admission bound
+	triplesInserted atomic.Int64 // effective triple inserts across all updates
+	triplesDeleted  atomic.Int64 // effective triple deletes across all updates
+	buckets         [len(latencyBoundsMS) + 1]atomic.Int64
 }
 
 // observeLatency records one completed query's wall time in the histogram.
@@ -62,26 +68,42 @@ type ResultCacheSnapshot struct {
 // server and the store, not on the counter block) and stay nil when the
 // snapshot comes straight from Metrics.Snapshot.
 type Snapshot struct {
-	QueriesServed  int64                `json:"queries_served"`
-	QueryErrors    int64                `json:"query_errors"`
-	Rejected       int64                `json:"rejected"`
-	Timeouts       int64                `json:"timeouts"`
-	InFlight       int64                `json:"in_flight"`
-	RowsStreamed   int64                `json:"rows_streamed"`
-	LatencyBuckets []LatencyBucket      `json:"latency_buckets"`
-	ResultCache    *ResultCacheSnapshot `json:"result_cache,omitempty"`
-	BitMatCache    *lbr.CacheStats      `json:"bitmat_cache,omitempty"`
+	QueriesServed  int64           `json:"queries_served"`
+	QueryErrors    int64           `json:"query_errors"`
+	Rejected       int64           `json:"rejected"`
+	Timeouts       int64           `json:"timeouts"`
+	InFlight       int64           `json:"in_flight"`
+	RowsStreamed   int64           `json:"rows_streamed"`
+	NotModified    int64           `json:"not_modified"`
+	UpdatesServed  int64           `json:"updates_served"`
+	UpdateErrors   int64           `json:"update_errors"`
+	UpdateRejected int64           `json:"update_rejected"`
+	TriplesIns     int64           `json:"triples_inserted"`
+	TriplesDel     int64           `json:"triples_deleted"`
+	LatencyBuckets []LatencyBucket `json:"latency_buckets"`
+	// SnapshotGeneration is the store's current MVCC snapshot generation
+	// (0 until the first build). Filled by the /metrics handler without
+	// forcing a build.
+	SnapshotGeneration uint64               `json:"snapshot_generation"`
+	ResultCache        *ResultCacheSnapshot `json:"result_cache,omitempty"`
+	BitMatCache        *lbr.CacheStats      `json:"bitmat_cache,omitempty"`
 }
 
 // Snapshot captures the current counter values.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		QueriesServed: m.queries.Load(),
-		QueryErrors:   m.errors.Load(),
-		Rejected:      m.rejected.Load(),
-		Timeouts:      m.timeouts.Load(),
-		InFlight:      m.inFlight.Load(),
-		RowsStreamed:  m.rowsStreamed.Load(),
+		QueriesServed:  m.queries.Load(),
+		QueryErrors:    m.errors.Load(),
+		Rejected:       m.rejected.Load(),
+		Timeouts:       m.timeouts.Load(),
+		InFlight:       m.inFlight.Load(),
+		RowsStreamed:   m.rowsStreamed.Load(),
+		NotModified:    m.notModified.Load(),
+		UpdatesServed:  m.updates.Load(),
+		UpdateErrors:   m.updateErrors.Load(),
+		UpdateRejected: m.updateRejected.Load(),
+		TriplesIns:     m.triplesInserted.Load(),
+		TriplesDel:     m.triplesDeleted.Load(),
 	}
 	for i := range m.buckets {
 		le := "+Inf"

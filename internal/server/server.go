@@ -9,6 +9,13 @@
 // keyed on (index snapshot generation, normalized query, format) for
 // hot dashboards, a /healthz probe, and expvar-style /metrics covering
 // both cache tiers.
+//
+// The same route accepts SPARQL 1.1 Update requests over POST
+// (application/sparql-update bodies or update= form fields), applied to
+// the store's delta overlay under a separate write admission bound, and
+// every query response carries a weak ETag derived from the store's MVCC
+// snapshot generation so If-None-Match revalidation costs a counter read
+// instead of a query.
 package server
 
 import (
@@ -18,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
 	"mime"
@@ -56,10 +64,16 @@ type Config struct {
 	// per-(snapshot generation, normalized query, format) LRU of fully
 	// serialized result documents, replayed to repeat queries of an
 	// unchanged index without touching the engine — the hot-dashboard
-	// path. A store mutation rebuilds the index under a new generation,
-	// so stale documents stop matching immediately. 0 picks the default
-	// (16 MiB); negative disables the cache.
+	// path. A store mutation advances the snapshot generation, so stale
+	// documents stop matching immediately. 0 picks the default (16 MiB);
+	// negative disables the cache.
 	ResultCacheBudget int64
+	// MaxConcurrentUpdates bounds how many SPARQL Update requests may
+	// execute at once, independently of the query admission bound —
+	// updates serialize on the store's write lock, so queueing them in
+	// the query semaphore would let a write burst starve reads. Further
+	// updates are rejected with 503. 0 means 1.
+	MaxConcurrentUpdates int
 	// Log receives one line per failed request; nil uses log.Printf.
 	Log func(format string, args ...any)
 }
@@ -73,6 +87,7 @@ type Server struct {
 	store   *lbr.Store
 	cfg     Config
 	sem     chan struct{}
+	upSem   chan struct{}
 	metrics Metrics
 	qcache  *queryCache
 }
@@ -93,6 +108,9 @@ func New(store *lbr.Store, cfg Config) *Server {
 	if cfg.ResultCacheBudget == 0 {
 		cfg.ResultCacheBudget = defaultResultCacheBudget
 	}
+	if cfg.MaxConcurrentUpdates <= 0 {
+		cfg.MaxConcurrentUpdates = 1
+	}
 	if cfg.Log == nil {
 		cfg.Log = log.Printf
 	}
@@ -100,6 +118,7 @@ func New(store *lbr.Store, cfg Config) *Server {
 		store:  store,
 		cfg:    cfg,
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		upSem:  make(chan struct{}, cfg.MaxConcurrentUpdates),
 		qcache: newQueryCache(cfg.ResultCacheBudget),
 	}
 }
@@ -125,11 +144,17 @@ func (s *Server) Handler() http.Handler {
 // materialization cache.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.metrics.Snapshot()
+	// Generation() reads the store's current MVCC generation without
+	// forcing a build — /metrics must never trigger index construction.
+	snap.SnapshotGeneration = s.store.Generation()
 	hits, misses, evictions, entries, used := s.qcache.stats()
 	snap.ResultCache = &ResultCacheSnapshot{
 		Hits: hits, Misses: misses, Evictions: evictions,
 		Entries: entries, BytesUsed: used, Budget: max(s.cfg.ResultCacheBudget, 0),
 	}
+	// The BitMat cache section keeps LRU evictions and generation-advance
+	// invalidations as distinct counters: evictions mean the budget is too
+	// small, invalidations mean writes are churning snapshots.
 	bm := s.store.CacheStats()
 	snap.BitMatCache = &bm
 	writeMetricsJSON(w, snap)
@@ -170,71 +195,84 @@ func writeError(w http.ResponseWriter, e *protocolError) {
 	w.Write(append(body, '\n'))
 }
 
-// queryText extracts the SPARQL query string per the SPARQL 1.1 Protocol:
-// GET with a query URL parameter, POST with an application/sparql-query
-// body, or POST with a URL-encoded form carrying a query field.
-func (s *Server) queryText(r *http.Request) (string, *protocolError) {
+// requestText extracts the SPARQL query or update string per the SPARQL
+// 1.1 Protocol: GET with a query URL parameter, POST with an
+// application/sparql-query or application/sparql-update body, or POST
+// with a URL-encoded form carrying a query or update field. Updates must
+// travel by POST — a mutation in a GET URL would be replayable by any
+// cache or prefetcher.
+func (s *Server) requestText(r *http.Request) (src string, isUpdate bool, _ *protocolError) {
 	if err := checkDatasetParams(r); err != nil {
-		return "", err
+		return "", false, err
 	}
 	switch r.Method {
 	case http.MethodGet:
+		if r.URL.Query().Get("update") != "" {
+			return "", false, perr(http.StatusMethodNotAllowed, "method_not_allowed", "SPARQL updates require POST")
+		}
 		q := r.URL.Query().Get("query")
 		if q == "" {
-			return "", perr(http.StatusBadRequest, "missing_query", "GET requires a non-empty query URL parameter")
+			return "", false, perr(http.StatusBadRequest, "missing_query", "GET requires a non-empty query URL parameter")
 		}
 		if int64(len(q)) > s.cfg.MaxQueryBytes {
-			return "", perr(http.StatusRequestEntityTooLarge, "query_too_large", "query exceeds %d bytes", s.cfg.MaxQueryBytes)
+			return "", false, perr(http.StatusRequestEntityTooLarge, "query_too_large", "query exceeds %d bytes", s.cfg.MaxQueryBytes)
 		}
-		return q, nil
+		return q, false, nil
 	case http.MethodPost:
 		ct := r.Header.Get("Content-Type")
 		mt, _, err := mime.ParseMediaType(ct)
 		if ct != "" && err != nil {
-			return "", perr(http.StatusUnsupportedMediaType, "bad_content_type", "unparseable Content-Type %q", ct)
+			return "", false, perr(http.StatusUnsupportedMediaType, "bad_content_type", "unparseable Content-Type %q", ct)
 		}
 		switch mt {
-		case "application/sparql-query":
+		case "application/sparql-query", "application/sparql-update":
+			isUpdate := mt == "application/sparql-update"
 			body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.cfg.MaxQueryBytes))
 			if err != nil {
 				var tooBig *http.MaxBytesError
 				if errors.As(err, &tooBig) {
-					return "", perr(http.StatusRequestEntityTooLarge, "query_too_large", "query body exceeds %d bytes", s.cfg.MaxQueryBytes)
+					return "", isUpdate, perr(http.StatusRequestEntityTooLarge, "query_too_large", "query body exceeds %d bytes", s.cfg.MaxQueryBytes)
 				}
-				return "", perr(http.StatusBadRequest, "bad_request_body", "reading query body: %v", err)
+				return "", isUpdate, perr(http.StatusBadRequest, "bad_request_body", "reading query body: %v", err)
 			}
 			if len(body) == 0 {
-				return "", perr(http.StatusBadRequest, "missing_query", "empty application/sparql-query body")
+				return "", isUpdate, perr(http.StatusBadRequest, "missing_query", "empty %s body", mt)
 			}
-			return string(body), nil
+			return string(body), isUpdate, nil
 		case "application/x-www-form-urlencoded", "":
 			r.Body = http.MaxBytesReader(nil, r.Body, s.cfg.MaxQueryBytes)
 			if err := r.ParseForm(); err != nil {
 				var tooBig *http.MaxBytesError
 				if errors.As(err, &tooBig) {
-					return "", perr(http.StatusRequestEntityTooLarge, "query_too_large", "form body exceeds %d bytes", s.cfg.MaxQueryBytes)
+					return "", false, perr(http.StatusRequestEntityTooLarge, "query_too_large", "form body exceeds %d bytes", s.cfg.MaxQueryBytes)
 				}
-				return "", perr(http.StatusBadRequest, "bad_form", "unparseable form body: %v", err)
+				return "", false, perr(http.StatusBadRequest, "bad_form", "unparseable form body: %v", err)
 			}
 			// Dataset parameters hidden in the form body are as much a
 			// dataset selection as ones in the URL.
 			if err := rejectDatasetParams(r.PostForm); err != nil {
-				return "", err
+				return "", false, err
 			}
 			q := r.PostForm.Get("query")
 			if q == "" {
 				q = r.URL.Query().Get("query")
 			}
-			if q == "" {
-				return "", perr(http.StatusBadRequest, "missing_query", "form POST requires a query field")
+			if u := r.PostForm.Get("update"); u != "" {
+				if q != "" {
+					return "", true, perr(http.StatusBadRequest, "ambiguous_request", "a request must carry a query or an update field, not both")
+				}
+				return u, true, nil
 			}
-			return q, nil
+			if q == "" {
+				return "", false, perr(http.StatusBadRequest, "missing_query", "form POST requires a query or update field")
+			}
+			return q, false, nil
 		default:
-			return "", perr(http.StatusUnsupportedMediaType, "bad_content_type",
-				"POST bodies must be application/sparql-query or application/x-www-form-urlencoded, not %q", mt)
+			return "", false, perr(http.StatusUnsupportedMediaType, "bad_content_type",
+				"POST bodies must be application/sparql-query, application/sparql-update, or application/x-www-form-urlencoded, not %q", mt)
 		}
 	default:
-		return "", perr(http.StatusMethodNotAllowed, "method_not_allowed", "SPARQL Protocol queries use GET or POST")
+		return "", false, perr(http.StatusMethodNotAllowed, "method_not_allowed", "SPARQL Protocol queries use GET or POST")
 	}
 }
 
@@ -247,7 +285,7 @@ func checkDatasetParams(r *http.Request) *protocolError {
 }
 
 func rejectDatasetParams(params url.Values) *protocolError {
-	for _, p := range []string{"default-graph-uri", "named-graph-uri"} {
+	for _, p := range []string{"default-graph-uri", "named-graph-uri", "using-graph-uri", "using-named-graph-uri"} {
 		if len(params[p]) > 0 {
 			return perr(http.StatusBadRequest, "unsupported_parameter",
 				"%s is not supported: the endpoint serves a single graph", p)
@@ -262,9 +300,13 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, perr(http.StatusMethodNotAllowed, "method_not_allowed", "SPARQL Protocol queries use GET or POST"))
 		return
 	}
-	src, perr2 := s.queryText(r)
+	src, isUpdate, perr2 := s.requestText(r)
 	if perr2 != nil {
 		writeError(w, perr2)
+		return
+	}
+	if isUpdate {
+		s.serveUpdate(w, r, src)
 		return
 	}
 	format, ok := results.Negotiate(r.Header.Get("Accept"))
@@ -308,6 +350,109 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serveSelect(ctx, w, r, format, src, start)
+}
+
+// serveUpdate executes a SPARQL 1.1 Update request. Updates get their own
+// admission semaphore (Config.MaxConcurrentUpdates): they serialize on the
+// store's write lock, so admitting them against the query bound would let
+// a write burst occupy slots that could be streaming reads. The response
+// is a JSON summary of the effective changes and the resulting snapshot
+// generation.
+func (s *Server) serveUpdate(w http.ResponseWriter, r *http.Request, src string) {
+	// Syntax-check before admission, mirroring the query path: malformed
+	// requests are turned away without consuming the write slot.
+	if _, err := sparql.ParseUpdate(src); err != nil {
+		writeError(w, perr(http.StatusBadRequest, "malformed_update", "%v", err))
+		return
+	}
+	select {
+	case s.upSem <- struct{}{}:
+		defer func() { <-s.upSem }()
+	default:
+		s.metrics.updateRejected.Add(1)
+		writeError(w, perr(http.StatusServiceUnavailable, "too_many_updates",
+			"server is at its concurrent update limit (%d)", s.cfg.MaxConcurrentUpdates))
+		return
+	}
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	ctx := r.Context()
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := s.store.ApplyUpdateContext(ctx, src)
+	if err != nil {
+		s.metrics.updateErrors.Add(1)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.metrics.timeouts.Add(1)
+			writeError(w, perr(http.StatusGatewayTimeout, "timeout", "update exceeded the server timeout of %s", s.cfg.Timeout))
+		case errors.Is(err, context.Canceled):
+			s.cfg.Log("sparql: client cancelled update %s %s", r.Method, r.URL.Path)
+			panic(http.ErrAbortHandler)
+		default:
+			writeError(w, perr(http.StatusInternalServerError, "update_failed", "%v", err))
+		}
+		return
+	}
+	s.metrics.updates.Add(1)
+	s.metrics.triplesInserted.Add(int64(res.Inserted))
+	s.metrics.triplesDeleted.Add(int64(res.Deleted))
+	s.metrics.observeLatency(time.Since(start))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	body, _ := json.Marshal(res)
+	w.Write(append(body, '\n'))
+}
+
+// resultETag derives the entity tag of a result document from the
+// snapshot generation and the result-cache key (normalized query text and
+// format). It is weak: two generations can render byte-identical
+// documents, so the tag only certifies "nothing changed", never "changed".
+func resultETag(gen uint64, norm string, format results.Format) string {
+	h := fnv.New64a()
+	io.WriteString(h, norm)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, format.ContentType())
+	return fmt.Sprintf(`W/"lbr-%d-%016x"`, gen, h.Sum64())
+}
+
+// ifNoneMatchHas applies the weak comparison of RFC 9110 §8.8.3.2 to an
+// If-None-Match header.
+func ifNoneMatchHas(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	opaque := strings.TrimPrefix(etag, "W/")
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" || strings.TrimPrefix(part, "W/") == opaque {
+			return true
+		}
+	}
+	return false
+}
+
+// checkNotModified stamps the response's ETag and serves 304 when the
+// client already holds the current document. Available only with the
+// result cache enabled — the tag reuses its (generation, normalized
+// query, format) key.
+func (s *Server) checkNotModified(w http.ResponseWriter, r *http.Request, gen uint64, norm string, format results.Format, start time.Time) bool {
+	etag := resultETag(gen, norm, format)
+	w.Header().Set("ETag", etag)
+	if !ifNoneMatchHas(r.Header.Get("If-None-Match"), etag) {
+		return false
+	}
+	w.Header().Set("Vary", "Accept, Accept-Encoding")
+	w.WriteHeader(http.StatusNotModified)
+	s.metrics.notModified.Add(1)
+	s.metrics.queries.Add(1)
+	s.metrics.observeLatency(time.Since(start))
+	return true
 }
 
 // acceptsGzip reports whether the request's Accept-Encoding admits gzip
@@ -414,6 +559,9 @@ func (s *Server) serveAsk(ctx context.Context, w http.ResponseWriter, r *http.Re
 		if gen, ok = s.snapshotGen(ctx, w, r); !ok {
 			return
 		}
+		if s.checkNotModified(w, r, gen, norm, format, start) {
+			return
+		}
 		if body, _ := s.qcache.get(gen, norm, format); body != nil {
 			if !s.replayCached(w, r, format, body) {
 				s.metrics.errors.Add(1)
@@ -501,6 +649,9 @@ func (s *Server) serveSelect(ctx context.Context, w http.ResponseWriter, r *http
 		var ok bool
 		norm = normalizeQuery(src)
 		if gen, ok = s.snapshotGen(ctx, w, r); !ok {
+			return
+		}
+		if s.checkNotModified(w, r, gen, norm, format, start) {
 			return
 		}
 		// Result cache: an identical query against an unchanged index

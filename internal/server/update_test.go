@@ -1,0 +1,259 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// postUpdate sends an update either as a raw application/sparql-update body
+// (form == false) or as an update= form field (form == true).
+func postUpdate(t testing.TB, ts *httptest.Server, update string, form bool) (*http.Response, string) {
+	t.Helper()
+	var req *http.Request
+	var err error
+	if form {
+		req, err = http.NewRequest(http.MethodPost, ts.URL+"/sparql",
+			strings.NewReader(url.Values{"update": {update}}.Encode()))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		}
+	} else {
+		req, err = http.NewRequest(http.MethodPost, ts.URL+"/sparql", strings.NewReader(update))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/sparql-update")
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestUpdateEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	for _, form := range []bool{false, true} {
+		name := "sparql-update body"
+		update := `INSERT DATA { <Elaine> <actedIn> <Seinfeld> }`
+		if form {
+			name, update = "form field", `INSERT DATA { <Kramer> <actedIn> <Seinfeld> }`
+		}
+		resp, body := postUpdate(t, ts, update, form)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d, body %s", name, resp.StatusCode, body)
+		}
+		var ur struct {
+			Ops        int    `json:"ops"`
+			Inserted   int    `json:"inserted"`
+			Deleted    int    `json:"deleted"`
+			Generation uint64 `json:"generation"`
+		}
+		if err := json.Unmarshal([]byte(body), &ur); err != nil {
+			t.Fatalf("%s: bad response %q: %v", name, body, err)
+		}
+		if ur.Ops != 1 || ur.Inserted != 1 || ur.Deleted != 0 || ur.Generation == 0 {
+			t.Fatalf("%s: got %+v", name, ur)
+		}
+	}
+	// The writes are visible to subsequent queries.
+	resp, body := get(t, ts, `SELECT * WHERE { ?a <actedIn> <Seinfeld> }`, "text/csv")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after update: %d", resp.StatusCode)
+	}
+	for _, who := range []string{"Elaine", "Kramer", "Julia"} {
+		if !strings.Contains(body, who) {
+			t.Errorf("query after update misses %s: %q", who, body)
+		}
+	}
+	snap := srv.Metrics().Snapshot()
+	if snap.UpdatesServed != 2 || snap.TriplesIns != 2 || snap.TriplesDel != 0 {
+		t.Errorf("metrics: %+v", snap)
+	}
+}
+
+func TestUpdateProtocolErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// GET with an update parameter is forbidden by the protocol.
+	req, _ := http.NewRequest(http.MethodGet,
+		ts.URL+"/sparql?update="+url.QueryEscape(`INSERT DATA { <a> <p> <b> }`), nil)
+	resp2, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET update: status %d, body %s", resp2.StatusCode, b2)
+	}
+
+	// Malformed update bodies are a 400 before admission control.
+	resp3, body3 := postUpdate(t, ts, `INSERT GARBAGE`, false)
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed update: status %d, body %s", resp3.StatusCode, body3)
+	}
+
+	// A request carrying both query and update is ambiguous.
+	req4, _ := http.NewRequest(http.MethodPost, ts.URL+"/sparql",
+		strings.NewReader(url.Values{
+			"query":  {`ASK { ?s ?p ?o }`},
+			"update": {`INSERT DATA { <a> <p> <b> }`},
+		}.Encode()))
+	req4.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	resp4, err := ts.Client().Do(req4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, _ := io.ReadAll(resp4.Body)
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ambiguous request: status %d, body %s", resp4.StatusCode, b4)
+	}
+}
+
+func TestUpdateAdmissionControl(t *testing.T) {
+	// MaxConcurrentUpdates=1 and a slow first update: the second must be
+	// turned away with 503 rather than queue without bound.
+	srv, ts := newTestServer(t, Config{MaxConcurrentUpdates: 1, Timeout: 10 * time.Second})
+
+	// Saturate the single update slot with concurrent requests and count
+	// refusals; at least one must get through and every refusal must be an
+	// explicit 503, not a queued wait.
+	const n = 8
+	var wg sync.WaitGroup
+	codes := make(chan int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := postUpdate(t, ts,
+				`DELETE { ?s ?p ?o } INSERT { ?s ?p ?o } WHERE { ?s ?p ?o . ?o ?q ?x }`, false)
+			codes <- resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	var ok, rejected int
+	for c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			rejected++
+		default:
+			t.Fatalf("unexpected status %d", c)
+		}
+	}
+	if ok == 0 {
+		t.Error("no update went through")
+	}
+	snap := srv.Metrics().Snapshot()
+	if int(snap.UpdateRejected) != rejected {
+		t.Errorf("update_rejected metric %d, observed %d refusals", snap.UpdateRejected, rejected)
+	}
+}
+
+func TestETagNotModified(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	q := `SELECT * WHERE { ?a <actedIn> ?m }`
+
+	resp1, body1 := get(t, ts, q, "text/csv")
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatal(resp1.StatusCode)
+	}
+	etag := resp1.Header.Get("ETag")
+	if !strings.HasPrefix(etag, `W/"lbr-`) {
+		t.Fatalf("missing or malformed ETag %q", etag)
+	}
+
+	// Same snapshot: If-None-Match answers 304 with no body.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/sparql?query="+url.QueryEscape(q), nil)
+	req.Header.Set("Accept", "text/csv")
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified || len(b2) != 0 {
+		t.Fatalf("want bodyless 304, got %d with %d bytes", resp2.StatusCode, len(b2))
+	}
+	if got := resp2.Header.Get("ETag"); got != etag {
+		t.Errorf("304 must echo the ETag: %q vs %q", got, etag)
+	}
+
+	// An update advances the generation; the old validator no longer holds.
+	if resp, body := postUpdate(t, ts, `INSERT DATA { <Newman> <actedIn> <Seinfeld> }`, false); resp.StatusCode != http.StatusOK {
+		t.Fatalf("update failed: %d %s", resp.StatusCode, body)
+	}
+	resp3, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("stale validator must refetch, got %d", resp3.StatusCode)
+	}
+	if !strings.Contains(string(b3), "Newman") {
+		t.Errorf("refetched body misses the new triple: %q", b3)
+	}
+	if newTag := resp3.Header.Get("ETag"); newTag == etag || newTag == "" {
+		t.Errorf("ETag must change across generations: %q -> %q", etag, newTag)
+	}
+	// Different Accept → different validator (content type is in the hash).
+	respJSON, _ := get(t, ts, q, "application/sparql-results+json")
+	if respJSON.Header.Get("ETag") == resp3.Header.Get("ETag") {
+		t.Error("ETag must vary with the serialization format")
+	}
+	if snap := srv.Metrics().Snapshot(); snap.NotModified != 1 {
+		t.Errorf("not_modified metric: %d", snap.NotModified)
+	}
+	if string(body1) == "" {
+		t.Fatal("first body empty")
+	}
+}
+
+func TestMetricsSnapshotGeneration(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	readGen := func() uint64 {
+		resp, err := ts.Client().Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var snap struct {
+			SnapshotGeneration uint64 `json:"snapshot_generation"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return snap.SnapshotGeneration
+	}
+	g0 := readGen()
+	if g0 == 0 {
+		t.Fatal("built store must report a nonzero generation")
+	}
+	if resp, body := postUpdate(t, ts, `INSERT DATA { <x> <p> <y> }`, false); resp.StatusCode != http.StatusOK {
+		t.Fatalf("update failed: %d %s", resp.StatusCode, body)
+	}
+	if g1 := readGen(); g1 <= g0 {
+		t.Fatalf("generation must advance after an update: %d -> %d", g0, g1)
+	}
+}

@@ -39,6 +39,7 @@ var keywords = map[string]bool{
 	"FILTER": true, "PREFIX": true, "DISTINCT": true, "BOUND": true,
 	"ORDER": true, "BY": true, "LIMIT": true, "OFFSET": true,
 	"ASC": true, "DESC": true, "ASK": true,
+	"INSERT": true, "DELETE": true, "DATA": true,
 }
 
 type lexer struct {

@@ -1,0 +1,246 @@
+package sparql
+
+import (
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// UpdateOpKind distinguishes the supported SPARQL 1.1 Update operations.
+type UpdateOpKind int
+
+const (
+	// UpdateInsertData is INSERT DATA { ground triples }.
+	UpdateInsertData UpdateOpKind = iota
+	// UpdateDeleteData is DELETE DATA { ground triples }.
+	UpdateDeleteData
+	// UpdateModify is DELETE/INSERT ... WHERE (either template may be
+	// absent, not both), including the DELETE WHERE shorthand.
+	UpdateModify
+)
+
+func (k UpdateOpKind) String() string {
+	switch k {
+	case UpdateInsertData:
+		return "INSERT DATA"
+	case UpdateDeleteData:
+		return "DELETE DATA"
+	case UpdateModify:
+		return "DELETE/INSERT WHERE"
+	}
+	return "unknown"
+}
+
+// UpdateOp is one operation of an update request.
+type UpdateOp struct {
+	Kind UpdateOpKind
+
+	// Data holds the ground triples of INSERT DATA / DELETE DATA.
+	Data []rdf.Triple
+
+	// DeleteTemplates and InsertTemplates hold the instantiation templates
+	// of a Modify operation; Where is its pattern, evaluated against the
+	// pre-operation state of the store.
+	DeleteTemplates []TriplePattern
+	InsertTemplates []TriplePattern
+	Where           Group
+}
+
+// Update is a parsed SPARQL 1.1 Update request: one or more operations
+// separated by ';', sharing one prefix environment.
+type Update struct {
+	Prefixes map[string]string
+	Ops      []UpdateOp
+}
+
+// ParseUpdate parses a SPARQL 1.1 Update request. Supported operations:
+// INSERT DATA, DELETE DATA, DELETE/INSERT ... WHERE (either template
+// optional, not both), and the DELETE WHERE shorthand. Blank nodes in
+// templates and DATA blocks are rejected — the store has no mechanism for
+// minting fresh blank nodes per solution.
+func ParseUpdate(src string) (*Update, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prefixes: map[string]string{}}
+	u := &Update{Prefixes: p.prefixes}
+	for {
+		// PREFIX declarations may precede any operation and accumulate.
+		for p.atKeyword("PREFIX") {
+			p.i++
+			if !p.at(tokPName) {
+				return nil, p.errf("expected prefix name, got %s", p.cur())
+			}
+			name := p.next().text
+			if !strings.HasSuffix(name, ":") {
+				return nil, p.errf("prefix declaration %q must end with ':'", name)
+			}
+			if !p.at(tokIRI) {
+				return nil, p.errf("expected IRI after PREFIX %s", name)
+			}
+			p.prefixes[strings.TrimSuffix(name, ":")] = p.next().text
+		}
+		if p.at(tokEOF) {
+			break
+		}
+		op, err := p.updateOp()
+		if err != nil {
+			return nil, err
+		}
+		u.Ops = append(u.Ops, op)
+		if p.atPunct(";") {
+			p.i++
+			continue
+		}
+		break
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errf("trailing input %s", p.cur())
+	}
+	if len(u.Ops) == 0 {
+		return nil, p.errf("empty update request")
+	}
+	return u, nil
+}
+
+// updateOp parses one operation starting at INSERT or DELETE.
+func (p *parser) updateOp() (UpdateOp, error) {
+	switch {
+	case p.atKeyword("INSERT"):
+		p.i++
+		if p.atKeyword("DATA") {
+			p.i++
+			data, err := p.groundTriples("INSERT DATA")
+			return UpdateOp{Kind: UpdateInsertData, Data: data}, err
+		}
+		ins, err := p.template()
+		if err != nil {
+			return UpdateOp{}, err
+		}
+		if len(ins) == 0 {
+			return UpdateOp{}, p.errf("INSERT template must not be empty")
+		}
+		return p.modifyTail(nil, ins)
+	case p.atKeyword("DELETE"):
+		p.i++
+		if p.atKeyword("DATA") {
+			p.i++
+			data, err := p.groundTriples("DELETE DATA")
+			return UpdateOp{Kind: UpdateDeleteData, Data: data}, err
+		}
+		if p.atKeyword("WHERE") {
+			// DELETE WHERE { pattern }: the pattern doubles as the delete
+			// template, so it must be a plain triples block.
+			p.i++
+			g, err := p.group()
+			if err != nil {
+				return UpdateOp{}, err
+			}
+			pats, err := p.plainPatterns(g)
+			if err != nil {
+				return UpdateOp{}, err
+			}
+			return UpdateOp{Kind: UpdateModify, DeleteTemplates: pats, Where: g}, nil
+		}
+		del, err := p.template()
+		if err != nil {
+			return UpdateOp{}, err
+		}
+		var ins []TriplePattern
+		if p.atKeyword("INSERT") {
+			p.i++
+			ins, err = p.template()
+			if err != nil {
+				return UpdateOp{}, err
+			}
+		}
+		if len(del) == 0 && len(ins) == 0 {
+			return UpdateOp{}, p.errf("DELETE/INSERT needs at least one non-empty template")
+		}
+		return p.modifyTail(del, ins)
+	}
+	return UpdateOp{}, p.errf("expected INSERT or DELETE, got %s", p.cur())
+}
+
+// modifyTail parses the WHERE clause closing a Modify operation.
+func (p *parser) modifyTail(del, ins []TriplePattern) (UpdateOp, error) {
+	if !p.atKeyword("WHERE") {
+		return UpdateOp{}, p.errf("expected WHERE, got %s", p.cur())
+	}
+	p.i++
+	g, err := p.group()
+	if err != nil {
+		return UpdateOp{}, err
+	}
+	return UpdateOp{Kind: UpdateModify, DeleteTemplates: del, InsertTemplates: ins, Where: g}, nil
+}
+
+// template parses "{ triples }" into instantiation templates, rejecting
+// blank nodes. An empty template "{}" yields nil.
+func (p *parser) template() ([]TriplePattern, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var pats []TriplePattern
+	for !p.atPunct("}") {
+		if p.at(tokEOF) {
+			return nil, p.errf("unterminated template")
+		}
+		tb, err := p.triplesBlock()
+		if err != nil {
+			return nil, err
+		}
+		pats = append(pats, tb.Patterns...)
+	}
+	p.i++ // consume '}'
+	for _, tp := range pats {
+		for _, n := range []Node{tp.S, tp.P, tp.O} {
+			if !n.IsVar && n.Term.Kind == rdf.Blank {
+				return nil, p.errf("blank node in update template is not supported")
+			}
+		}
+	}
+	return pats, nil
+}
+
+// groundTriples parses the "{ triples }" of a DATA block and requires every
+// position to be concrete.
+func (p *parser) groundTriples(form string) ([]rdf.Triple, error) {
+	pats, err := p.template()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]rdf.Triple, 0, len(pats))
+	for _, tp := range pats {
+		if tp.S.IsVar || tp.P.IsVar || tp.O.IsVar {
+			return nil, p.errf("%s requires ground triples, got variable in %s", form, tp)
+		}
+		out = append(out, rdf.Triple{S: tp.S.Term, P: tp.P.Term, O: tp.O.Term})
+	}
+	return out, nil
+}
+
+// plainPatterns flattens a group that must consist of triples blocks only
+// (the DELETE WHERE shorthand), rejecting blank nodes as template() does.
+func (p *parser) plainPatterns(g Group) ([]TriplePattern, error) {
+	var pats []TriplePattern
+	for _, el := range g.Elements {
+		tb, ok := el.(TriplesBlock)
+		if !ok {
+			return nil, p.errf("DELETE WHERE pattern must be a plain triples block")
+		}
+		pats = append(pats, tb.Patterns...)
+	}
+	if len(pats) == 0 {
+		return nil, p.errf("DELETE WHERE pattern must not be empty")
+	}
+	for _, tp := range pats {
+		for _, n := range []Node{tp.S, tp.P, tp.O} {
+			if !n.IsVar && n.Term.Kind == rdf.Blank {
+				return nil, p.errf("blank node in DELETE WHERE template is not supported")
+			}
+		}
+	}
+	return pats, nil
+}

@@ -1,0 +1,102 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseUpdateInsertData(t *testing.T) {
+	u, err := ParseUpdate(`PREFIX ex: <http://ex/>
+		INSERT DATA { ex:a ex:p ex:b . ex:b ex:p "lit" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Ops) != 1 || u.Ops[0].Kind != UpdateInsertData {
+		t.Fatalf("want one INSERT DATA op, got %+v", u.Ops)
+	}
+	if len(u.Ops[0].Data) != 2 {
+		t.Fatalf("want 2 ground triples, got %d", len(u.Ops[0].Data))
+	}
+	if got := u.Ops[0].Data[0].S.Value; got != "http://ex/a" {
+		t.Errorf("prefix expansion failed: %q", got)
+	}
+}
+
+func TestParseUpdateOpsChain(t *testing.T) {
+	u, err := ParseUpdate(`
+		INSERT DATA { <a> <p> <b> } ;
+		DELETE DATA { <a> <p> <b> } ;
+		DELETE { ?s <p> ?o } INSERT { ?o <p> ?s } WHERE { ?s <p> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []UpdateOpKind{UpdateInsertData, UpdateDeleteData, UpdateModify}
+	if len(u.Ops) != len(kinds) {
+		t.Fatalf("want %d ops, got %d", len(kinds), len(u.Ops))
+	}
+	for i, k := range kinds {
+		if u.Ops[i].Kind != k {
+			t.Errorf("op %d: want %v, got %v", i, k, u.Ops[i].Kind)
+		}
+	}
+	m := u.Ops[2]
+	if len(m.DeleteTemplates) != 1 || len(m.InsertTemplates) != 1 {
+		t.Fatalf("modify templates: del=%d ins=%d", len(m.DeleteTemplates), len(m.InsertTemplates))
+	}
+}
+
+func TestParseUpdateDeleteWhereShorthand(t *testing.T) {
+	u, err := ParseUpdate(`DELETE WHERE { ?s <p> ?o . ?o <q> ?s }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := u.Ops[0]
+	if op.Kind != UpdateModify {
+		t.Fatalf("want Modify, got %v", op.Kind)
+	}
+	if len(op.DeleteTemplates) != 2 || len(op.InsertTemplates) != 0 {
+		t.Fatalf("templates: del=%d ins=%d", len(op.DeleteTemplates), len(op.InsertTemplates))
+	}
+	// The pattern doubles as the template.
+	if len(op.Where.Elements) == 0 {
+		t.Fatal("WHERE group is empty")
+	}
+}
+
+func TestParseUpdateInsertWhereOnly(t *testing.T) {
+	u, err := ParseUpdate(`INSERT { ?o <rev> ?s } WHERE { ?s <p> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := u.Ops[0]
+	if op.Kind != UpdateModify || len(op.DeleteTemplates) != 0 || len(op.InsertTemplates) != 1 {
+		t.Fatalf("got %+v", op)
+	}
+}
+
+func TestParseUpdateErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"empty", ``, "empty update"},
+		{"query not update", `SELECT * WHERE { ?s ?p ?o }`, "expected INSERT or DELETE"},
+		{"var in insert data", `INSERT DATA { ?s <p> <o> }`, "ground"},
+		{"var in delete data", `DELETE DATA { <s> <p> ?o }`, "ground"},
+		{"blank in template", `INSERT { _:b <p> ?o } WHERE { ?s <p> ?o }`, "blank node"},
+		{"blank in data", `INSERT DATA { _:b <p> <o> }`, "blank node"},
+		{"missing where", `INSERT { <a> <p> <b> }`, "expected WHERE"},
+		{"empty templates", `DELETE { } INSERT { } WHERE { ?s <p> ?o }`, "at least one non-empty template"},
+		{"delete where filter", `DELETE WHERE { ?s <p> ?o . FILTER(?s = <a>) }`, "plain triples block"},
+		{"trailing garbage", `INSERT DATA { <a> <p> <b> } <x>`, "trailing input"},
+	}
+	for _, tc := range cases {
+		_, err := ParseUpdate(tc.src)
+		if err == nil {
+			t.Errorf("%s: want error containing %q, got nil", tc.name, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: want error containing %q, got %q", tc.name, tc.wantSub, err)
+		}
+	}
+}

@@ -10,6 +10,12 @@
 // (Section 5.1), avoiding the nullification and best-match operators
 // whenever the query's structure permits (Lemmas 3.3 and 3.4).
 //
+// Writes are first-class: ApplyUpdate executes SPARQL 1.1 Update
+// requests against a delta overlay over the base index (no rebuild),
+// MVCC snapshot generations keep in-flight queries on their view,
+// Compact folds the delta in the background, and OpenWAL makes updates
+// durable across a crash.
+//
 // Typical use:
 //
 //	store := lbr.NewStore()
@@ -21,6 +27,7 @@ package lbr
 import (
 	"context"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 
@@ -92,6 +99,15 @@ type Options struct {
 	// cache on, off, or at any budget. 0 selects the default (64 MiB);
 	// negative values disable the cache.
 	CacheBudget int64
+	// CompactThreshold, when positive, starts a background compaction as
+	// soon as the store's delta overlay accumulates that many entries
+	// (inserts plus deletes versus the base index). 0 disables automatic
+	// compaction: deltas accumulate until Compact is called explicitly or
+	// an operation that needs a compacted index (SaveIndex, QueryBaseline,
+	// IndexSizes) forces one. Compaction never changes query results —
+	// in-flight queries keep their snapshot, and the folded index answers
+	// exactly like the overlay it replaces.
+	CompactThreshold int
 }
 
 // defaultCacheBudget is the materialization cache bound CacheBudget = 0
@@ -116,28 +132,51 @@ func (o Options) EffectiveCacheBudget() int64 {
 // Workers when positive, GOMAXPROCS when zero, and 1 for negative values.
 func (o Options) EffectiveWorkers() int { return o.engineOptions().EffectiveWorkers() }
 
-// Store holds an RDF graph and, after Build, its BitMat index.
+// Store holds an RDF graph and, after Build, its BitMat index plus a delta
+// overlay of uncompacted mutations.
 //
 // A Store is safe for concurrent use: any number of goroutines may call
 // Query, QueryContext, Ask, Explain, and the other read methods while
-// others call Add, AddAll, or Build. Queries never observe a half-built
-// index — they run against an immutable snapshot of the most recently
-// built one (building it on demand, single-flight, if none exists yet), so
-// a query racing a mutation sees either the pre- or post-mutation data,
-// never a mixture.
+// others call Add, Remove, ApplyUpdate, or Build. Queries never observe a
+// half-applied mutation — they run against an immutable MVCC snapshot (a
+// compacted index, or the base index plus a delta overlay), so a query
+// racing a mutation sees either the pre- or post-mutation data, never a
+// mixture, and a query started before an update finishes with its original
+// view even while later generations are installed.
 type Store struct {
 	mu    sync.RWMutex
 	graph *rdf.Graph
-	index *bitmat.Index
-	eng   *engine.Engine
-	opts  Options
+	// base is the last compacted index; src is what queries actually run
+	// against: base itself when the delta is empty, or an overlay merging
+	// the net delta over it. Both are immutable once installed.
+	base *bitmat.Index
+	src  bitmat.Source
+	eng  *engine.Engine
+	opts Options
 	// cache is the cross-query BitMat materialization cache (nil when
-	// Options.CacheBudget is negative). gen counts index snapshots: every
-	// buildLocked bumps it and retires the previous generation's cache
-	// entries, so a query can never read a matrix from a snapshot other
-	// than the one it runs against.
+	// Options.CacheBudget is negative). gen counts source snapshots: every
+	// install — rebuild, overlay, or compaction — bumps it and retires the
+	// previous generation's cache entries, so a query can never read a
+	// matrix from a snapshot other than the one it runs against.
 	cache *engine.MatCache
 	gen   uint64
+
+	// ins and del are the net delta versus base, keyed by the triple's
+	// N-Triples rendering: ins holds triples present in the graph but not
+	// the base, del triples present in the base but removed since. An
+	// insert of a deleted triple (or vice versa) cancels, so the two maps
+	// are always disjoint and minimal.
+	ins map[string]Triple
+	del map[string]Triple
+
+	// lsn counts applied mutation batches; a compaction records the lsn of
+	// its input snapshot and rebases instead of installing when mutations
+	// landed while it built.
+	lsn uint64
+	wal *wal
+
+	compacting  bool
+	compactDone chan struct{} // closed when the in-flight compaction finishes
 }
 
 // NewStore returns an empty store.
@@ -149,6 +188,8 @@ func NewStoreWithOptions(opts Options) *Store {
 		graph: rdf.NewGraph(),
 		opts:  opts,
 		cache: engine.NewMatCache(opts.EffectiveCacheBudget()),
+		ins:   map[string]Triple{},
+		del:   map[string]Triple{},
 	}
 }
 
@@ -158,26 +199,44 @@ func NewStoreWithOptions(opts Options) *Store {
 // without synchronization.
 func (s *Store) Options() Options { return s.opts }
 
-// Add inserts one triple. It reports whether the triple was new. Adding
-// after Build invalidates the index; call Build again (or let the next
-// query rebuild it lazily) before new data is visible to queries.
+// Add inserts one triple. It reports whether the triple was new. On a
+// built store the triple lands in the delta overlay and is visible to the
+// next query immediately, without an index rebuild.
 func (s *Store) Add(t Triple) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	added := s.graph.Add(t)
-	if added {
-		s.index, s.eng = nil, nil
-	}
-	return added
+	_, n, err := s.mutateLocked(nil, []Triple{t}, true)
+	return err == nil && n > 0
 }
 
 // AddAll inserts triples and returns how many were new.
 func (s *Store) AddAll(ts []Triple) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := s.graph.AddAll(ts)
-	if n > 0 {
-		s.index, s.eng = nil, nil
+	_, n, err := s.mutateLocked(nil, ts, true)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Remove deletes one triple. It reports whether the triple was present.
+// Like Add, the removal takes effect through the delta overlay on a built
+// store — no rebuild.
+func (s *Store) Remove(t Triple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, _, err := s.mutateLocked([]Triple{t}, nil, true)
+	return err == nil && n > 0
+}
+
+// RemoveAll deletes triples and returns how many were present.
+func (s *Store) RemoveAll(ts []Triple) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, _, err := s.mutateLocked(ts, nil, true)
+	if err != nil {
+		return 0
 	}
 	return n
 }
@@ -239,10 +298,11 @@ func (o Options) engineOptions() engine.Options {
 	}
 }
 
-// buildLocked rebuilds the index snapshot; the caller holds mu. The build
-// fans the dictionary encode and the per-predicate table construction
-// across Options.Workers goroutines; any worker count yields an identical
-// index (see bitmat.BuildParallel).
+// buildLocked rebuilds the index snapshot from the full graph, folding any
+// accumulated delta; the caller holds mu. The build fans the dictionary
+// encode and the per-predicate table construction across Options.Workers
+// goroutines; any worker count yields an identical index (see
+// bitmat.BuildParallel).
 func (s *Store) buildLocked() error {
 	idx, err := bitmat.BuildParallel(s.graph, s.opts.EffectiveWorkers())
 	if err != nil {
@@ -252,14 +312,57 @@ func (s *Store) buildLocked() error {
 	return nil
 }
 
-// installIndexLocked adopts idx as the new immutable snapshot: it starts
-// the next snapshot generation, retires the previous generation's cached
-// materializations atomically, and binds a fresh engine to the new
-// generation's cache view. The caller holds mu.
+// installIndexLocked adopts idx as the new compacted base covering the
+// graph exactly: the delta empties and queries run straight against the
+// index. The caller holds mu.
 func (s *Store) installIndexLocked(idx *bitmat.Index) {
+	s.base = idx
+	s.ins = map[string]Triple{}
+	s.del = map[string]Triple{}
+	s.installSourceLocked(idx)
+}
+
+// installSourceLocked adopts src as the new immutable query snapshot: it
+// starts the next snapshot generation, retires the previous generation's
+// cached materializations atomically, and binds a fresh engine to the new
+// generation's cache view. The caller holds mu.
+func (s *Store) installSourceLocked(src bitmat.Source) {
 	s.gen++
-	s.index = idx
-	s.eng = engine.NewWithCache(idx, s.opts.engineOptions(), s.cache.Advance(s.gen))
+	s.src = src
+	s.eng = engine.NewWithCache(src, s.opts.engineOptions(), s.cache.Advance(s.gen))
+}
+
+// installOverlayLocked rebuilds the delta overlay over the current base
+// from the net ins/del sets and installs it as the query snapshot (or the
+// bare base when the delta is empty). Delta triples are fed to the overlay
+// in key order, so reconstructing the same logical state — on WAL replay,
+// or with any Workers count — assigns identical extended-dictionary IDs.
+// The caller holds mu and guarantees base is non-nil.
+func (s *Store) installOverlayLocked() error {
+	if len(s.ins) == 0 && len(s.del) == 0 {
+		s.installSourceLocked(s.base)
+		return nil
+	}
+	ov, err := bitmat.NewOverlay(s.base, sortedTriples(s.ins), sortedTriples(s.del))
+	if err != nil {
+		return err
+	}
+	s.installSourceLocked(ov)
+	return nil
+}
+
+// sortedTriples returns the map's triples sorted by their N-Triples key.
+func sortedTriples(m map[string]Triple) []Triple {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Triple, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
 }
 
 // CacheStats reports the counters of the cross-query materialization
@@ -285,35 +388,54 @@ func (s *Store) SnapshotGeneration() (uint64, error) {
 	return s.gen, nil
 }
 
-// Built reports whether an index covering every mutation so far exists.
-// Under concurrent mutation the answer is advisory: it is accurate at the
-// instant of the call but another goroutine's Add may invalidate it before
-// the caller acts on it. Queries do not need Built — they build on demand.
+// Built reports whether a query snapshot covering every mutation so far
+// exists. Under concurrent mutation the answer is advisory: it is accurate
+// at the instant of the call but another goroutine's Add may invalidate it
+// before the caller acts on it. Queries do not need Built — they build on
+// demand.
 func (s *Store) Built() bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.eng != nil
 }
 
-// ensureSnapshot returns the current engine and index, building them
-// (single-flight) when the store was mutated or never built. Both are
+// Generation reports the current snapshot generation without building
+// anything: 0 until the first snapshot exists. Metrics endpoints use this
+// in preference to SnapshotGeneration, which would force a build.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// ensureSnapshot returns the current engine and its BitMat source,
+// building them (single-flight) when the store was never built. Both are
 // immutable snapshots: using them is safe while other goroutines mutate
 // the store.
-func (s *Store) ensureSnapshot() (*engine.Engine, *bitmat.Index, error) {
+func (s *Store) ensureSnapshot() (*engine.Engine, bitmat.Source, error) {
 	s.mu.RLock()
-	eng, idx := s.eng, s.index
+	eng, src := s.eng, s.src
 	s.mu.RUnlock()
-	if eng != nil && idx != nil {
-		return eng, idx, nil
+	if eng != nil && src != nil {
+		return eng, src, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.eng == nil || s.index == nil {
-		if err := s.buildLocked(); err != nil {
+	return s.ensureSnapshotLocked()
+}
+
+// ensureSnapshotLocked is ensureSnapshot for callers already holding mu.
+func (s *Store) ensureSnapshotLocked() (*engine.Engine, bitmat.Source, error) {
+	if s.eng == nil || s.src == nil {
+		if s.base != nil {
+			if err := s.installOverlayLocked(); err != nil {
+				return nil, nil, err
+			}
+		} else if err := s.buildLocked(); err != nil {
 			return nil, nil, err
 		}
 	}
-	return s.eng, s.index, nil
+	return s.eng, s.src, nil
 }
 
 func (s *Store) ensureEngine() (*engine.Engine, error) {
@@ -321,9 +443,17 @@ func (s *Store) ensureEngine() (*engine.Engine, error) {
 	return eng, err
 }
 
+// ensureIndex returns a compacted index covering every mutation so far,
+// folding any outstanding delta first. SaveIndex, QueryBaseline, and
+// IndexSizes route through it: extended overlay dictionaries are never
+// persisted or handed to the relational baseline.
 func (s *Store) ensureIndex() (*bitmat.Index, error) {
-	_, idx, err := s.ensureSnapshot()
-	return idx, err
+	if err := s.Compact(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.base, nil
 }
 
 // Result is a materialized query result. Columns align with Vars; a zero

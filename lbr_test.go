@@ -76,14 +76,18 @@ func TestStoreAutoBuild(t *testing.T) {
 	}
 }
 
-func TestStoreMutationInvalidatesIndex(t *testing.T) {
+func TestStoreMutationKeepsIndexLive(t *testing.T) {
 	s := movieStore(t)
 	if !s.Built() {
 		t.Fatal("expected built")
 	}
+	gen := s.Generation()
 	s.Add(TripleIRI("New", "hasFriend", "Folks"))
-	if s.Built() {
-		t.Fatal("mutation must invalidate the index")
+	if !s.Built() {
+		t.Fatal("mutation must keep the store built via the delta overlay")
+	}
+	if g := s.Generation(); g <= gen {
+		t.Fatalf("mutation must advance the snapshot generation: %d -> %d", gen, g)
 	}
 	res, err := s.Query(`SELECT * WHERE { <New> <hasFriend> ?x . }`)
 	if err != nil {

@@ -1,0 +1,145 @@
+package lbr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// wal is an append-only write-ahead log of effective mutations. Each entry
+// is one line: "A <triple> ." for an insert or "D <triple> ." for a
+// delete, with the triple in N-Triples syntax. Entries are fsynced before
+// the in-memory state changes, so a crashed process replays to exactly the
+// state it acknowledged. The log is never truncated automatically; after a
+// compaction has been persisted with SaveIndex the file can be deleted by
+// the operator.
+type wal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// append writes one mutation batch (deletes first, matching apply order)
+// and syncs it to stable storage.
+func (w *wal) append(del, ins []Triple) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var sb strings.Builder
+	for _, t := range del {
+		sb.WriteString("D ")
+		sb.WriteString(t.String())
+		sb.WriteString(" .\n")
+	}
+	for _, t := range ins {
+		sb.WriteString("A ")
+		sb.WriteString(t.String())
+		sb.WriteString(" .\n")
+	}
+	if _, err := w.f.WriteString(sb.String()); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// OpenWAL attaches a write-ahead log to the store, replaying any entries
+// the file already holds (crash recovery) and logging every subsequent
+// effective mutation to it. It returns the number of replayed entries that
+// changed the store — replaying a log over data that already reflects it
+// is a no-op, so recovery is idempotent. Call after loading the base data
+// (LoadNTriples / OpenIndex) and before serving traffic.
+func (s *Store) OpenWAL(path string) (int, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("lbr: open wal: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		f.Close()
+		return 0, fmt.Errorf("lbr: store already has a WAL attached")
+	}
+
+	type entry struct {
+		del bool
+		t   Triple
+	}
+	var entries []entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if len(line) < 3 || (line[0] != 'A' && line[0] != 'D') || line[1] != ' ' {
+			f.Close()
+			return 0, fmt.Errorf("lbr: wal %s:%d: malformed entry", path, lineNo)
+		}
+		tr, err := rdf.ParseTripleLine(line[2:])
+		if err != nil {
+			f.Close()
+			return 0, fmt.Errorf("lbr: wal %s:%d: %w", path, lineNo, err)
+		}
+		entries = append(entries, entry{del: line[0] == 'D', t: tr})
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("lbr: read wal: %w", err)
+	}
+
+	applied := 0
+	if len(entries) > 0 {
+		// Drop the live snapshot first so per-entry replay does not rebuild
+		// an overlay per line; the next query installs one overlay over the
+		// whole replayed delta.
+		s.src, s.eng = nil, nil
+		for _, e := range entries {
+			var nd, ni int
+			var err error
+			if e.del {
+				nd, ni, err = s.mutateLocked([]Triple{e.t}, nil, false)
+			} else {
+				nd, ni, err = s.mutateLocked(nil, []Triple{e.t}, false)
+			}
+			if err != nil {
+				f.Close()
+				return applied, err
+			}
+			applied += nd + ni
+		}
+	}
+
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return applied, fmt.Errorf("lbr: seek wal: %w", err)
+	}
+	s.wal = &wal{f: f}
+	return applied, nil
+}
+
+// CloseWAL detaches and closes the write-ahead log, if one is attached.
+// Subsequent mutations are no longer logged.
+func (s *Store) CloseWAL() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.close()
+	s.wal = nil
+	return err
+}
