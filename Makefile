@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify test-cache test-update serve-smoke fuzz-smoke bench bench-parallel bench-union bench-build bench-server bench-cache
+.PHONY: all build test race vet fmt-check verify test-cache test-update test-shard serve-smoke fuzz-smoke bench bench-parallel bench-union bench-build bench-server bench-cache bench-shard
 
 # The default target is the full tier-1 verification, race detector included.
 all: verify
@@ -46,6 +46,17 @@ test-update:
 	$(GO) test -race -count=1 \
 		-run 'TestApplyUpdate|TestUpdate|TestAutoCompact|TestWAL|TestOverlay|TestExtend|TestParseUpdate|TestETag|TestMetricsSnapshotGeneration|TestStoreMutation' \
 		./internal/rdf ./internal/bitmat ./internal/sparql ./internal/server .
+
+# test-shard runs the sharding test surface under -race: subject-hash
+# partitioning, the k-way index merge identity, the shardability analysis,
+# and the store-level shard differential suite (queries, updates,
+# compaction, save/load, streaming at shard counts {1,2,4}). The full
+# `make` covers all of these too; this target is the fast loop while
+# working on the shard layers.
+test-shard:
+	$(GO) test -race -count=1 \
+		-run 'TestSubjectShard|TestPartitionBySubject|TestMergeIndexes|TestShardable|TestShard|TestSaveShards|TestOpenShards' \
+		./internal/rdf ./internal/bitmat ./internal/planner ./internal/bench .
 
 # serve-smoke boots the real lbrserver binary on an ephemeral port, runs a
 # content-negotiated SPARQL Protocol query over HTTP, and asserts the JSON
@@ -96,3 +107,9 @@ bench-server:
 # 4, as in bench-parallel; byte-identity asserted per query).
 bench-cache:
 	$(GO) run ./cmd/lbrbench -table cache -lubm-univ 32 -runs 15 -workers 4 -json BENCH_cache.json
+
+# bench-shard refreshes the checked-in single-index-vs-sharded baseline
+# (shard counts 2 and 4, workers pinned to 4 as in bench-parallel;
+# row-multiset identity asserted per query and shard count).
+bench-shard:
+	$(GO) run ./cmd/lbrbench -table shard -lubm-univ 32 -runs 7 -workers 4 -json BENCH_shard.json

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "all", "which experiment: 6.1|6.2|6.3|6.4|index-sizes|ablations|crossover|parallel|union|build|server|cache|all")
+		table    = flag.String("table", "all", "which experiment: 6.1|6.2|6.3|6.4|index-sizes|ablations|crossover|parallel|union|build|server|cache|shard|all")
 		lubmU    = flag.Int("lubm-univ", 16, "LUBM scale: universities")
 		uniprotP = flag.Int("uniprot-proteins", 20000, "UniProt scale: proteins")
 		dbpediaE = flag.Int("dbpedia-entities", 40000, "DBPedia scale: entities")
@@ -49,7 +49,7 @@ func main() {
 	var lubm, uniprot, dbpedia *bench.Dataset
 	build := func() {
 		var err error
-		if lubm == nil && want("6.1", "6.2", "index-sizes", "ablations", "parallel", "union", "build", "server", "cache") {
+		if lubm == nil && want("6.1", "6.2", "index-sizes", "ablations", "parallel", "union", "build", "server", "cache", "shard") {
 			step("generating LUBM-like dataset (%d universities)", *lubmU)
 			lubm, err = bench.BuildLUBM(*lubmU)
 			check(err)
@@ -221,6 +221,27 @@ func main() {
 			f, err := os.Create(*jsonPath)
 			check(err)
 			check(bench.WriteCacheJSON(f, rep))
+			check(f.Close())
+			step("wrote %s", *jsonPath)
+		}
+	}
+
+	if want("shard") && lubm != nil {
+		w := engine.Options{Workers: *workers}.EffectiveWorkers()
+		counts := []int{2, 4}
+		step("running shard scatter-gather comparison (workers=%d, shards=%v)", w, counts)
+		ms, err := bench.RunShardTable(lubm, counts, *workers, *runs)
+		check(err)
+		bench.FprintShardTable(os.Stdout,
+			fmt.Sprintf("Subject-hash sharding: LUBM (%d triples), %d workers", lubm.Graph.Len(), w), ms)
+		fmt.Println()
+		// -json is shared with the other tables; write the shard report
+		// only when this run is specifically the shard table.
+		if *jsonPath != "" && *table == "shard" {
+			rep := bench.NewShardReport(w, *runs, ms)
+			f, err := os.Create(*jsonPath)
+			check(err)
+			check(bench.WriteShardJSON(f, rep))
 			check(f.Close())
 			step("wrote %s", *jsonPath)
 		}

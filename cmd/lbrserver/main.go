@@ -37,12 +37,14 @@ import (
 
 func main() {
 	var (
-		dataPath    = flag.String("data", "", "N-Triples file to load and index")
-		indexPath   = flag.String("index", "", "binary index snapshot to open (alternative to -data)")
-		addr        = flag.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
-		timeout     = flag.Duration("timeout", 30*time.Second, "per-query timeout (0 = unlimited)")
-		maxConc     = flag.Int("max-concurrent", 0, "max queries executing at once (0 = 4x workers)")
-		workers     = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		dataPath  = flag.String("data", "", "N-Triples file to load and index")
+		indexPath = flag.String("index", "", "binary index snapshot to open (alternative to -data)")
+		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-query timeout (0 = unlimited)")
+		maxConc   = flag.Int("max-concurrent", 0, "max queries executing at once (0 = 4x workers)")
+		workers   = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		shards    = flag.Int("shards", 0,
+			"subject-hash shard count; >= 2 scatter-gathers subject-star queries across per-shard indexes (0 or 1 = single index)")
 		cacheBudget = flag.Int64("cache-budget", 0,
 			"byte bound of the store's cross-query BitMat materialization cache (0 = 64 MiB default, negative = disabled)")
 		resultCache = flag.Int64("result-cache", 0,
@@ -61,7 +63,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	store, err := loadStore(*dataPath, *indexPath, *workers, *cacheBudget, *compactThreshold)
+	store, err := loadStore(*dataPath, *indexPath, *workers, *shards, *cacheBudget, *compactThreshold)
 	if err != nil {
 		fatal(err)
 	}
@@ -129,9 +131,9 @@ func main() {
 		snap.UpdatesServed, snap.TriplesIns, snap.TriplesDel)
 }
 
-func loadStore(dataPath, indexPath string, workers int, cacheBudget int64, compactThreshold int) (*lbr.Store, error) {
+func loadStore(dataPath, indexPath string, workers, shards int, cacheBudget int64, compactThreshold int) (*lbr.Store, error) {
 	start := time.Now()
-	opts := lbr.Options{Workers: workers, CacheBudget: cacheBudget, CompactThreshold: compactThreshold}
+	opts := lbr.Options{Workers: workers, Shards: shards, CacheBudget: cacheBudget, CompactThreshold: compactThreshold}
 	if indexPath != "" {
 		f, err := os.Open(indexPath)
 		if err != nil {

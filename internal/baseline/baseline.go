@@ -49,15 +49,31 @@ func (p Policy) String() string {
 // pushes bindings sideways into inner scans.
 const pushdownThreshold = 4096
 
+// Source is the read surface the baseline scans over: the merged,
+// (A,B)-sorted pair tables plus exact cardinalities. Both a compacted
+// *bitmat.Index and a delta *bitmat.Overlay satisfy it, so the comparator
+// can evaluate a store's live snapshot without forcing a compaction.
+type Source interface {
+	Dictionary() *rdf.Dictionary
+	SOPairs(p rdf.ID) []bitmat.Pair
+	OSPairs(p rdf.ID) []bitmat.Pair
+	SubjectPairs(s rdf.ID) []bitmat.Pair
+	ObjectPairs(o rdf.ID) []bitmat.Pair
+	Contains(s, p, o rdf.ID) bool
+	PredicateCardinality(p rdf.ID) int
+	SubjectCardinality(s rdf.ID) int
+	ObjectCardinality(o rdf.ID) int
+}
+
 // Engine is a baseline query engine over the shared predicate tables.
 type Engine struct {
-	idx    *bitmat.Index
+	idx    Source
 	dict   *rdf.Dictionary
 	policy Policy
 }
 
 // New returns a baseline engine.
-func New(idx *bitmat.Index, policy Policy) *Engine {
+func New(idx Source, policy Policy) *Engine {
 	return &Engine{idx: idx, dict: idx.Dictionary(), policy: policy}
 }
 

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	lbr "repro"
+)
+
+// ShardQueries is the workload of the -table shard comparison: subject-star
+// queries the planner proves shardable (scatter-gather across the per-shard
+// indexes) alongside shapes that fall back to the merged index, so the
+// table exercises both paths of a sharded store.
+func ShardQueries() []QuerySpec {
+	return []QuerySpec{
+		{ID: "S1", Note: "subject star: two patterns + OPTIONAL (scatter-gather)", SPARQL: lubmPrefixes + `
+			SELECT * WHERE {
+				?st ub:memberOf ?dept . ?st ub:takesCourse ?course .
+				OPTIONAL { ?st ub:emailAddress ?e . } }`},
+		{ID: "S2", Note: "subject star filtered by type, nested OPTIONAL", SPARQL: lubmPrefixes + `
+			SELECT * WHERE {
+				?st rdf:type ub:GraduateStudent . ?st ub:memberOf ?dept .
+				OPTIONAL { ?st ub:advisor ?a . OPTIONAL { ?st ub:telephone ?t . } } }`},
+		{ID: "S3", Note: "chain join: not shardable, merged-index fallback", SPARQL: lubmPrefixes + `
+			SELECT * WHERE {
+				?prof ub:teacherOf ?course . ?st ub:takesCourse ?course . }`},
+		{ID: "S4", Note: "subject star under DISTINCT + ORDER BY (coordinator modifiers)", SPARQL: lubmPrefixes + `
+			SELECT DISTINCT ?st ?dept WHERE {
+				?st ub:memberOf ?dept . ?st ub:undergraduateDegreeFrom ?u . }
+			ORDER BY ?st`},
+	}
+}
+
+// ShardMeasurement compares one query on the single-index store with the
+// same query on an N-shard store.
+type ShardMeasurement struct {
+	Dataset string `json:"dataset"`
+	Query   string `json:"query"`
+	Shards  int    `json:"shards"`
+	// Shardable reports whether the scatter-gather path handled the query;
+	// false means the sharded store answered from its merged index.
+	Shardable bool    `json:"shardable"`
+	T1MS      float64 `json:"t_1_ms"`
+	TShMS     float64 `json:"t_sh_ms"`
+	Speedup   float64 `json:"speedup"`
+	Results   int     `json:"results"`
+	// Match is true when both stores returned the identical row multiset
+	// (rows compared in canonical sorted order: scatter-gather emits shard
+	// order, which is a permutation of the single-index order unless the
+	// query fixes one with ORDER BY).
+	Match bool `json:"match"`
+}
+
+// ShardReport is the JSON document lbrbench -table shard -json emits.
+type ShardReport struct {
+	CreatedAt    string             `json:"created_at"`
+	NumCPU       int                `json:"num_cpu"`
+	GoMaxProcs   int                `json:"gomaxprocs"`
+	Workers      int                `json:"workers"`
+	Runs         int                `json:"runs"`
+	Measurements []ShardMeasurement `json:"measurements"`
+}
+
+// NewShardReport stamps a report with the current machine shape.
+func NewShardReport(workers, runs int, ms []ShardMeasurement) ShardReport {
+	return ShardReport{
+		CreatedAt:    time.Now().UTC().Format(time.RFC3339),
+		NumCPU:       runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Workers:      workers,
+		Runs:         runs,
+		Measurements: ms,
+	}
+}
+
+// WriteShardJSON serializes a report, indented for reviewable check-in.
+func WriteShardJSON(w io.Writer, rep ShardReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// sortedCopy returns the rows in canonical (lexicographic) order, the
+// multiset representation both sides of a shard comparison agree on.
+func sortedCopy(rows []string) []string {
+	out := append([]string(nil), rows...)
+	sort.Strings(out)
+	return out
+}
+
+// RunShardTable measures the shard workload at the given shard counts
+// (single-index baseline vs each count), verifying every execution returns
+// the identical row multiset.
+func RunShardTable(ds *Dataset, shardCounts []int, workers, runs int) ([]ShardMeasurement, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	single := lbr.NewStoreWithOptions(lbr.Options{Workers: workers})
+	single.LoadGraph(ds.Graph)
+	if err := single.Build(); err != nil {
+		return nil, err
+	}
+	var out []ShardMeasurement
+	for _, n := range shardCounts {
+		sharded := lbr.NewStoreWithOptions(lbr.Options{Workers: workers, Shards: n})
+		sharded.LoadGraph(ds.Graph)
+		if err := sharded.Build(); err != nil {
+			return nil, err
+		}
+		for _, spec := range ShardQueries() {
+			m := ShardMeasurement{Dataset: ds.Name, Query: spec.ID, Shards: n}
+			m.Shardable = lbr.ShardableQuery(spec.SPARQL)
+			t1, rows1, err := timeStoreQuery(single, spec.SPARQL, runs)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s single: %w", ds.Name, spec.ID, err)
+			}
+			tn, rowsN, err := timeStoreQuery(sharded, spec.SPARQL, runs)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s shards=%d: %w", ds.Name, spec.ID, n, err)
+			}
+			m.T1MS, m.TShMS = t1, tn
+			if tn > 0 {
+				m.Speedup = t1 / tn
+			}
+			m.Results = len(rows1)
+			m.Match = equalStrings(sortedCopy(rows1), sortedCopy(rowsN))
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// FprintShardTable renders the scatter-gather comparison.
+func FprintShardTable(w io.Writer, title string, ms []ShardMeasurement) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-10s %-5s %7s %10s %12s %12s %8s %10s %6s\n",
+		"dataset", "query", "shards", "shardable", "T1(ms)", "Tsh(ms)", "speedup", "#results", "same?")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%-10s %-5s %7d %10s %12.2f %12.2f %7.2fx %10d %6s\n",
+			m.Dataset, m.Query, m.Shards, yn(m.Shardable), m.T1MS, m.TShMS, m.Speedup, m.Results, yn(m.Match))
+	}
+}

@@ -1,0 +1,109 @@
+package bitmat
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// MergeIndexes folds N shard indexes built over one shared dictionary into
+// the single index a monolithic build over the union of their triples
+// would produce. Every pair table is the k-way merge of the shards'
+// (A,B)-sorted tables; because the shards partition the triple set, the
+// merged lists are exactly the canonically sorted lists of the union, so
+// the result is deeply identical to BuildParallel over the whole graph —
+// including its serialized form, which is what keeps SaveIndex
+// byte-identical across shard counts.
+//
+// All parts must have been built with dict (BuildParallelWithDictionary),
+// so their tables already live in the shared coordinate space; the merged
+// index shares the parts' pair slices whenever only one shard owns a key.
+func MergeIndexes(dict *rdf.Dictionary, parts []*Index) (*Index, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("bitmat: merge of zero indexes")
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	nP, nS, nO := dict.NumPredicates(), dict.NumSubjects(), dict.NumObjects()
+	for i, part := range parts {
+		if len(part.soPairs) != nP || len(part.bySubject) != nS || len(part.byObject) != nO {
+			return nil, fmt.Errorf("bitmat: shard %d tables (%d,%d,%d) do not match dictionary (%d,%d,%d)",
+				i, len(part.soPairs), len(part.bySubject), len(part.byObject), nP, nS, nO)
+		}
+	}
+	idx := &Index{
+		dict:      dict,
+		soPairs:   make([][]Pair, nP),
+		osPairs:   make([][]Pair, nP),
+		bySubject: make([][]Pair, nS),
+		byObject:  make([][]Pair, nO),
+	}
+	lists := make([][]Pair, 0, len(parts))
+	mergeInto := func(dst [][]Pair, key int, pick func(*Index) []Pair) {
+		lists = lists[:0]
+		for _, part := range parts {
+			if l := pick(part); len(l) > 0 {
+				lists = append(lists, l)
+			}
+		}
+		dst[key] = mergeSortedPairLists(lists)
+	}
+	for p := 0; p < nP; p++ {
+		mergeInto(idx.soPairs, p, func(part *Index) []Pair { return part.soPairs[p] })
+		mergeInto(idx.osPairs, p, func(part *Index) []Pair { return part.osPairs[p] })
+	}
+	for s := 0; s < nS; s++ {
+		mergeInto(idx.bySubject, s, func(part *Index) []Pair { return part.bySubject[s] })
+	}
+	for o := 0; o < nO; o++ {
+		mergeInto(idx.byObject, o, func(part *Index) []Pair { return part.byObject[o] })
+	}
+	for _, part := range parts {
+		idx.nTriples += part.nTriples
+	}
+	if err := idx.Validate(); err != nil {
+		return nil, fmt.Errorf("bitmat: merged index invalid: %w", err)
+	}
+	return idx, nil
+}
+
+// mergeSortedPairLists merges k (A,B)-sorted pair lists into one sorted
+// list. The inputs are pairwise disjoint (they come from disjoint triple
+// sets), so a plain ascending merge yields the canonical order. With zero
+// or one input list no allocation happens — the single list is shared.
+func mergeSortedPairLists(lists [][]Pair) []Pair {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]Pair, 0, total)
+	cursors := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		for i, l := range lists {
+			if cursors[i] >= len(l) {
+				continue
+			}
+			if best < 0 || pairLess(l[cursors[i]], lists[best][cursors[best]]) {
+				best = i
+			}
+		}
+		out = append(out, lists[best][cursors[best]])
+		cursors[best]++
+	}
+	return out
+}
+
+func pairLess(a, b Pair) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}

@@ -1,0 +1,83 @@
+package bitmat
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// mergeTestTriples is a small graph with shared S/O terms, literals, and
+// enough subjects that every shard count in the sweep gets non-empty parts.
+func mergeTestTriples() []rdf.Triple {
+	var ts []rdf.Triple
+	for i := 0; i < 12; i++ {
+		s := fmt.Sprintf("s%d", i)
+		ts = append(ts,
+			rdf.T(s, "p0", fmt.Sprintf("s%d", (i+1)%12)),
+			rdf.T(s, fmt.Sprintf("p%d", i%3), "o0"),
+			rdf.TL(s, "label", fmt.Sprintf("name %d", i)),
+		)
+	}
+	return ts
+}
+
+// TestMergeIndexesMatchesMonolithic pins the tentpole's core identity: the
+// k-way merge of per-shard indexes over a shared dictionary serializes
+// byte-identically to a monolithic build of the whole triple set.
+func TestMergeIndexesMatchesMonolithic(t *testing.T) {
+	triples := mergeTestTriples()
+	dict := rdf.BuildDictionaryParallel(triples, 1)
+	mono, err := BuildParallelWithDictionary(triples, dict, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var monoBuf bytes.Buffer
+	if _, err := mono.WriteTo(&monoBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4} {
+		parts := rdf.PartitionBySubject(triples, n)
+		shards := make([]*Index, len(parts))
+		for i, part := range parts {
+			shards[i], err = BuildParallelWithDictionary(part, dict, 2)
+			if err != nil {
+				t.Fatalf("n=%d shard %d: %v", n, i, err)
+			}
+		}
+		merged, err := MergeIndexes(dict, shards)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := merged.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if merged.NumTriples() != mono.NumTriples() {
+			t.Fatalf("n=%d: %d triples, want %d", n, merged.NumTriples(), mono.NumTriples())
+		}
+		var buf bytes.Buffer
+		if _, err := merged.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), monoBuf.Bytes()) {
+			t.Fatalf("n=%d: merged index serialization differs from monolithic build", n)
+		}
+	}
+}
+
+func TestMergeIndexesRejectsMismatchedDict(t *testing.T) {
+	triples := mergeTestTriples()
+	dict := rdf.BuildDictionaryParallel(triples, 1)
+	idx, err := BuildParallelWithDictionary(triples, dict, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := rdf.BuildDictionaryParallel(triples[:3], 1)
+	if _, err := MergeIndexes(other, []*Index{idx, idx}); err == nil {
+		t.Fatal("merge with a foreign dictionary should fail validation")
+	}
+	if _, err := MergeIndexes(dict, nil); err == nil {
+		t.Fatal("merge of zero indexes should fail")
+	}
+}

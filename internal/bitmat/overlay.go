@@ -210,6 +210,33 @@ func (ov *Overlay) SOPairs(p rdf.ID) []Pair {
 	return ov.soMerged(p)
 }
 
+// OSPairs returns the merged (O,S) pairs of predicate p, matching
+// Index.OSPairs. The slice is shared; do not mutate it.
+func (ov *Overlay) OSPairs(p rdf.ID) []Pair {
+	if p == 0 || int(p) > ov.dict.NumPredicates() {
+		return nil
+	}
+	return ov.osMerged(p)
+}
+
+// SubjectPairs returns the merged (P,O) pairs of subject s, matching
+// Index.SubjectPairs. The slice is shared; do not mutate it.
+func (ov *Overlay) SubjectPairs(s rdf.ID) []Pair {
+	if s == 0 || int(s) > ov.dict.NumSubjects() {
+		return nil
+	}
+	return ov.subjectMerged(s)
+}
+
+// ObjectPairs returns the merged (P,S) pairs of object o, matching
+// Index.ObjectPairs. The slice is shared; do not mutate it.
+func (ov *Overlay) ObjectPairs(o rdf.ID) []Pair {
+	if o == 0 || int(o) > ov.dict.NumObjects() {
+		return nil
+	}
+	return ov.objectMerged(o)
+}
+
 // MatSO materializes the merged S-O BitMat of predicate p at the extended
 // dictionary's dimensions.
 func (ov *Overlay) MatSO(p rdf.ID) *Matrix { return ov.MatSOFiltered(p, nil, nil) }

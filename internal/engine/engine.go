@@ -319,8 +319,18 @@ func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query) (*Result, er
 	}
 	res.Stats.Total = time.Since(start)
 
-	// Solution modifiers, in SPARQL order: ORDER BY on the full bindings,
-	// then projection, DISTINCT, OFFSET, LIMIT.
+	res.ApplyModifiers(q)
+	return res, nil
+}
+
+// ApplyModifiers applies q's solution modifiers to the result, in SPARQL
+// order: ORDER BY on the full bindings, then projection, DISTINCT, OFFSET,
+// LIMIT. executeQuery routes through it, and so does the sharded store's
+// scatter-gather coordinator — modifiers are not shard-local (projection
+// can make rows from different shards collide under DISTINCT), so the
+// coordinator runs shards modifier-free and applies them here, once, over
+// the merged rows.
+func (res *Result) ApplyModifiers(q *sparql.Query) {
 	if len(q.OrderBy) > 0 {
 		res.orderBy(q.OrderBy)
 	}
@@ -332,7 +342,6 @@ func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query) (*Result, er
 	}
 	res.slice(q.Offset, q.Limit)
 	res.Stats.Results = len(res.Rows)
-	return res, nil
 }
 
 // orderBy sorts the rows by the given keys: numeric literals compare

@@ -1,0 +1,62 @@
+package planner
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/sparql"
+)
+
+// Shardability analysis for the subject-hash-partitioned store. A query is
+// shardable when evaluating it independently on every shard and taking the
+// disjoint union of the per-shard results is guaranteed to equal
+// evaluating it on the whole graph. The sufficient condition used here is
+// the subject-star shape:
+//
+//   - exactly one union-free branch (no UNION, whose distribution rule-3
+//     splits need cross-branch best-match scoped over the global result),
+//   - every triple pattern — masters and OPTIONAL slaves at every nesting
+//     depth alike — has the same variable in subject position, and
+//   - no pattern is three-variable (?s ?p ?o expands into per-predicate
+//     branches with cross-branch collapse scope).
+//
+// Then every solution binds that subject variable (it occurs in the
+// absolute master, which always matches), every triple any of its
+// patterns can match carries that one subject, and subject-hash
+// partitioning puts all such triples in a single shard. So each solution
+// is produced by exactly one shard, no shard produces spurious rows (its
+// masters cannot match foreign subjects), and OPTIONAL/best-match
+// subsumption — only possible between rows agreeing on all shared
+// bindings, in particular the subject — never crosses shards. FILTERs are
+// row-local and evaluate identically per shard.
+//
+// Solution modifiers (ORDER BY, projection, DISTINCT, LIMIT/OFFSET) are
+// NOT shard-local — projection can make rows from different shards equal —
+// so the coordinator strips them from the per-shard runs and applies them
+// once over the merged rows.
+
+// Shardable reports whether the normalized branches of a query form a
+// subject-star executable independently per subject-hash shard, and the
+// shared subject variable when they do.
+func Shardable(branches []*algebra.Branch) (sparql.Var, bool) {
+	if len(branches) != 1 {
+		return "", false
+	}
+	pats := algebra.TreePatterns(branches[0].Tree)
+	if len(pats) == 0 {
+		return "", false
+	}
+	var subj sparql.Var
+	for i, tp := range pats {
+		if !tp.S.IsVar {
+			return "", false
+		}
+		if tp.P.IsVar && tp.O.IsVar {
+			return "", false // three-variable pattern: rule-3 expansion
+		}
+		if i == 0 {
+			subj = tp.S.Var
+		} else if tp.S.Var != subj {
+			return "", false
+		}
+	}
+	return subj, true
+}

@@ -1,0 +1,57 @@
+package planner
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/sparql"
+)
+
+func shardBranches(t *testing.T, src string) []*algebra.Branch {
+	t.Helper()
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := algebra.FromQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches, err := algebra.NormalizeUNF(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return branches
+}
+
+func TestShardable(t *testing.T) {
+	cases := []struct {
+		name string
+		q    string
+		want bool
+		subj sparql.Var
+	}{
+		{"single pattern", `SELECT * WHERE { ?s <p> ?o }`, true, "s"},
+		{"subject star", `SELECT * WHERE { ?s <p> ?o . ?s <q> <c> }`, true, "s"},
+		{"star with optional", `SELECT * WHERE { ?s <p> ?o OPTIONAL { ?s <q> ?x } }`, true, "s"},
+		{"nested optional star", `SELECT * WHERE { ?s <p> ?o OPTIONAL { ?s <q> ?x OPTIONAL { ?s <r> ?y } } }`, true, "s"},
+		{"variable predicate ok", `SELECT * WHERE { ?s ?p <o> . ?s <q> ?x }`, true, "s"},
+		{"chain join", `SELECT * WHERE { ?s <p> ?o . ?o <q> ?x }`, false, ""},
+		{"constant subject", `SELECT * WHERE { <s> <p> ?o }`, false, ""},
+		{"mixed subjects", `SELECT * WHERE { ?s <p> ?o . ?t <q> ?o }`, false, ""},
+		{"three variable", `SELECT * WHERE { ?s ?p ?o }`, false, ""},
+		{"union", `SELECT * WHERE { { ?s <p> ?o } UNION { ?s <q> ?o } }`, false, ""},
+		{"optional foreign subject", `SELECT * WHERE { ?s <p> ?o OPTIONAL { ?o <q> ?x } }`, false, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			subj, ok := Shardable(shardBranches(t, tc.q))
+			if ok != tc.want {
+				t.Fatalf("Shardable(%q) = %v, want %v", tc.q, ok, tc.want)
+			}
+			if ok && subj != tc.subj {
+				t.Fatalf("Shardable(%q) subject = %q, want %q", tc.q, subj, tc.subj)
+			}
+		})
+	}
+}

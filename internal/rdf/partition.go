@@ -1,0 +1,52 @@
+package rdf
+
+// Subject-hash graph partitioning: the sharded store splits a graph into N
+// independent shards, each owning every triple whose subject hashes to it.
+// The hash is over the subject term's key (its N-Triples rendering), never
+// over dictionary IDs, so a triple's owning shard is stable across
+// dictionary layouts, overlay extensions, and compactions — the property
+// the update router relies on to send a delta triple to the shard whose
+// base can absorb it.
+
+// SubjectShard reports the shard in [0, n) owning triples with subject t,
+// by FNV-1a over the term key modulo n (the same hash family the sharded
+// dictionary builder uses, but modulo an arbitrary shard count instead of
+// masked to a power of two). n < 2 always maps to shard 0.
+func SubjectShard(t Term, n int) int {
+	if n < 2 {
+		return 0
+	}
+	const (
+		offset64 uint64 = 14695981039346656037
+		prime64  uint64 = 1099511628211
+	)
+	key := t.Key()
+	h := offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// PartitionBySubject splits triples into n slices, slice i holding exactly
+// the triples with SubjectShard(t.S, n) == i in their input order. The
+// slices partition the input: every triple lands in exactly one shard.
+func PartitionBySubject(triples []Triple, n int) [][]Triple {
+	if n < 2 {
+		return [][]Triple{triples}
+	}
+	counts := make([]int, n)
+	for _, tr := range triples {
+		counts[SubjectShard(tr.S, n)]++
+	}
+	parts := make([][]Triple, n)
+	for i, c := range counts {
+		parts[i] = make([]Triple, 0, c)
+	}
+	for _, tr := range triples {
+		i := SubjectShard(tr.S, n)
+		parts[i] = append(parts[i], tr)
+	}
+	return parts
+}

@@ -87,6 +87,10 @@ type Snapshot struct {
 	SnapshotGeneration uint64               `json:"snapshot_generation"`
 	ResultCache        *ResultCacheSnapshot `json:"result_cache,omitempty"`
 	BitMatCache        *lbr.CacheStats      `json:"bitmat_cache,omitempty"`
+	// Shards lists per-shard statistics (triple counts, snapshot
+	// generations, cache counters) on a sharded store; omitted when the
+	// store runs a single index.
+	Shards []lbr.ShardInfo `json:"shards,omitempty"`
 }
 
 // Snapshot captures the current counter values.

@@ -157,6 +157,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// small, invalidations mean writes are churning snapshots.
 	bm := s.store.CacheStats()
 	snap.BitMatCache = &bm
+	// ShardStats likewise never forces a build; shards that have not
+	// materialized a snapshot yet report their last compacted base.
+	snap.Shards = s.store.ShardStats()
 	writeMetricsJSON(w, snap)
 }
 

@@ -99,6 +99,16 @@ type Options struct {
 	// cache on, off, or at any budget. 0 selects the default (64 MiB);
 	// negative values disable the cache.
 	CacheBudget int64
+	// Shards, when 2 or more, hash-partitions the graph by subject into
+	// that many in-process shards: each shard builds, overlays, compacts,
+	// and caches its own BitMat index over a shared global dictionary, and
+	// subject-star queries (every triple pattern sharing one subject
+	// variable) execute per shard concurrently, merged in deterministic
+	// shard order. Queries outside that class, and every persistence and
+	// baseline path, run against the merged view of all shards, which is
+	// byte-identical to the single index an unsharded store builds. 0 and
+	// 1 (and negative values) select today's single monolithic index.
+	Shards int
 	// CompactThreshold, when positive, starts a background compaction as
 	// soon as the store's delta overlay accumulates that many entries
 	// (inserts plus deletes versus the base index). 0 disables automatic
@@ -131,6 +141,15 @@ func (o Options) EffectiveCacheBudget() int64 {
 // EffectiveWorkers reports the worker count the options resolve to:
 // Workers when positive, GOMAXPROCS when zero, and 1 for negative values.
 func (o Options) EffectiveWorkers() int { return o.engineOptions().EffectiveWorkers() }
+
+// EffectiveShards reports the shard count the options resolve to: Shards
+// when 2 or more, otherwise 1 (a single monolithic index).
+func (o Options) EffectiveShards() int {
+	if o.Shards >= 2 {
+		return o.Shards
+	}
+	return 1
+}
 
 // Store holds an RDF graph and, after Build, its BitMat index plus a delta
 // overlay of uncompacted mutations.
@@ -177,6 +196,15 @@ type Store struct {
 
 	compacting  bool
 	compactDone chan struct{} // closed when the in-flight compaction finishes
+
+	// shards holds the subject-hash shard indexes, engines, and caches of
+	// a sharded store (Options.Shards >= 2); nil otherwise. See shards.go.
+	shards *shardState
+
+	// walCheckpointLSN records the store LSN at the last WAL checkpoint
+	// (a SaveIndex/SaveShards that proved every logged mutation folded
+	// into the persisted base, letting the log truncate to zero).
+	walCheckpointLSN uint64
 }
 
 // NewStore returns an empty store.
@@ -185,11 +213,12 @@ func NewStore() *Store { return NewStoreWithOptions(Options{}) }
 // NewStoreWithOptions returns an empty store with engine options.
 func NewStoreWithOptions(opts Options) *Store {
 	return &Store{
-		graph: rdf.NewGraph(),
-		opts:  opts,
-		cache: engine.NewMatCache(opts.EffectiveCacheBudget()),
-		ins:   map[string]Triple{},
-		del:   map[string]Triple{},
+		graph:  rdf.NewGraph(),
+		opts:   opts,
+		cache:  engine.NewMatCache(opts.EffectiveCacheBudget()),
+		ins:    map[string]Triple{},
+		del:    map[string]Triple{},
+		shards: newShardState(opts),
 	}
 }
 
@@ -304,6 +333,9 @@ func (o Options) engineOptions() engine.Options {
 // goroutines; any worker count yields an identical index (see
 // bitmat.BuildParallel).
 func (s *Store) buildLocked() error {
+	if s.shards != nil {
+		return s.buildShardedLocked()
+	}
 	idx, err := bitmat.BuildParallel(s.graph, s.opts.EffectiveWorkers())
 	if err != nil {
 		return err
@@ -330,6 +362,9 @@ func (s *Store) installSourceLocked(src bitmat.Source) {
 	s.gen++
 	s.src = src
 	s.eng = engine.NewWithCache(src, s.opts.engineOptions(), s.cache.Advance(s.gen))
+	// Per-shard snapshots are generation-bound like the merged one; the
+	// next shardable query rebuilds them over the new delta.
+	s.invalidateShardsLocked()
 }
 
 // installOverlayLocked rebuilds the delta overlay over the current base
@@ -541,17 +576,22 @@ func (s *Store) Query(src string) (*Result, error) {
 
 // QueryContext is Query with cancellation: a done context aborts the
 // multi-way join and returns ctx.Err(). A query concurrent with mutation
-// runs on the most recently built index snapshot.
+// runs on the most recently built index snapshot. On a sharded store,
+// subject-star queries scatter across the shards and gather in shard
+// order; everything else runs on the merged view.
 func (s *Store) QueryContext(ctx context.Context, src string) (*Result, error) {
-	eng, err := s.ensureEngine()
-	if err != nil {
-		return nil, err
-	}
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	res, err := eng.ExecuteContext(ctx, q)
+	res, handled, err := s.queryShardedContext(ctx, q)
+	if !handled {
+		eng, eerr := s.ensureEngine()
+		if eerr != nil {
+			return nil, eerr
+		}
+		res, err = eng.ExecuteContext(ctx, q)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -569,13 +609,18 @@ func (s *Store) Ask(src string) (bool, error) {
 }
 
 // AskContext is Ask with cancellation: a done context aborts the
-// existence check in any phase and returns ctx.Err().
+// existence check in any phase and returns ctx.Err(). On a sharded store
+// a subject-star ASK probes the shards one by one, stopping at the first
+// shard with a solution.
 func (s *Store) AskContext(ctx context.Context, src string) (bool, error) {
-	eng, err := s.ensureEngine()
+	q, err := sparql.Parse(src)
 	if err != nil {
 		return false, err
 	}
-	q, err := sparql.Parse(src)
+	if found, handled, err := s.askShardedContext(ctx, q); handled {
+		return found, err
+	}
+	eng, err := s.ensureEngine()
 	if err != nil {
 		return false, err
 	}
@@ -609,17 +654,30 @@ const (
 )
 
 // QueryBaseline executes the query on the relational comparator engine,
-// for benchmarking against LBR.
+// for benchmarking against LBR. The baseline scans the current snapshot
+// directly — base plus delta overlay — so comparing against a store with
+// uncompacted updates no longer forces a full compaction first.
 func (s *Store) QueryBaseline(src string, policy BaselinePolicy) (*Result, error) {
-	idx, err := s.ensureIndex()
+	_, snap, err := s.ensureSnapshot()
 	if err != nil {
 		return nil, err
+	}
+	bsrc, ok := snap.(baseline.Source)
+	if !ok {
+		// Every store-installed snapshot (index or overlay) satisfies
+		// baseline.Source; an exotic composition falls back to a compacted
+		// index.
+		idx, ierr := s.ensureIndex()
+		if ierr != nil {
+			return nil, ierr
+		}
+		bsrc = idx
 	}
 	pol := baseline.OriginalOrder
 	if policy == VirtuosoLike {
 		pol = baseline.SelectiveMaster
 	}
-	res, err := baseline.New(idx, pol).ExecuteString(src)
+	res, err := baseline.New(bsrc, pol).ExecuteString(src)
 	if err != nil {
 		return nil, err
 	}

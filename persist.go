@@ -44,7 +44,18 @@ func (s *Store) SaveIndex(w io.Writer) error {
 	if _, err := idx.WriteTo(bw); err != nil {
 		return err
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// The snapshot now covers every mutation the WAL logged (ensureIndex
+	// compacted first), so checkpoint: sync the destination if it can be
+	// synced, then cut the log. Skipped automatically if mutations raced in.
+	if f, ok := w.(interface{ Sync() error }); ok {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	return s.maybeCheckpointWAL(idx)
 }
 
 // OpenIndex loads a snapshot written by SaveIndex into a queryable store.
@@ -111,15 +122,11 @@ func (s *Store) QueryStream(src string, fn func(map[string]Term) bool) error {
 // returns ctx.Err(), so a streaming consumer that goes away does not burn
 // the rest of the scan.
 func (s *Store) QueryStreamContext(ctx context.Context, src string, fn func(map[string]Term) bool) error {
-	eng, err := s.ensureEngine()
-	if err != nil {
-		return err
-	}
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return err
 	}
-	return eng.ExecuteStreamContext(ctx, q, func(vars []sparql.Var, row engine.Row) bool {
+	emit := func(vars []sparql.Var, row engine.Row) bool {
 		m := make(map[string]Term, len(vars))
 		for i, v := range vars {
 			if !row[i].IsZero() {
@@ -127,7 +134,15 @@ func (s *Store) QueryStreamContext(ctx context.Context, src string, fn func(map[
 			}
 		}
 		return fn(m)
-	})
+	}
+	if handled, err := s.streamShardedContext(ctx, q, nil, emit); handled {
+		return err
+	}
+	eng, err := s.ensureEngine()
+	if err != nil {
+		return err
+	}
+	return eng.ExecuteStreamContext(ctx, q, emit)
 }
 
 // QueryStreamRows executes a query and streams positional rows to fn: each
@@ -147,10 +162,6 @@ func (s *Store) QueryStreamContext(ctx context.Context, src string, fn func(map[
 // (best-match) or cross-branch de-duplication are materialized internally
 // and replayed to fn; everything else streams with constant memory.
 func (s *Store) QueryStreamRows(ctx context.Context, src string, fn func(vars []string, row []Term) bool) error {
-	eng, err := s.ensureEngine()
-	if err != nil {
-		return err
-	}
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return err
@@ -164,7 +175,7 @@ func (s *Store) QueryStreamRows(ctx context.Context, src string, fn func(vars []
 		remap   []int
 		checked bool
 	)
-	return eng.ExecuteStreamHeaderContext(ctx, q, func(vs []sparql.Var) bool {
+	header := func(vs []sparql.Var) bool {
 		// The header and the rows come from one normalization pass; a
 		// dead context has already been refused by the engine.
 		evars = vs
@@ -173,7 +184,8 @@ func (s *Store) QueryStreamRows(ctx context.Context, src string, fn func(vars []
 			vars[i] = string(v)
 		}
 		return fn(vars, nil)
-	}, func(vs []sparql.Var, row engine.Row) bool {
+	}
+	emit := func(vs []sparql.Var, row engine.Row) bool {
 		if !checked {
 			checked = true
 			same := len(vs) == len(evars)
@@ -205,5 +217,13 @@ func (s *Store) QueryStreamRows(ctx context.Context, src string, fn func(vars []
 			}
 		}
 		return fn(vars, out)
-	})
+	}
+	if handled, err := s.streamShardedContext(ctx, q, header, emit); handled {
+		return err
+	}
+	eng, err := s.ensureEngine()
+	if err != nil {
+		return err
+	}
+	return eng.ExecuteStreamHeaderContext(ctx, q, header, emit)
 }

@@ -1,0 +1,217 @@
+package lbr
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bitmat"
+	"repro/internal/rdf"
+)
+
+// Sharded snapshot layout: a directory holding one self-contained store
+// snapshot per shard — each in the exact SaveIndex format, magic included,
+// so a single shard file is independently loadable with OpenIndex — plus a
+// manifest recording the shard count and file order. Every shard embeds
+// the same global dictionary; OpenShards verifies that byte-for-byte, and
+// verifies each triple lives in the shard its subject hash owns, before
+// k-way merging the shard tables back into the store's base index.
+const (
+	shardManifestName   = "manifest.json"
+	shardManifestFormat = "LBRSHRD1"
+)
+
+type shardManifest struct {
+	Format  string   `json:"format"`
+	Shards  int      `json:"shards"`
+	Files   []string `json:"files"`
+	Triples []int64  `json:"triples"`
+}
+
+// SaveShards persists the store as a sharded snapshot directory: one
+// SaveIndex-format file per shard plus manifest.json. Outstanding deltas
+// are compacted first, exactly like SaveIndex. An unsharded store writes a
+// single-shard layout; a store with Options.Shards = N writes N files
+// partitioned by subject hash. Loading the directory back with OpenShards
+// yields a store whose merged index is byte-identical to what SaveIndex
+// would have written.
+func (s *Store) SaveShards(dir string) error {
+	idx, err := s.ensureIndex()
+	if err != nil {
+		return err
+	}
+	if err := idx.Validate(); err != nil {
+		return err
+	}
+	n := s.Shards()
+	var bases []*bitmat.Index
+	s.mu.RLock()
+	if s.shards != nil && s.shards.bases != nil && s.base == idx {
+		bases = s.shards.bases
+	}
+	workers := s.opts.EffectiveWorkers()
+	s.mu.RUnlock()
+	if bases == nil {
+		if n == 1 {
+			bases = []*bitmat.Index{idx}
+		} else if bases, err = shardBases(idx, n, workers); err != nil {
+			return err
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("lbr: save shards: %w", err)
+	}
+	m := shardManifest{Format: shardManifestFormat, Shards: n}
+	for i, part := range bases {
+		if err := part.Validate(); err != nil {
+			return fmt.Errorf("lbr: shard %d: %w", i, err)
+		}
+		name := fmt.Sprintf("shard-%03d.lbr", i)
+		if err := writeShardFile(filepath.Join(dir, name), part); err != nil {
+			return err
+		}
+		m.Files = append(m.Files, name)
+		m.Triples = append(m.Triples, part.NumTriples())
+	}
+	mb, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, shardManifestName), append(mb, '\n'), 0o644); err != nil {
+		return fmt.Errorf("lbr: save shards: %w", err)
+	}
+	return nil
+}
+
+// writeShardFile writes one shard in the SaveIndex snapshot format and
+// syncs it to stable storage.
+func writeShardFile(path string, part *bitmat.Index) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("lbr: save shard: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	werr := func() error {
+		if _, err := bw.Write(storeMagic); err != nil {
+			return err
+		}
+		if _, err := part.Dictionary().WriteTo(bw); err != nil {
+			return err
+		}
+		if _, err := part.WriteTo(bw); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("lbr: save shard %s: %w", path, werr)
+	}
+	return nil
+}
+
+// OpenShards loads a sharded snapshot directory written by SaveShards.
+func OpenShards(dir string) (*Store, error) {
+	return OpenShardsWithOptions(dir, Options{})
+}
+
+// OpenShardsWithOptions is OpenShards with store options. The shard files
+// must all embed one identical global dictionary (verified byte-for-byte)
+// and every triple must sit in the shard its subject hash owns; either
+// violation is a corruption error. When opts requests the same shard count
+// the manifest records, the loaded shard indexes seed the store's shard
+// bases directly; any other shard count (including unsharded) still loads
+// correctly — the merged index is shard-count-independent — and the store
+// re-derives its own partitions lazily.
+func OpenShardsWithOptions(dir string, opts Options) (*Store, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, shardManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("lbr: open shards: %w", err)
+	}
+	var m shardManifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return nil, fmt.Errorf("lbr: shard manifest: %w", err)
+	}
+	if m.Format != shardManifestFormat {
+		return nil, fmt.Errorf("lbr: bad shard manifest format %q", m.Format)
+	}
+	if m.Shards < 1 || len(m.Files) != m.Shards {
+		return nil, fmt.Errorf("lbr: shard manifest lists %d files for %d shards", len(m.Files), m.Shards)
+	}
+	var (
+		dict      *rdf.Dictionary
+		dictBytes []byte
+		parts     = make([]*bitmat.Index, m.Shards)
+	)
+	for i, name := range m.Files {
+		part, db, err := readShardFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			dict, dictBytes = part.Dictionary(), db
+		} else if !bytes.Equal(dictBytes, db) {
+			return nil, fmt.Errorf("lbr: shard %d dictionary differs from shard 0", i)
+		}
+		parts[i] = part
+	}
+	merged, err := bitmat.MergeIndexes(dict, parts)
+	if err != nil {
+		return nil, fmt.Errorf("lbr: merge shards: %w", err)
+	}
+	st := NewStoreWithOptions(opts)
+	for i, part := range parts {
+		for _, t := range indexTriples(part) {
+			if got := rdf.SubjectShard(t.S, m.Shards); got != i {
+				return nil, fmt.Errorf("lbr: shard %d holds triple %s owned by shard %d", i, t, got)
+			}
+			st.graph.Add(t)
+		}
+	}
+	st.installIndexLocked(merged)
+	if st.shards != nil && st.shards.n == m.Shards {
+		st.shards.bases = parts
+	}
+	return st, nil
+}
+
+// readShardFile loads one shard snapshot, returning its index and the
+// serialized bytes of its embedded dictionary (for cross-shard equality
+// checking).
+func readShardFile(path string) (*bitmat.Index, []byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lbr: open shard: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic := make([]byte, len(storeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, nil, fmt.Errorf("lbr: shard %s: %w", path, err)
+	}
+	if string(magic) != string(storeMagic) {
+		return nil, nil, fmt.Errorf("lbr: shard %s: bad magic %q", path, magic)
+	}
+	dict, err := rdf.ReadDictionary(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lbr: shard %s: dictionary: %w", path, err)
+	}
+	idx, err := bitmat.ReadIndex(br, dict)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lbr: shard %s: index: %w", path, err)
+	}
+	var db bytes.Buffer
+	if _, err := dict.WriteTo(&db); err != nil {
+		return nil, nil, err
+	}
+	return idx, db.Bytes(), nil
+}

@@ -210,9 +210,11 @@ func (s *Store) mutateLocked(del, ins []Triple, log bool) (int, int, error) {
 			// Never serve stale data: drop the snapshot and let the next
 			// query fall back to a full rebuild.
 			s.src, s.eng = nil, nil
+			s.invalidateShardsLocked()
 		}
 	case s.eng != nil:
 		s.src, s.eng = nil, nil
+		s.invalidateShardsLocked()
 	}
 	if s.opts.CompactThreshold > 0 && len(s.ins)+len(s.del) >= s.opts.CompactThreshold {
 		s.startCompactionLocked()
@@ -260,7 +262,7 @@ func (s *Store) Compact() error {
 		workers := s.opts.EffectiveWorkers()
 		s.mu.Unlock()
 
-		idx, err := buildIndexFromTriples(snap, workers)
+		bs, err := s.buildStateFromTriples(snap, workers)
 
 		s.mu.Lock()
 		s.compacting = false
@@ -269,7 +271,7 @@ func (s *Store) Compact() error {
 			s.mu.Unlock()
 			return err
 		}
-		s.finishCompactionLocked(idx, snap, startLSN)
+		s.finishCompactionLocked(bs, snap, startLSN)
 		s.mu.Unlock()
 		// Loop: a rebase during the build leaves a fresh delta to fold.
 	}
@@ -287,15 +289,35 @@ func (s *Store) startCompactionLocked() {
 	s.compacting, s.compactDone = true, done
 	workers := s.opts.EffectiveWorkers()
 	go func() {
-		idx, err := buildIndexFromTriples(snap, workers)
+		bs, err := s.buildStateFromTriples(snap, workers)
 		s.mu.Lock()
 		s.compacting = false
 		close(done)
 		if err == nil {
-			s.finishCompactionLocked(idx, snap, startLSN)
+			s.finishCompactionLocked(bs, snap, startLSN)
 		}
 		s.mu.Unlock()
 	}()
+}
+
+// builtState is the output of one compaction (or initial) build: the
+// merged index every fallback path queries and, for a sharded store, the
+// per-shard bases it was merged from.
+type builtState struct {
+	merged *bitmat.Index
+	bases  []*bitmat.Index // nil for an unsharded store
+}
+
+// buildStateFromTriples builds a fresh base state for a triple snapshot.
+// It reads only immutable store configuration (shard count, workers), so
+// the background compactor calls it without holding mu.
+func (s *Store) buildStateFromTriples(ts []Triple, workers int) (builtState, error) {
+	if s.shards != nil {
+		merged, bases, err := buildShardedState(ts, s.shards.n, workers)
+		return builtState{merged: merged, bases: bases}, err
+	}
+	idx, err := buildIndexFromTriples(ts, workers)
+	return builtState{merged: idx}, err
 }
 
 // buildIndexFromTriples builds a fresh index for a triple snapshot.
@@ -312,7 +334,14 @@ func buildIndexFromTriples(ts []Triple, workers int) (*bitmat.Index, error) {
 // base covers, so a racing rebuild can never deposit dead delta entries —
 // every entry is derived from the two concrete triple sets, not patched
 // incrementally. The caller holds mu.
-func (s *Store) finishCompactionLocked(idx *bitmat.Index, built []Triple, startLSN uint64) {
+func (s *Store) finishCompactionLocked(bs builtState, built []Triple, startLSN uint64) {
+	idx := bs.merged
+	if s.shards != nil {
+		// The fresh shard bases pair with the fresh merged index (same
+		// dictionary); stale per-shard snapshots are retired by the
+		// installSourceLocked below either way.
+		s.shards.bases = bs.bases
+	}
 	if s.lsn == startLSN {
 		s.installIndexLocked(idx)
 		return
@@ -340,5 +369,6 @@ func (s *Store) finishCompactionLocked(idx *bitmat.Index, built []Triple, startL
 	s.ins, s.del = ins, del
 	if err := s.installOverlayLocked(); err != nil {
 		s.src, s.eng = nil, nil
+		s.invalidateShardsLocked()
 	}
 }

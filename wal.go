@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/bitmat"
 	"repro/internal/rdf"
 )
 
@@ -15,9 +16,9 @@ import (
 // is one line: "A <triple> ." for an insert or "D <triple> ." for a
 // delete, with the triple in N-Triples syntax. Entries are fsynced before
 // the in-memory state changes, so a crashed process replays to exactly the
-// state it acknowledged. The log is never truncated automatically; after a
-// compaction has been persisted with SaveIndex the file can be deleted by
-// the operator.
+// state it acknowledged. The log is truncated by the checkpoint that runs
+// after SaveIndex has persisted a snapshot covering every logged mutation
+// (see maybeCheckpointWAL); it never shrinks otherwise.
 type wal struct {
 	mu sync.Mutex
 	f  *os.File
@@ -40,6 +41,22 @@ func (w *wal) append(del, ins []Triple) error {
 		sb.WriteString(" .\n")
 	}
 	if _, err := w.f.WriteString(sb.String()); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// truncate discards every logged entry and syncs the empty file. Only the
+// checkpoint calls this, after the full store state has been durably
+// persisted elsewhere; append and truncate are both invoked under the
+// store mutex, so no entry can slip in between the persist and the cut.
+func (w *wal) truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
 	return w.f.Sync()
@@ -107,6 +124,7 @@ func (s *Store) OpenWAL(path string) (int, error) {
 		// an overlay per line; the next query installs one overlay over the
 		// whole replayed delta.
 		s.src, s.eng = nil, nil
+		s.invalidateShardsLocked()
 		for _, e := range entries {
 			var nd, ni int
 			var err error
@@ -129,6 +147,26 @@ func (s *Store) OpenWAL(path string) (int, error) {
 	}
 	s.wal = &wal{f: f}
 	return applied, nil
+}
+
+// maybeCheckpointWAL truncates the attached WAL when the index just
+// persisted by SaveIndex still covers the complete store state: the base
+// is the saved index and the delta is empty. Every logged entry is then
+// folded into the durable snapshot, so replaying the log on top of it
+// would be a no-op and the log can be cut to zero. If mutations landed
+// after the snapshot was taken — base swapped or delta non-empty — the
+// checkpoint conservatively skips; the next SaveIndex retries.
+func (s *Store) maybeCheckpointWAL(saved *bitmat.Index) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil || s.base != saved || len(s.ins) > 0 || len(s.del) > 0 {
+		return nil
+	}
+	if err := s.wal.truncate(); err != nil {
+		return fmt.Errorf("lbr: wal checkpoint: %w", err)
+	}
+	s.walCheckpointLSN = s.lsn
+	return nil
 }
 
 // CloseWAL detaches and closes the write-ahead log, if one is attached.

@@ -180,3 +180,100 @@ func TestWALDoubleOpenRejected(t *testing.T) {
 		t.Fatal("second OpenWAL must fail while one is attached")
 	}
 }
+
+// TestWALCheckpointAfterSaveIndex pins the checkpoint contract: once
+// SaveIndex has persisted a snapshot covering every logged mutation, the
+// WAL is cut to zero; recovery from snapshot + truncated log, plus any
+// post-checkpoint entries, reproduces the live store exactly.
+func TestWALCheckpointAfterSaveIndex(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "updates.wal")
+	s := walStore(t)
+	if _, err := s.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyUpdate(`INSERT DATA { <c> <p> <d> . <d> <q> <a> }`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyUpdate(`DELETE DATA { <a> <p> <b> }`); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(walPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("WAL must hold the logged entries before checkpoint: size=%v err=%v", fi, err)
+	}
+
+	snapPath := filepath.Join(dir, "snapshot.lbr")
+	f, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveIndex(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(walPath); err != nil || fi.Size() != 0 {
+		t.Fatalf("WAL must be truncated by the post-SaveIndex checkpoint: size=%d err=%v", fi.Size(), err)
+	}
+
+	// Post-checkpoint mutations land in the (now empty) log as usual.
+	if _, err := s.ApplyUpdate(`INSERT DATA { <e> <p> <f> }`); err != nil {
+		t.Fatal(err)
+	}
+	logged, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(logged), "\n"); got != 1 {
+		t.Fatalf("WAL must hold exactly the post-checkpoint entry, got %d lines:\n%s", got, logged)
+	}
+	want := sortedQueryRows(t, s, `SELECT * WHERE { ?s ?p ?o }`)
+
+	// Recovery: snapshot + truncated-then-extended WAL.
+	sf, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenIndex(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+	if applied, err := s2.OpenWAL(walPath); err != nil || applied != 1 {
+		t.Fatalf("replay over snapshot: applied=%d err=%v", applied, err)
+	}
+	got := sortedQueryRows(t, s2, `SELECT * WHERE { ?s ?p ?o }`)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("recovered state differs:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestWALCheckpointSkippedWhileDeltaDirty asserts the conservative side:
+// a SaveIndex that races with later mutations must not cut entries the
+// snapshot does not cover.
+func TestWALCheckpointSkippedWhileDeltaDirty(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "updates.wal")
+	s := walStore(t)
+	if _, err := s.OpenWAL(walPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyUpdate(`INSERT DATA { <c> <p> <d> }`); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.ensureIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate after the compaction the checkpoint would be based on.
+	if _, err := s.ApplyUpdate(`INSERT DATA { <e> <p> <f> }`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.maybeCheckpointWAL(idx); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(walPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("checkpoint with a dirty delta must leave the WAL intact: size=%v err=%v", fi, err)
+	}
+}
