@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify test-cache test-update test-shard serve-smoke fuzz-smoke bench bench-parallel bench-union bench-build bench-server bench-cache bench-shard
+.PHONY: all build test race vet fmt-check verify test-cache test-update test-shard test-trace serve-smoke fuzz-smoke bench bench-parallel bench-union bench-build bench-server bench-cache bench-shard bench-trace
 
 # The default target is the full tier-1 verification, race detector included.
 all: verify
@@ -58,6 +58,17 @@ test-shard:
 		-run 'TestSubjectShard|TestPartitionBySubject|TestMergeIndexes|TestShardable|TestShard|TestSaveShards|TestOpenShards' \
 		./internal/rdf ./internal/bitmat ./internal/planner ./internal/bench .
 
+# test-trace runs the observability test surface under -race: the span
+# tree unit tests and the nil-tracer allocation pin, the store-level
+# traced-vs-untraced differential suite (byte identity across worker and
+# shard counts, span row-count accounting, slow-query log), and the
+# server's explain/metrics/Prometheus tests. The full `make` covers all
+# of these too; this target is the fast loop while working on tracing.
+test-trace:
+	$(GO) test -race -count=1 \
+		-run 'TestTrace|TestSpan|TestNilTracer|TestQueryHash|TestQueryTrace|TestSlowQuery|TestExplain|TestMetrics|TestPrometheus' \
+		./internal/trace ./internal/server .
+
 # serve-smoke boots the real lbrserver binary on an ephemeral port, runs a
 # content-negotiated SPARQL Protocol query over HTTP, and asserts the JSON
 # body (see scripts/serve_smoke.sh).
@@ -101,6 +112,14 @@ bench-build:
 # baseline of the SPARQL Protocol server.
 bench-server:
 	$(GO) run ./cmd/lbrbench -table server -lubm-univ 32 -runs 7 -workers 0 -json BENCH_server.json
+
+# bench-trace refreshes the checked-in tracing-overhead baseline:
+# untraced vs traced medians per query (byte-identity asserted), the
+# micro-measured nil-span site cost, and the derived disabled-tracing
+# overhead bound the 1% budget is pinned against (workers pinned to 4,
+# as in bench-parallel).
+bench-trace:
+	$(GO) run ./cmd/lbrbench -table trace -lubm-univ 32 -runs 7 -workers 4 -json BENCH_trace.json
 
 # bench-cache refreshes the checked-in warm-vs-cold baseline of the
 # store-level cross-query BitMat materialization cache (workers pinned to

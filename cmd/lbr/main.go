@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,7 +28,7 @@ func main() {
 		saveIndex = flag.String("saveindex", "", "write the built index snapshot to this file and exit")
 		query     = flag.String("query", "", "SPARQL query text")
 		queryFile = flag.String("queryfile", "", "file containing the SPARQL query")
-		explain   = flag.Bool("explain", false, "print the query plan instead of executing")
+		explain   = flag.Bool("explain", false, "print the static plan, execute the query traced, and print the span-tree JSON instead of rows")
 		stats     = flag.Bool("stats", false, "print dataset characteristics and exit")
 		timing    = flag.Bool("timing", false, "print Tinit/Tprune/Ttotal after the results")
 		base      = flag.String("baseline", "", "run on a baseline engine instead: monetdb|virtuoso")
@@ -118,15 +119,6 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *explain {
-		plan, err := store.Explain(src)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(plan)
-		return
-	}
-
 	// A runaway query is bounded through the engine's context plumbing:
 	// the deadline aborts init, prune, and join alike.
 	ctx := context.Background()
@@ -134,6 +126,28 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *explain {
+		plan, err := store.Explain(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(plan)
+		// The static plan answers "what would run"; the traced execution
+		// answers "what did it cost": per-branch planner decisions, cache
+		// outcomes, prune levels, and the join, as a span tree.
+		res, root, err := store.QueryTrace(ctx, src)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := json.MarshalIndent(root.Snapshot(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		fmt.Fprintf(os.Stderr, "%d rows in %s\n", res.Len(), res.Stats.Total.Round(time.Microsecond))
+		return
 	}
 
 	var res *lbr.Result

@@ -24,8 +24,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +56,12 @@ func main() {
 		compactThreshold = flag.Int("compact-threshold", 0,
 			"delta entries (inserts+deletes since the last base build) that trigger a background compaction (0 = only explicit compaction)")
 		maxConcUpdates = flag.Int("max-concurrent-updates", 0, "max updates executing at once (0 = 1)")
+		slowLog        = flag.String("slow-log", "",
+			"slow-query log destination: a file path (appended), or - for stderr; one JSON line with the query hash and span trace per slow query (empty = disabled)")
+		slowThreshold = flag.Duration("slow-threshold", 500*time.Millisecond,
+			"queries at least this slow are written to -slow-log")
+		pprofAddr = flag.String("pprof-addr", "",
+			"listen address for the net/http/pprof profiling endpoints, kept off the public mux (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -63,9 +71,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	store, err := loadStore(*dataPath, *indexPath, *workers, *shards, *cacheBudget, *compactThreshold)
+	opts := lbr.Options{Workers: *workers, Shards: *shards, CacheBudget: *cacheBudget, CompactThreshold: *compactThreshold}
+	if *slowLog != "" {
+		w, closer, err := openSlowLog(*slowLog)
+		if err != nil {
+			fatal(err)
+		}
+		if closer != nil {
+			defer closer()
+		}
+		opts.SlowQueryLog = w
+		opts.SlowQueryThreshold = *slowThreshold
+		fmt.Fprintf(os.Stderr, "lbrserver: logging queries slower than %s to %s\n", *slowThreshold, *slowLog)
+	}
+	store, err := loadStore(*dataPath, *indexPath, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if *pprofAddr != "" {
+		if err := servePprof(*pprofAddr); err != nil {
+			fatal(err)
+		}
 	}
 	if *walPath != "" {
 		replayed, err := store.OpenWAL(*walPath)
@@ -131,9 +157,45 @@ func main() {
 		snap.UpdatesServed, snap.TriplesIns, snap.TriplesDel)
 }
 
-func loadStore(dataPath, indexPath string, workers, shards int, cacheBudget int64, compactThreshold int) (*lbr.Store, error) {
+// openSlowLog resolves the -slow-log destination: "-" is stderr, anything
+// else a file opened for appending. The returned closer is nil for stderr.
+func openSlowLog(dest string) (io.Writer, func() error, error) {
+	if dest == "-" {
+		return os.Stderr, nil, nil
+	}
+	f, err := os.OpenFile(dest, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open slow-query log: %w", err)
+	}
+	return f, f.Close, nil
+}
+
+// servePprof exposes the net/http/pprof endpoints on their own listener,
+// deliberately separate from the public mux: profiling handlers reveal
+// internals (heap contents, goroutine stacks) and must be bindable to
+// localhost while /sparql faces the world.
+func servePprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Fprintf(os.Stderr, "lbrserver: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "lbrserver: pprof server:", err)
+		}
+	}()
+	return nil
+}
+
+func loadStore(dataPath, indexPath string, opts lbr.Options) (*lbr.Store, error) {
 	start := time.Now()
-	opts := lbr.Options{Workers: workers, Shards: shards, CacheBudget: cacheBudget, CompactThreshold: compactThreshold}
 	if indexPath != "" {
 		f, err := os.Open(indexPath)
 		if err != nil {

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	lbr "repro"
+	"repro/internal/trace"
+)
+
+// TraceMeasurement compares one query executed untraced (Store.Query —
+// the production path, whose instrumentation collapses to nil checks)
+// with the same query under Store.QueryTrace recording a full span tree.
+type TraceMeasurement struct {
+	Dataset string `json:"dataset"`
+	Query   string `json:"query"`
+	// TOffMS is the median wall time with no tracer attached.
+	TOffMS float64 `json:"t_off_ms"`
+	// TOnMS is the median wall time with a tracer recording every span.
+	TOnMS float64 `json:"t_on_ms"`
+	// OnOverheadPct is (TOn-TOff)/TOff — the cost of *enabled* tracing,
+	// reported for context; the pinned bound is DisabledOverheadPct on
+	// the report, which is what production queries pay.
+	OnOverheadPct float64 `json:"on_overhead_pct"`
+	Rows          int     `json:"rows"`
+	// Spans is the node count of the recorded trace tree, which bounds
+	// the number of instrumented call sites the untraced run touched.
+	Spans int `json:"spans"`
+	// Match is true when the traced and untraced executions returned
+	// byte-identical rows in identical order.
+	Match bool `json:"match"`
+}
+
+// TraceReport is the JSON document lbrbench -table trace -json emits.
+type TraceReport struct {
+	CreatedAt  string `json:"created_at"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+	Runs       int    `json:"runs"`
+	// NilSpanNsPerOp is the micro-measured cost of one disabled
+	// instrumentation site: Child + Set + End on a nil span.
+	NilSpanNsPerOp float64 `json:"nil_span_ns_per_op"`
+	// DisabledOverheadPct bounds the cost untraced queries pay for the
+	// instrumentation: the worst over all queries of
+	// spans x NilSpanNsPerOp relative to the untraced wall time. The
+	// acceptance bound is 1%.
+	DisabledOverheadPct float64            `json:"disabled_overhead_pct"`
+	Measurements        []TraceMeasurement `json:"measurements"`
+}
+
+// NewTraceReport stamps a report with the current machine shape and
+// derives the disabled-overhead bound from the measurements.
+func NewTraceReport(workers, runs int, nilSpanNs float64, ms []TraceMeasurement) TraceReport {
+	return TraceReport{
+		CreatedAt:           time.Now().UTC().Format(time.RFC3339),
+		NumCPU:              runtime.NumCPU(),
+		GoMaxProcs:          runtime.GOMAXPROCS(0),
+		Workers:             workers,
+		Runs:                runs,
+		NilSpanNsPerOp:      nilSpanNs,
+		DisabledOverheadPct: DisabledOverheadPct(nilSpanNs, ms),
+		Measurements:        ms,
+	}
+}
+
+// DisabledOverheadPct is the worst-case estimated overhead of the
+// disabled instrumentation across the measurements: each query executes
+// about Spans guarded sites, each costing NilSpanNsPerOp when no tracer
+// is attached.
+func DisabledOverheadPct(nilSpanNs float64, ms []TraceMeasurement) float64 {
+	worst := 0.0
+	for _, m := range ms {
+		if m.TOffMS <= 0 {
+			continue
+		}
+		pct := float64(m.Spans) * nilSpanNs / (m.TOffMS * 1e6) * 100.0
+		if pct > worst {
+			worst = pct
+		}
+	}
+	return worst
+}
+
+// WriteTraceJSON serializes a report, indented for reviewable check-in.
+func WriteTraceJSON(w io.Writer, rep TraceReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// nilSpanSink defeats dead-code elimination in MeasureNilSpanNs.
+var nilSpanSink int
+
+// MeasureNilSpanNs times the disabled instrumentation pattern — Child,
+// Set, End on a nil *Span — the way engine call sites execute it when no
+// tracer is attached.
+func MeasureNilSpanNs() float64 {
+	sp := (*trace.Tracer)(nil).Root()
+	const iters = 1 << 21
+	start := time.Now()
+	n := 0
+	for i := 0; i < iters; i++ {
+		c := sp.Child("op")
+		if c != nil {
+			c.Set("i", i)
+		}
+		c.End()
+		n += c.Count()
+	}
+	nilSpanSink = n
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// tracedStoreRows executes the query with a tracer attached and returns
+// the rows rendered exactly as storeRows does, plus the span count.
+func tracedStoreRows(s *lbr.Store, src string) ([]string, int, error) {
+	res, root, err := s.QueryTrace(context.Background(), src)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]string, res.Len())
+	for i := range out {
+		row := res.Row(i)
+		line := ""
+		for k, term := range row {
+			if k > 0 {
+				line += "|"
+			}
+			if term.IsZero() {
+				line += "NULL"
+			} else {
+				line += term.String()
+			}
+		}
+		out[i] = line
+	}
+	return out, root.Count(), nil
+}
+
+// timeTracedQuery mirrors timeStoreQuery for the traced path: median wall
+// time over n runs, the last run's rows, and its span count.
+func timeTracedQuery(s *lbr.Store, src string, n int) (float64, []string, int, error) {
+	if n < 1 {
+		n = 1
+	}
+	times := make([]float64, 0, n)
+	var rows []string
+	spans := 0
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		got, cnt, err := tracedStoreRows(s, src)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		times = append(times, float64(time.Since(start).Microseconds())/1000.0)
+		rows, spans = got, cnt
+	}
+	return medianOf(times), rows, spans, nil
+}
+
+// RunTraceTable measures the dataset's query set untraced vs traced on
+// one warm store, asserting the row streams are byte-identical. It
+// returns the measurements and the micro-measured nil-span site cost.
+func RunTraceTable(ds *Dataset, workers, runs int) ([]TraceMeasurement, float64, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	st := lbr.NewStoreWithOptions(lbr.Options{Workers: workers})
+	st.LoadGraph(ds.Graph)
+	if err := st.Build(); err != nil {
+		return nil, 0, err
+	}
+	nilSpanNs := MeasureNilSpanNs()
+	var out []TraceMeasurement
+	for _, spec := range ds.Queries {
+		m := TraceMeasurement{Dataset: ds.Name, Query: spec.ID}
+		// One discarded warm-up settles the BitMat cache so both arms
+		// compare warm.
+		if _, err := storeRows(st, spec.SPARQL); err != nil {
+			return nil, 0, fmt.Errorf("%s/%s warm-up: %w", ds.Name, spec.ID, err)
+		}
+		tOff, rowsOff, err := timeStoreQuery(st, spec.SPARQL, runs)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s/%s untraced: %w", ds.Name, spec.ID, err)
+		}
+		tOn, rowsOn, spans, err := timeTracedQuery(st, spec.SPARQL, runs)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s/%s traced: %w", ds.Name, spec.ID, err)
+		}
+		m.TOffMS, m.TOnMS = tOff, tOn
+		if tOff > 0 {
+			m.OnOverheadPct = (tOn - tOff) / tOff * 100.0
+		}
+		m.Rows = len(rowsOff)
+		m.Spans = spans
+		m.Match = equalStrings(rowsOff, rowsOn)
+		out = append(out, m)
+	}
+	return out, nilSpanNs, nil
+}
+
+// FprintTraceTable renders the tracing-overhead comparison.
+func FprintTraceTable(w io.Writer, title string, ms []TraceMeasurement, nilSpanNs float64) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-10s %-5s %12s %12s %10s %8s %8s %6s\n",
+		"dataset", "query", "Toff(ms)", "Ton(ms)", "on-ovhd", "rows", "spans", "same?")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%-10s %-5s %12.2f %12.2f %9.1f%% %8d %8d %6s\n",
+			m.Dataset, m.Query, m.TOffMS, m.TOnMS, m.OnOverheadPct, m.Rows, m.Spans, yn(m.Match))
+	}
+	fmt.Fprintf(w, "nil-span site: %.1f ns/op; disabled-tracing overhead bound: %.4f%% (budget 1%%)\n",
+		nilSpanNs, DisabledOverheadPct(nilSpanNs, ms))
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestTraceTableIdentityAndBudget runs the tracing-overhead table at the
+// smallest scale and pins the two properties BENCH_trace.json records:
+// traced rows byte-identical to untraced, and the disabled-instrumentation
+// overhead bound inside the 1% budget.
+func TestTraceTableIdentityAndBudget(t *testing.T) {
+	ds := tinyLUBM(t)
+	ms, nilNs, err := RunTraceTable(ds, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(ds.Queries) {
+		t.Fatalf("measured %d queries, want %d", len(ms), len(ds.Queries))
+	}
+	for _, m := range ms {
+		if !m.Match {
+			t.Errorf("%s: traced rows differ from untraced", m.Query)
+		}
+		if m.Spans < 2 {
+			t.Errorf("%s: trace recorded %d spans", m.Query, m.Spans)
+		}
+	}
+	if nilNs <= 0 {
+		t.Fatalf("nil-span cost = %v ns", nilNs)
+	}
+	if pct := DisabledOverheadPct(nilNs, ms); pct > 1.0 {
+		t.Errorf("disabled-tracing overhead bound %.4f%% exceeds the 1%% budget", pct)
+	}
+}
+
+func TestTraceReportJSONRoundTrip(t *testing.T) {
+	ms := []TraceMeasurement{{Dataset: "LUBM", Query: "Q1", TOffMS: 2, TOnMS: 2.1, Rows: 5, Spans: 12, Match: true}}
+	rep := NewTraceReport(2, 3, 4.5, ms)
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back TraceReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Workers != 2 || back.Runs != 3 || back.NilSpanNsPerOp != 4.5 || len(back.Measurements) != 1 {
+		t.Errorf("round trip = %+v", back)
+	}
+	if !strings.Contains(buf.String(), `"disabled_overhead_pct"`) {
+		t.Errorf("report lacks the pinned overhead field:\n%s", buf.String())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
+	"repro/internal/trace"
 )
 
 // Options tune the engine, mainly for the ablation benchmarks.
@@ -75,6 +76,7 @@ type Stats struct {
 	Init  time.Duration // Tinit: BitMat loading with active pruning
 	Prune time.Duration // Tprune: prune_triples
 	Join  time.Duration // Tmultiway: multi-way join + nullification/best-match
+	Merge time.Duration // branch/shard merge, cross-branch best-match, solution modifiers
 	Total time.Duration
 
 	InitialTriples int64 // sum of per-pattern matches before init pruning
@@ -102,7 +104,17 @@ func (e *Engine) Execute(q *sparql.Query) (*Result, error) {
 // ExecuteContext is Execute with cancellation: the multi-way join checks
 // the context periodically and aborts with ctx.Err() when it is done.
 func (e *Engine) ExecuteContext(ctx context.Context, q *sparql.Query) (*Result, error) {
-	res, err := e.executeQuery(ctx, q)
+	return e.ExecuteTraceContext(ctx, q, nil)
+}
+
+// ExecuteTraceContext is ExecuteContext with tracing: when sp is non-nil,
+// the execution records its span tree — per-branch planner decisions,
+// per-pattern load/cache outcomes, per-jvar prune levels, the partitioned
+// join, and the merge — as children of sp. A nil sp is exactly
+// ExecuteContext: the instrumentation reduces to nil checks, allocating
+// nothing and perturbing neither timings nor results.
+func (e *Engine) ExecuteTraceContext(ctx context.Context, q *sparql.Query, sp *trace.Span) (*Result, error) {
+	res, err := e.executeQuery(ctx, q, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +191,7 @@ func branchVarUnion(branches []*algebra.Branch) ([]sparql.Var, map[sparql.Var]bo
 	return vars, varSet
 }
 
-func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query) (*Result, error) {
+func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query, sp *trace.Span) (*Result, error) {
 	tree, err := algebra.FromQuery(q)
 	if err != nil {
 		return nil, err
@@ -205,6 +217,10 @@ func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query) (*Result, er
 	if err != nil {
 		return nil, err
 	}
+	if sp != nil {
+		sp.Set("branches", len(execs))
+		sp.Set("vars", len(vars))
+	}
 	varPos := make(map[sparql.Var]int, len(vars))
 	for i, v := range vars {
 		varPos[v] = i
@@ -220,6 +236,17 @@ func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query) (*Result, er
 	cache := newLoadCache(execs)
 	branchRes := make([]*Result, len(execs))
 	branchErr := make([]error, len(execs))
+	// runBranch wraps one branch execution in its own span (created at
+	// dispatch, so a sequential run's spans don't accumulate queue wait).
+	runBranch := func(i, budget int) {
+		var bsp *trace.Span
+		if sp != nil {
+			bsp = sp.Child("branch")
+			bsp.Set("branch", i)
+		}
+		branchRes[i], branchErr[i] = e.executeBranchCtx(ctx, execs[i], vars, budget, cache, bsp)
+		bsp.End()
+	}
 	if len(execs) > 1 && nW > 1 {
 		inner := nW / min(len(execs), nW)
 		if inner < 1 {
@@ -227,9 +254,7 @@ func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query) (*Result, er
 		}
 		fns := make([]func(), len(execs))
 		for i := range execs {
-			fns[i] = func() {
-				branchRes[i], branchErr[i] = e.executeBranchCtx(ctx, execs[i], vars, inner, cache)
-			}
+			fns[i] = func() { runBranch(i, inner) }
 		}
 		// runLimitedCtx re-checks the context between branch dispatches, so
 		// a per-request timeout cancels the whole union instead of being
@@ -240,11 +265,18 @@ func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query) (*Result, er
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			branchRes[i], branchErr[i] = e.executeBranchCtx(ctx, execs[i], vars, nW, cache)
+			runBranch(i, nW)
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	// Everything from here on is the merge stage: branch concatenation,
+	// cross-branch best-match, and (below) the solution modifiers.
+	tMerge := time.Now()
+	var msp *trace.Span
+	if sp != nil {
+		msp = sp.Child("merge")
 	}
 	var allRows []Row
 	// metas stays nil until some branch actually carries rule-3 collapse
@@ -320,6 +352,11 @@ func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query) (*Result, er
 	res.Stats.Total = time.Since(start)
 
 	res.ApplyModifiers(q)
+	res.Stats.Merge = time.Since(tMerge)
+	if msp != nil {
+		msp.Set("rows", len(res.Rows))
+		msp.End()
+	}
 	return res, nil
 }
 
@@ -426,6 +463,7 @@ func accumulate(dst, src *Stats) {
 	dst.Init += src.Init
 	dst.Prune += src.Prune
 	dst.Join += src.Join
+	dst.Merge += src.Merge
 	dst.InitialTriples += src.InitialTriples
 	dst.AfterPruning += src.AfterPruning
 	dst.BestMatch = dst.BestMatch || src.BestMatch
@@ -436,8 +474,10 @@ func accumulate(dst, src *Stats) {
 // bounds the workers the branch's own partitioned join may use — the pool
 // share the branch scheduler granted it (the full pool when branches run
 // sequentially). cache, when non-nil, shares BitMat materializations of
-// subpatterns that recur across the query's branches.
-func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []sparql.Var, budget int, cache *loadCache) (*Result, error) {
+// subpatterns that recur across the query's branches. sp, when non-nil,
+// is the branch's trace span: the planner's decisions and the init,
+// prune, and join phases record themselves under it.
+func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []sparql.Var, budget int, cache *loadCache, sp *trace.Span) (*Result, error) {
 	b := eb.b
 	res := &Result{Vars: vars}
 
@@ -464,17 +504,33 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 	if e.opts.NaiveJvarOrder && !plan.Greedy {
 		naiveOrders(plan)
 	}
+	if sp != nil {
+		sp.Set("patterns", len(gosn.Patterns))
+		sp.Set("initial_triples", res.Stats.InitialTriples)
+		sp.Set("cyclic", plan.Cyclic)
+		sp.Set("greedy", plan.Greedy)
+		sp.Set("best_match", plan.NeedsBestMatch)
+	}
 
 	// Lines 3-4: init with active pruning. A cancelled context aborts
 	// between pattern loads, so an expensive BitMat materialization is the
 	// most a dead query can still cost here.
 	tInit := time.Now()
+	var isp *trace.Span
+	if sp != nil {
+		isp = sp.Child("init")
+	}
 	tps := make([]*tpState, len(gosn.Patterns))
 	for i, pat := range gosn.Patterns {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		st, err := e.load(pat, i, gosn.SNOfTP[i], plan, tps, cache)
+		var lsp *trace.Span
+		if isp != nil {
+			lsp = isp.Child("load")
+			lsp.Set("pattern", pat.String())
+		}
+		st, err := e.load(pat, i, gosn.SNOfTP[i], plan, tps, cache, lsp)
 		if err != nil {
 			return nil, err
 		}
@@ -482,39 +538,63 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 			e.activePrune(st, tps, plan)
 		}
 		tps[i] = st
+		if lsp != nil {
+			lsp.Set("triples", st.count())
+			lsp.End()
+		}
 		// Simple optimization (Section 5): an empty absolute-master
 		// pattern means an empty result.
 		if gosn.IsAbsoluteMaster(st.sn) && st.count() == 0 && st.mat != nil {
 			res.Stats.Init = time.Since(tInit)
 			res.Stats.EmptyShortcut = true
+			isp.End()
+			if sp != nil {
+				sp.Set("empty_shortcut", true)
+			}
 			return res, nil
 		}
 		if st.mat == nil && !st.present && gosn.IsAbsoluteMaster(st.sn) {
 			res.Stats.Init = time.Since(tInit)
 			res.Stats.EmptyShortcut = true
+			isp.End()
+			if sp != nil {
+				sp.Set("empty_shortcut", true)
+			}
 			return res, nil
 		}
 	}
 	res.Stats.Init = time.Since(tInit)
+	isp.End()
 
 	// Line 7: prune_triples (Algorithm 3.2). The context threads into the
 	// pruning passes, which bail between jvar levels (and between waves of
 	// the parallel scheduler) when the query is cancelled.
 	tPrune := time.Now()
+	var psp *trace.Span
+	if sp != nil {
+		psp = sp.Child("prune")
+	}
 	if !e.opts.DisablePruning {
-		e.pruneTriples(ctx, plan, tps, budget)
+		e.pruneTriples(ctx, plan, tps, budget, psp)
 	}
 	res.Stats.Prune = time.Since(tPrune)
+	psp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	for _, st := range tps {
 		res.Stats.AfterPruning += st.count()
 	}
+	if sp != nil {
+		sp.Set("after_pruning", res.Stats.AfterPruning)
+	}
 	// Re-check the empty-master shortcut after pruning.
 	for _, st := range tps {
 		if gosn.IsAbsoluteMaster(st.sn) && st.count() == 0 && st.mat != nil {
 			res.Stats.EmptyShortcut = true
+			if sp != nil {
+				sp.Set("empty_shortcut", true)
+			}
 			return res, nil
 		}
 	}
@@ -524,6 +604,10 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 	// per-pattern triple sets are not minimal, so nullification and
 	// best-match become mandatory (Lemma 3.1).
 	tJoin := time.Now()
+	var jsp *trace.Span
+	if sp != nil {
+		jsp = sp.Child("join")
+	}
 	stps := sortTPs(plan, tps)
 	nulreqd := plan.NeedsBestMatch || e.opts.DisablePruning || e.opts.NaiveJvarOrder
 	slaveFilters, rowFilters := splitFilters(b, gosn)
@@ -610,6 +694,14 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 		nWorkers = 1
 	}
 	rootTP, parts := rootPartitions(plan, stps, nWorkers, e.opts.partitionFactor())
+	if jsp != nil {
+		// rootTP is -1 when the partitioner fell back to a sequential
+		// single-chunk join (small input, one worker, unsplittable root).
+		if rootTP >= 0 {
+			jsp.Set("root", stps[rootTP].idx)
+		}
+		jsp.Set("partitions", len(parts))
+	}
 	var chunks []joinChunk
 	if len(parts) > 1 {
 		// Partitioned multi-way join: each worker enumerates a contiguous
@@ -646,6 +738,11 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 	}
 	res.Rows = rows
 	res.Stats.Join = time.Since(tJoin)
+	if sp != nil {
+		jsp.Set("rows", len(rows))
+		jsp.End()
+		sp.Set("rows", len(rows))
+	}
 	return res, nil
 }
 
@@ -655,7 +752,13 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 // materialized result (non-nil) for the caller to replay; a nil result
 // means rows were streamed. A cancelled context stops the enumeration; the
 // caller surfaces ctx.Err().
-func (e *Engine) executeBranchStreamCtx(ctx context.Context, eb execBranch, vars []sparql.Var, cache *loadCache, fn func([]sparql.Var, Row) bool) (*Result, error) {
+//
+// st, when non-nil, receives the branch's per-stage timings (the server's
+// stage histograms read them without paying for a full trace); note the
+// Join stage of a streamed branch includes the caller's fn — row
+// serialization is interleaved with join enumeration. sp, when non-nil,
+// records the branch's span tree exactly as executeBranchCtx does.
+func (e *Engine) executeBranchStreamCtx(ctx context.Context, eb execBranch, vars []sparql.Var, cache *loadCache, fn func([]sparql.Var, Row) bool, st *Stats, sp *trace.Span) (*Result, error) {
 	b := eb.b
 	gosn, err := algebra.BuildGoSN(b.Tree)
 	if err != nil {
@@ -675,36 +778,96 @@ func (e *Engine) executeBranchStreamCtx(ctx context.Context, eb execBranch, vars
 	if nulreqd || len(slaveFilters) > 0 {
 		// A trailing best-match (or potential FaN nullification) makes the
 		// output non-streamable.
-		return e.executeBranchCtx(ctx, eb, vars, e.workers(), cache)
+		res, err := e.executeBranchCtx(ctx, eb, vars, e.workers(), cache, sp)
+		if err == nil && res != nil && st != nil {
+			accumulate(st, &res.Stats)
+		}
+		return res, err
 	}
 	if e.opts.NaiveJvarOrder && !plan.Greedy {
 		naiveOrders(plan)
+	}
+	if st != nil {
+		st.InitialTriples += sum(counts)
+	}
+	if sp != nil {
+		sp.Set("patterns", len(gosn.Patterns))
+		sp.Set("initial_triples", sum(counts))
+		sp.Set("cyclic", plan.Cyclic)
+		sp.Set("greedy", plan.Greedy)
+		sp.Set("best_match", plan.NeedsBestMatch)
+	}
+	tInit := time.Now()
+	var isp *trace.Span
+	if sp != nil {
+		isp = sp.Child("init")
 	}
 	tps := make([]*tpState, len(gosn.Patterns))
 	for i, pat := range gosn.Patterns {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		st, err := e.load(pat, i, gosn.SNOfTP[i], plan, tps, cache)
+		var lsp *trace.Span
+		if isp != nil {
+			lsp = isp.Child("load")
+			lsp.Set("pattern", pat.String())
+		}
+		tst, err := e.load(pat, i, gosn.SNOfTP[i], plan, tps, cache, lsp)
 		if err != nil {
 			return nil, err
 		}
 		if !e.opts.DisableActivePruning {
-			e.activePrune(st, tps, plan)
+			e.activePrune(tst, tps, plan)
 		}
-		tps[i] = st
-		if gosn.IsAbsoluteMaster(st.sn) && st.count() == 0 && (st.mat != nil || !st.present) {
+		tps[i] = tst
+		if lsp != nil {
+			lsp.Set("triples", tst.count())
+			lsp.End()
+		}
+		if gosn.IsAbsoluteMaster(tst.sn) && tst.count() == 0 && (tst.mat != nil || !tst.present) {
+			if st != nil {
+				st.Init += time.Since(tInit)
+				st.EmptyShortcut = true
+			}
+			isp.End()
+			if sp != nil {
+				sp.Set("empty_shortcut", true)
+			}
 			return nil, nil // empty result, nothing to stream
 		}
 	}
-	if !e.opts.DisablePruning {
-		e.pruneTriples(ctx, plan, tps, e.workers())
+	if st != nil {
+		st.Init += time.Since(tInit)
 	}
+	isp.End()
+	tPrune := time.Now()
+	var psp *trace.Span
+	if sp != nil {
+		psp = sp.Child("prune")
+	}
+	if !e.opts.DisablePruning {
+		e.pruneTriples(ctx, plan, tps, e.workers(), psp)
+	}
+	if st != nil {
+		st.Prune += time.Since(tPrune)
+	}
+	psp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	for _, st := range tps {
-		if gosn.IsAbsoluteMaster(st.sn) && st.count() == 0 && st.mat != nil {
+	if st != nil {
+		for _, tst := range tps {
+			st.AfterPruning += tst.count()
+		}
+	}
+	for _, tst := range tps {
+		if gosn.IsAbsoluteMaster(tst.sn) && tst.count() == 0 && tst.mat != nil {
+			if st != nil {
+				st.EmptyShortcut = true
+			}
+			if sp != nil {
+				sp.Set("empty_shortcut", true)
+			}
 			return nil, nil
 		}
 	}
@@ -714,6 +877,13 @@ func (e *Engine) executeBranchStreamCtx(ctx context.Context, eb execBranch, vars
 		varIdx[v] = i
 	}
 	forcedSlots := resolveForced(eb, stps, varIdx)
+	tJoin := time.Now()
+	var jsp *trace.Span
+	if sp != nil {
+		jsp = sp.Child("join")
+		jsp.Set("streamed", true)
+	}
+	emitted := 0
 	run := newJoinRun(e, plan, stps, vars, false, func(r *joinRun) bool {
 		if r.emitted&1023 == 0 && ctx.Err() != nil {
 			return false
@@ -736,9 +906,22 @@ func (e *Engine) executeBranchStreamCtx(ctx context.Context, eb execBranch, vars
 				return true
 			}
 		}
+		emitted++
 		return fn(vars, row)
 	})
 	run.run()
+	// The streamed Join stage includes fn: serialization interleaves with
+	// enumeration, so downstream stage accounting treats serialize as the
+	// residual of the request's wall time (documented in the server).
+	if st != nil {
+		st.Join += time.Since(tJoin)
+		st.Results += emitted
+	}
+	if sp != nil {
+		jsp.Set("rows", emitted)
+		jsp.End()
+		sp.Set("rows", emitted)
+	}
 	return nil, nil
 }
 
@@ -932,7 +1115,7 @@ func (e *Engine) ExecuteStream(q *sparql.Query, fn func(vars []sparql.Var, row R
 // stops the enumeration between rows (and between the per-predicate
 // branches of an expanded three-variable pattern) and returns ctx.Err().
 func (e *Engine) ExecuteStreamContext(ctx context.Context, q *sparql.Query, fn func(vars []sparql.Var, row Row) bool) error {
-	return e.executeStream(ctx, q, nil, fn)
+	return e.executeStream(ctx, q, nil, fn, nil, nil)
 }
 
 // ExecuteStreamHeaderContext is ExecuteStreamContext with a header
@@ -942,10 +1125,22 @@ func (e *Engine) ExecuteStreamContext(ctx context.Context, q *sparql.Query, fn f
 // header returning false ends the call without executing, and without
 // error — the streaming analogue of LIMIT 0.
 func (e *Engine) ExecuteStreamHeaderContext(ctx context.Context, q *sparql.Query, header func(vars []sparql.Var) bool, fn func(vars []sparql.Var, row Row) bool) error {
-	return e.executeStream(ctx, q, header, fn)
+	return e.executeStream(ctx, q, header, fn, nil, nil)
 }
 
-func (e *Engine) executeStream(ctx context.Context, q *sparql.Query, header func(vars []sparql.Var) bool, fn func(vars []sparql.Var, row Row) bool) error {
+// ExecuteStreamObserved is ExecuteStreamHeaderContext with observation:
+// st, when non-nil, accumulates the execution's per-stage timings (for a
+// streamed branch the Join stage includes fn — serialization interleaves
+// with enumeration); sp, when non-nil, records the full span tree. Both
+// nil is exactly ExecuteStreamHeaderContext.
+func (e *Engine) ExecuteStreamObserved(ctx context.Context, q *sparql.Query, header func(vars []sparql.Var) bool, fn func(vars []sparql.Var, row Row) bool, st *Stats, sp *trace.Span) error {
+	return e.executeStream(ctx, q, header, fn, st, sp)
+}
+
+func (e *Engine) executeStream(ctx context.Context, q *sparql.Query, header func(vars []sparql.Var) bool, fn func(vars []sparql.Var, row Row) bool, st *Stats, sp *trace.Span) error {
+	if st != nil {
+		defer func(t0 time.Time) { st.Total = time.Since(t0) }(time.Now())
+	}
 	tree, err := algebra.FromQuery(q)
 	if err != nil {
 		return err
@@ -990,6 +1185,10 @@ func (e *Engine) executeStream(ctx context.Context, q *sparql.Query, header func
 			}
 		}
 		if streamable {
+			if sp != nil {
+				sp.Set("branches", len(execs))
+				sp.Set("streamed", true)
+			}
 			cache := newLoadCache(execs)
 			varPos := make(map[sparql.Var]int, len(vars))
 			for i, v := range vars {
@@ -1024,8 +1223,14 @@ func (e *Engine) executeStream(ctx context.Context, q *sparql.Query, header func
 				}
 				return true
 			}
-			for _, eb := range execs {
-				res, err := e.executeBranchStreamCtx(ctx, eb, vars, cache, wrapped)
+			for i, eb := range execs {
+				var bsp *trace.Span
+				if sp != nil {
+					bsp = sp.Child("branch")
+					bsp.Set("branch", i)
+				}
+				res, err := e.executeBranchStreamCtx(ctx, eb, vars, cache, wrapped, st, bsp)
+				bsp.End()
 				if err != nil {
 					return err
 				}
@@ -1048,9 +1253,13 @@ func (e *Engine) executeStream(ctx context.Context, q *sparql.Query, header func
 			return nil
 		}
 	}
-	res, err := e.ExecuteContext(ctx, q)
+	res, err := e.ExecuteTraceContext(ctx, q, sp)
 	if err != nil {
 		return err
+	}
+	if st != nil {
+		// The deferred wall-clock assignment overwrites Total afterwards.
+		*st = res.Stats
 	}
 	for _, row := range res.Rows {
 		if !fn(res.Vars, row) {

@@ -109,14 +109,19 @@ func (c *loadCache) get(pat string, orient uint8, build func() *bitmat.Matrix) *
 // freely. masked tells the store tier whether the caller has load-time
 // masks to fold into a direct build; it then admits the pattern only on
 // repeated touches (see MatCacheView.get).
-func (e *Engine) cachedPristine(qc *loadCache, patKey string, orient uint8, masked bool, build func() *bitmat.Matrix) *bitmat.Matrix {
+//
+// The second return names which tier served (or declined) the load — a
+// string constant attached to the pattern's trace span, free when no
+// tracer is attached.
+func (e *Engine) cachedPristine(qc *loadCache, patKey string, orient uint8, masked bool, build func() *bitmat.Matrix) (*bitmat.Matrix, string) {
 	if base := qc.get(patKey, orient, e.storeBuild(patKey, orient, build)); base != nil {
-		return base.Clone()
+		return base.Clone(), "query-shared"
 	}
-	if mat, ok := e.mc.get(patKey, orient, masked, build); ok {
-		return mat.Clone()
+	mat, outcome := e.mc.get(patKey, orient, masked, build)
+	if mat != nil {
+		return mat.Clone(), string(outcome)
 	}
-	return nil
+	return nil, string(outcome)
 }
 
 // storeBuild wraps a pristine build so a per-query cache miss still fills
@@ -131,7 +136,7 @@ func (e *Engine) storeBuild(patKey string, orient uint8, build func() *bitmat.Ma
 		return build
 	}
 	return func() *bitmat.Matrix {
-		if mat, ok := e.mc.get(patKey, orient, false, build); ok {
+		if mat, _ := e.mc.get(patKey, orient, false, build); mat != nil {
 			return mat
 		}
 		return build()
@@ -142,10 +147,14 @@ func (e *Engine) storeBuild(patKey string, orient uint8, build func() *bitmat.Ma
 // pattern — a clone, so the caller may prune it freely — or build()'s
 // result directly when no cache tier covers the pattern. Callers here
 // have no load-time masks (build() already is the final matrix), so the
-// store tier admits on first touch.
-func (e *Engine) cachedOr(cache *loadCache, patKey string, orient uint8, build func() *bitmat.Matrix) *bitmat.Matrix {
-	if m := e.cachedPristine(cache, patKey, orient, false, build); m != nil {
-		return m
+// store tier admits on first touch. The second return is the cache
+// source for the pattern's trace span.
+func (e *Engine) cachedOr(cache *loadCache, patKey string, orient uint8, build func() *bitmat.Matrix) (*bitmat.Matrix, string) {
+	m, src := e.cachedPristine(cache, patKey, orient, false, build)
+	if m != nil {
+		return m, src
 	}
-	return build()
+	// Both tiers declined; build directly. src carries the decline reason
+	// (uncached / stale-bypass), which is exactly what the span wants.
+	return build(), src
 }

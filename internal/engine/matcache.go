@@ -165,6 +165,20 @@ func (c *MatCache) Stats() CacheStats {
 	}
 }
 
+// cacheOutcome classifies one store-tier cache interaction, so the load
+// path can record in a trace span why a pattern's matrix came from where
+// it did. Outcomes are string constants: attaching one to a span
+// allocates nothing.
+type cacheOutcome string
+
+const (
+	outcomeUncached   cacheOutcome = "uncached"     // no cache view (disabled store tier)
+	outcomeHit        cacheOutcome = "store-hit"    // served from an existing entry
+	outcomeMiss       cacheOutcome = "store-miss"   // entry created, matrix built and admitted
+	outcomeFirstTouch cacheOutcome = "first-touch"  // masked load declined on first touch
+	outcomeStale      cacheOutcome = "stale-bypass" // query runs against a retired generation
+)
+
 // MatCacheView is one snapshot generation's read/write handle on the
 // cache. An Engine holds the view created by the Advance that accompanied
 // its index snapshot; the pairing is what pins queries to their own
@@ -182,8 +196,8 @@ func (v *MatCacheView) Generation() uint64 {
 	return v.gen
 }
 
-// get returns the shared pristine matrix for the pattern, or (nil,
-// false) when the cache declines and the caller should build directly —
+// get returns the shared pristine matrix for the pattern, or a nil
+// matrix when the cache declines and the caller should build directly —
 // with its load-time masks folded in, which is cheaper than the pristine
 // materialization the cache would have wanted. The cache declines for a
 // nil view, for a retired snapshot generation (the query must neither
@@ -191,7 +205,8 @@ func (v *MatCacheView) Generation() uint64 {
 // masked load whose pattern is on its first touch this generation
 // (admission-on-repeat: a one-off selective query keeps its filtered
 // build; the second touch admits the pattern). All checks and the
-// hit/miss bookkeeping happen under one lock acquisition.
+// hit/miss bookkeeping happen under one lock acquisition; the returned
+// outcome names which of these paths was taken.
 //
 // A returned matrix must be treated as read-only — callers clone before
 // pruning. Oversize results are shared too: every waiter that joined the
@@ -202,9 +217,9 @@ func (v *MatCacheView) Generation() uint64 {
 // lock held; concurrent getters for the same key block on the entry, not
 // on the cache, so a slow materialization never serializes unrelated
 // loads.
-func (v *MatCacheView) get(pat string, orient uint8, masked bool, build func() *bitmat.Matrix) (*bitmat.Matrix, bool) {
+func (v *MatCacheView) get(pat string, orient uint8, masked bool, build func() *bitmat.Matrix) (*bitmat.Matrix, cacheOutcome) {
 	if v == nil {
-		return nil, false
+		return nil, outcomeUncached
 	}
 	c := v.c
 	key := matKey{pat: pat, orient: orient}
@@ -212,12 +227,14 @@ func (v *MatCacheView) get(pat string, orient uint8, masked bool, build func() *
 	if v.gen != c.gen {
 		c.staleBypasses++
 		c.mu.Unlock()
-		return nil, false
+		return nil, outcomeStale
 	}
+	outcome := outcomeMiss
 	e, ok := c.m[key]
 	if ok {
 		c.hits++
 		c.lru.MoveToFront(e.elem)
+		outcome = outcomeHit
 	} else {
 		if masked && !c.touched[key] {
 			if len(c.touched) >= touchedCap {
@@ -226,7 +243,7 @@ func (v *MatCacheView) get(pat string, orient uint8, masked bool, build func() *
 			c.touched[key] = true
 			c.firstTouches++
 			c.mu.Unlock()
-			return nil, false
+			return nil, outcomeFirstTouch
 		}
 		e = &matEntry{key: key}
 		e.elem = c.lru.PushFront(e)
@@ -257,7 +274,7 @@ func (v *MatCacheView) get(pat string, orient uint8, masked bool, build func() *
 		c.used += cost
 		c.evictLocked(e)
 	})
-	return e.mat, true
+	return e.mat, outcome
 }
 
 // evictLocked drops least-recently-used built entries until the cache is

@@ -32,9 +32,9 @@ func TestMatCacheNilSafety(t *testing.T) {
 		t.Fatalf("nil view generation != 0")
 	}
 	built := 0
-	mat, ok := v.get("p", orientSO, false, func() *bitmat.Matrix { built++; return testMat(1) })
-	if mat != nil || ok || built != 0 {
-		t.Fatalf("nil view must decline without building: mat=%v ok=%v built=%d", mat, ok, built)
+	mat, out := v.get("p", orientSO, false, func() *bitmat.Matrix { built++; return testMat(1) })
+	if mat != nil || out != outcomeUncached || built != 0 {
+		t.Fatalf("nil view must decline without building: mat=%v out=%v built=%d", mat, out, built)
 	}
 	if NewMatCache(0) != nil || NewMatCache(-5) != nil {
 		t.Fatalf("non-positive budget must disable the cache")
@@ -50,7 +50,7 @@ func TestMatCacheMaskedAdmissionOnRepeat(t *testing.T) {
 	view := c.Advance(1)
 	builds := 0
 	build := func() *bitmat.Matrix { builds++; return testMat(2) }
-	if mat, ok := view.get("m", orientSO, true, build); mat != nil || ok {
+	if mat, out := view.get("m", orientSO, true, build); mat != nil || out != outcomeFirstTouch {
 		t.Fatalf("masked first touch must decline")
 	}
 	if builds != 0 {
@@ -59,19 +59,19 @@ func TestMatCacheMaskedAdmissionOnRepeat(t *testing.T) {
 	if s := c.Stats(); s.FirstTouches != 1 || s.Entries != 0 {
 		t.Fatalf("first-touch stats = %+v", s)
 	}
-	if _, ok := view.get("m", orientSO, true, build); !ok || builds != 1 {
+	if mat, _ := view.get("m", orientSO, true, build); mat == nil || builds != 1 {
 		t.Fatalf("masked second touch must admit and build (builds=%d)", builds)
 	}
-	if _, ok := view.get("m", orientSO, true, build); !ok || builds != 1 {
+	if mat, out := view.get("m", orientSO, true, build); mat == nil || out != outcomeHit || builds != 1 {
 		t.Fatalf("masked third touch must hit (builds=%d)", builds)
 	}
 	// Unmasked loads admit on first touch.
-	if _, ok := view.get("u", orientSO, false, build); !ok || builds != 2 {
+	if mat, _ := view.get("u", orientSO, false, build); mat == nil || builds != 2 {
 		t.Fatalf("unmasked first touch must cache (builds=%d)", builds)
 	}
 	// Advance resets the touch memory along with the entries.
 	v2 := c.Advance(2)
-	if mat, ok := v2.get("m", orientSO, true, build); mat != nil || ok {
+	if mat, out := v2.get("m", orientSO, true, build); mat != nil || out != outcomeFirstTouch {
 		t.Fatalf("new generation must re-learn touches")
 	}
 }
@@ -86,11 +86,11 @@ func TestMatCacheSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			mat, shared := view.get("pat", orientSO, false, func() *bitmat.Matrix {
+			mat, _ := view.get("pat", orientSO, false, func() *bitmat.Matrix {
 				builds.Add(1)
 				return testMat(4)
 			})
-			if !shared {
+			if mat == nil {
 				t.Errorf("goroutine %d: not shared", i)
 			}
 			mats[i] = mat
@@ -164,7 +164,7 @@ func TestMatCacheOversizeNotRetained(t *testing.T) {
 		t.Fatalf("fixture: big not bigger than budget")
 	}
 	mat, shared := view.get("big", orientSO, false, func() *bitmat.Matrix { return big })
-	if mat != big || !shared {
+	if mat != big || shared != outcomeMiss {
 		t.Fatalf("oversize build not returned to caller")
 	}
 	s := c.Stats()
@@ -177,7 +177,7 @@ func TestMatCacheAdvanceRetiresEntries(t *testing.T) {
 	c := NewMatCache(1 << 20)
 	v1 := c.Advance(1)
 	builds := 0
-	get := func(v *MatCacheView) (*bitmat.Matrix, bool) {
+	get := func(v *MatCacheView) (*bitmat.Matrix, cacheOutcome) {
 		return v.get("pat", orientSO, false, func() *bitmat.Matrix {
 			builds++
 			return testMat(2)
@@ -195,14 +195,14 @@ func TestMatCacheAdvanceRetiresEntries(t *testing.T) {
 	// The retired view declines (the caller then builds directly, masks
 	// folded in) and must neither read nor populate the new generation's
 	// cache.
-	if mat, ok := get(v1); mat != nil || ok {
+	if mat, out := get(v1); mat != nil || out != outcomeStale {
 		t.Fatalf("retired view did not decline")
 	}
 	if s := c.Stats(); s.StaleBypasses != 1 || s.Entries != 0 {
 		t.Fatalf("stale bypass stats = %+v", s)
 	}
 	// The current view rebuilds under the new generation.
-	if _, ok := get(v2); !ok {
+	if mat, _ := get(v2); mat == nil {
 		t.Fatalf("current view not shared")
 	}
 	if builds != 2 {
@@ -262,10 +262,10 @@ func TestMatCacheConcurrentAdvance(t *testing.T) {
 				}
 				v := <-views
 				views <- v
-				mat, ok := v.get(pats[(i+n)%len(pats)], orientSO, false, func() *bitmat.Matrix {
+				mat, out := v.get(pats[(i+n)%len(pats)], orientSO, false, func() *bitmat.Matrix {
 					return testMat(1 + n%4)
 				})
-				if ok && mat == nil {
+				if (out == outcomeHit || out == outcomeMiss) && mat == nil {
 					t.Error("shared get returned a nil matrix")
 					return
 				}

@@ -55,7 +55,7 @@ func TestLemma33MinimalityProperty(t *testing.T) {
 		tps := make([]*tpState, len(gosn.Patterns))
 		abort := false
 		for i, pat := range gosn.Patterns {
-			st, err := e.load(pat, i, gosn.SNOfTP[i], plan, tps, nil)
+			st, err := e.load(pat, i, gosn.SNOfTP[i], plan, tps, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -68,7 +68,7 @@ func TestLemma33MinimalityProperty(t *testing.T) {
 		if abort {
 			continue
 		}
-		e.pruneTriples(context.Background(), plan, tps, 1)
+		e.pruneTriples(context.Background(), plan, tps, 1, nil)
 
 		// Reference results give the ground-truth projections.
 		maps, _, err := ref.New(g).Execute(q)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/planner"
 	"repro/internal/sparql"
+	"repro/internal/trace"
 )
 
 // intersectFolds ANDs two fold projections that may live in different ID
@@ -198,12 +199,25 @@ func (e *Engine) maskForSpace(mask *bitvec.Bits, maskSpace, axisSpace Space) *bi
 // as a complete one. budget bounds this branch's fan-out — the pool share
 // the branch scheduler granted it, so concurrent UNION branches cannot
 // oversubscribe the pool with their pruning waves.
-func (e *Engine) pruneTriples(ctx context.Context, plan *planner.Plan, tps []*tpState, budget int) {
+//
+// sp, when non-nil, is the branch's prune span: each jvar level becomes a
+// "level" child recording the pass (bu/td), the variable, the triples
+// held by its patterns before and after the level's semi-joins, and the
+// level's wall time. The before/after counts cost a matrix count per
+// holder, so they are computed only when tracing is on.
+func (e *Engine) pruneTriples(ctx context.Context, plan *planner.Plan, tps []*tpState, budget int, sp *trace.Span) {
 	limit := budget
 	if limit < 1 {
 		limit = 1
 	}
-	pass := func(order []int) {
+	holderCount := func(holders []int) int64 {
+		var n int64
+		for _, t := range holders {
+			n += tps[t].count()
+		}
+		return n
+	}
+	pass := func(name string, order []int) {
 		for _, jIdx := range order {
 			if ctx.Err() != nil {
 				return
@@ -213,19 +227,27 @@ func (e *Engine) pruneTriples(ctx context.Context, plan *planner.Plan, tps []*tp
 			if lvlLimit > 1 {
 				// Fan-out only pays off when the level folds/unfolds a
 				// meaningful number of triples.
-				var weight int64
-				for _, t := range holders {
-					weight += tps[t].count()
-				}
-				if weight < parallelMinTriples {
+				if holderCount(holders) < parallelMinTriples {
 					lvlLimit = 1
 				}
 			}
+			var lsp *trace.Span
+			if sp != nil {
+				lsp = sp.Child("level")
+				lsp.Set("pass", name)
+				lsp.Set("var", string(plan.GoJ.Vars[jIdx]))
+				lsp.Set("patterns", len(holders))
+				lsp.Set("before", holderCount(holders))
+			}
 			runOps(ctx, lvlLimit, e.levelOps(plan.GoJ.Vars[jIdx], holders, plan, tps))
+			if lsp != nil {
+				lsp.Set("after", holderCount(holders))
+				lsp.End()
+			}
 		}
 	}
-	pass(plan.OrderBU)
-	pass(plan.OrderTD)
+	pass("bu", plan.OrderBU)
+	pass("td", plan.OrderTD)
 }
 
 // levelOps collects one jvar level's pruning operations in sequential

@@ -44,7 +44,7 @@ func setupTPs(t *testing.T, g *rdf.Graph, src string) (*Engine, *planner.Plan, [
 	plan := planner.BuildPlan(gosn, goj, EstimateCounts(idx, gosn.Patterns))
 	tps := make([]*tpState, len(gosn.Patterns))
 	for i, pat := range gosn.Patterns {
-		st, err := e.load(pat, i, gosn.SNOfTP[i], plan, tps, nil)
+		st, err := e.load(pat, i, gosn.SNOfTP[i], plan, tps, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +104,7 @@ func TestPruneTriplesExample1(t *testing.T) {
 	// ?sitcom leaves tp2 with exactly (Julia actedIn Seinfeld).
 	g := figure32Graph()
 	e, plan, tps := setupTPs(t, g, q2)
-	e.pruneTriples(context.Background(), plan, tps, 1)
+	e.pruneTriples(context.Background(), plan, tps, 1, nil)
 	if tps[0].count() != 2 {
 		t.Errorf("tp1 = %d, want 2", tps[0].count())
 	}
@@ -173,7 +173,7 @@ func TestActivePruneMasksNewPattern(t *testing.T) {
 	gosn := plan.GoSN
 	tps := make([]*tpState, len(gosn.Patterns))
 	load := func(i int) {
-		st, err := e.load(gosn.Patterns[i], i, gosn.SNOfTP[i], plan, tps, nil)
+		st, err := e.load(gosn.Patterns[i], i, gosn.SNOfTP[i], plan, tps, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

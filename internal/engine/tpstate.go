@@ -9,6 +9,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
+	"repro/internal/trace"
 )
 
 // tpState is the query-time state of one triple pattern: its BitMat slice
@@ -187,7 +188,11 @@ func (e *Engine) loadMask(v sparql.Var, axisSpace Space, idx int, loaded []*tpSt
 // tier sits the engine's store-level MatCache view (e.mc), which shares
 // the same pristine materializations across concurrent queries of one
 // index snapshot under the identical clone-then-mask discipline.
-func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Plan, loaded []*tpState, cache *loadCache) (*tpState, error) {
+//
+// sp, when non-nil, is this pattern's load span: the cache outcome and
+// (for tier-served loads) the approximate bytes cloned are recorded on
+// it. A nil sp costs only the final nil check.
+func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Plan, loaded []*tpState, cache *loadCache, sp *trace.Span) (*tpState, error) {
 	st := &tpState{idx: idx, pat: tp, sn: sn}
 	dict := e.dict
 	sVar, pVar, oVar := tp.S.IsVar, tp.P.IsVar, tp.O.IsVar
@@ -195,6 +200,7 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 	if cache != nil || e.mc != nil {
 		patKey = tp.String()
 	}
+	cacheSrc := "none"
 
 	// Resolve fixed positions; unknown terms mean an empty pattern.
 	var s, p, o rdf.ID
@@ -223,7 +229,7 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 			// reduced to a single row over the subject dimension.
 			st.colVar, st.colSpace = tp.S.Var, SpaceS
 			st.rowSpace = SpaceNone
-			st.mat = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+			st.mat, cacheSrc = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
 				diag := bitmat.NewMatrix(1, dict.NumSubjects())
 				if !unknown {
 					so := e.idx.MatSO(p)
@@ -246,6 +252,7 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 				}
 				return diag
 			})
+			setLoadAttrs(sp, st, cacheSrc)
 			return st, nil
 		}
 		rowVar, _ := plan.RowVar(tp)
@@ -262,6 +269,7 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 			} else {
 				st.mat = bitmat.NewMatrix(dict.NumObjects(), dict.NumSubjects())
 			}
+			setLoadAttrs(sp, st, cacheSrc)
 			return st, nil
 		}
 		var rowMask, colMask *bitvec.Bits
@@ -273,7 +281,9 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 		if rowVar != tp.S.Var {
 			orient, build = orientOS, func() *bitmat.Matrix { return e.idx.MatOS(p) }
 		}
-		if base := e.cachedPristine(cache, patKey, orient, rowMask != nil || colMask != nil, build); base != nil {
+		base, src := e.cachedPristine(cache, patKey, orient, rowMask != nil || colMask != nil, build)
+		cacheSrc = src
+		if base != nil {
 			st.mat = base
 			if rowMask != nil {
 				st.mat.UnfoldRows(rowMask)
@@ -288,7 +298,7 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 		}
 	case sVar && !pVar && !oVar:
 		// (?var :p :o): one row of the P-S BitMat of o (Section 5).
-		st.mat = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+		st.mat, cacheSrc = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
 			if unknown {
 				return bitmat.NewMatrix(1, dict.NumSubjects())
 			}
@@ -298,7 +308,7 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 		st.rowSpace = SpaceNone
 	case !sVar && !pVar && oVar:
 		// (:s :p ?var): one row of the P-O BitMat of s.
-		st.mat = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+		st.mat, cacheSrc = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
 			if unknown {
 				return bitmat.NewMatrix(1, dict.NumObjects())
 			}
@@ -309,7 +319,7 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 	case !sVar && pVar && oVar:
 		// (:s ?p ?o): the P-O BitMat of s; the predicate variable rides the
 		// row axis (never a join variable, enforced by the GoJ).
-		st.mat = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+		st.mat, cacheSrc = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
 			if unknown {
 				return bitmat.NewMatrix(dict.NumPredicates(), dict.NumObjects())
 			}
@@ -319,7 +329,7 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 		st.colVar, st.colSpace = tp.O.Var, SpaceO
 	case sVar && pVar && !oVar:
 		// (?s ?p :o): the P-S BitMat of o.
-		st.mat = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+		st.mat, cacheSrc = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
 			if unknown {
 				return bitmat.NewMatrix(dict.NumPredicates(), dict.NumSubjects())
 			}
@@ -329,7 +339,7 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 		st.colVar, st.colSpace = tp.S.Var, SpaceS
 	case !sVar && pVar && !oVar:
 		// (:s ?p :o): the predicates linking s to o.
-		st.mat = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
+		st.mat, cacheSrc = e.cachedOr(cache, patKey, orientSO, func() *bitmat.Matrix {
 			if unknown {
 				return bitmat.NewMatrix(1, dict.NumPredicates())
 			}
@@ -342,7 +352,25 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 	default:
 		return nil, fmt.Errorf("engine: pattern %s with three variables is not supported", tp)
 	}
+	setLoadAttrs(sp, st, cacheSrc)
 	return st, nil
+}
+
+// setLoadAttrs records a pattern load's cache outcome on its trace span:
+// which tier served it (or why every tier declined) and, for tier-served
+// loads — which clone the shared pristine matrix — the approximate bytes
+// cloned. No-op (and no argument evaluation) on a nil span.
+func setLoadAttrs(sp *trace.Span, st *tpState, src string) {
+	if sp == nil {
+		return
+	}
+	sp.Set("cache", src)
+	switch src {
+	case "query-shared", string(outcomeHit), string(outcomeMiss):
+		if st.mat != nil {
+			sp.Set("clone_bytes", matCost(st.mat))
+		}
+	}
 }
 
 // axisOf returns the axis carrying variable v and its space.

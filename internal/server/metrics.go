@@ -13,6 +13,41 @@ import (
 // histogram; the implicit final bucket is +Inf.
 var latencyBoundsMS = [...]float64{1, 5, 25, 100, 500, 2500}
 
+// stageBoundsMS are the upper bounds (milliseconds) of the per-stage
+// timing histograms. Stages are much shorter than whole queries, so the
+// buckets start finer than the query histogram's.
+var stageBoundsMS = [...]float64{0.2, 1, 5, 25, 100, 500}
+
+// stageNames are the per-query execution stages /metrics breaks latency
+// into: the engine's init (BitMat loading), prune (semi-join passes), and
+// join (multi-way join) stages, the merge stage (branch/shard merge plus
+// solution modifiers), and serialize — the residual of the query's wall
+// time not attributed to an engine stage, which on the streaming path is
+// dominated by result serialization and socket writes.
+var stageNames = [...]string{"init", "prune", "join", "merge", "serialize"}
+
+// stageHist is one stage's latency histogram: per-bucket counts plus the
+// running sum (microseconds) and observation count Prometheus clients
+// need for rate/mean queries.
+type stageHist struct {
+	buckets [len(stageBoundsMS) + 1]atomic.Int64
+	sumUS   atomic.Int64
+	count   atomic.Int64
+}
+
+func (h *stageHist) observe(d time.Duration) {
+	h.sumUS.Add(d.Microseconds())
+	h.count.Add(1)
+	ms := float64(d) / float64(time.Millisecond)
+	for i, bound := range stageBoundsMS {
+		if ms <= bound {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(stageBoundsMS)].Add(1)
+}
+
 // Metrics is the server's expvar-style instrumentation: monotonically
 // increasing counters plus an in-flight gauge, all updated with atomics so
 // the hot path never takes a lock, and served as JSON from /metrics.
@@ -30,10 +65,13 @@ type Metrics struct {
 	triplesInserted atomic.Int64 // effective triple inserts across all updates
 	triplesDeleted  atomic.Int64 // effective triple deletes across all updates
 	buckets         [len(latencyBoundsMS) + 1]atomic.Int64
+	latencySumUS    atomic.Int64 // sum over all latency observations
+	stages          [len(stageNames)]stageHist
 }
 
 // observeLatency records one completed query's wall time in the histogram.
 func (m *Metrics) observeLatency(d time.Duration) {
+	m.latencySumUS.Add(d.Microseconds())
 	ms := float64(d) / float64(time.Millisecond)
 	for i, bound := range latencyBoundsMS {
 		if ms <= bound {
@@ -44,12 +82,36 @@ func (m *Metrics) observeLatency(d time.Duration) {
 	m.buckets[len(latencyBoundsMS)].Add(1)
 }
 
+// observeStages attributes one executed query's wall time to the stage
+// histograms: the engine's own Init/Prune/Join/Merge accounting, plus the
+// residual (wall minus the engine stages, clamped at zero — concurrent
+// branches can make the stage sum exceed the wall clock) as serialize.
+// Cached replays and 304s skip this: no engine stage ran.
+func (m *Metrics) observeStages(st *lbr.Stats, wall time.Duration) {
+	serialize := wall - st.Init - st.Prune - st.Join - st.Merge
+	if serialize < 0 {
+		serialize = 0
+	}
+	for i, d := range [...]time.Duration{st.Init, st.Prune, st.Join, st.Merge, serialize} {
+		m.stages[i].observe(d)
+	}
+}
+
 // LatencyBucket is one histogram bucket of a metrics snapshot. LE is the
 // inclusive upper bound in milliseconds ("+Inf" for the last bucket); the
-// counts are per-bucket, not cumulative.
+// counts are per-bucket, not cumulative. (The Prometheus text view of the
+// same histogram exposes cumulative counts, as that format requires.)
 type LatencyBucket struct {
 	LE    string `json:"le_ms"`
 	Count int64  `json:"count"`
+}
+
+// StageLatency is one execution stage's histogram in a metrics snapshot.
+type StageLatency struct {
+	Stage   string          `json:"stage"`
+	Buckets []LatencyBucket `json:"buckets"`
+	SumMS   float64         `json:"sum_ms"`
+	Count   int64           `json:"count"`
 }
 
 // ResultCacheSnapshot is the /metrics view of the server's result cache:
@@ -81,12 +143,22 @@ type Snapshot struct {
 	TriplesIns     int64           `json:"triples_inserted"`
 	TriplesDel     int64           `json:"triples_deleted"`
 	LatencyBuckets []LatencyBucket `json:"latency_buckets"`
+	// LatencySumMS is the sum over every latency observation, in
+	// milliseconds — with the bucket counts this gives Prometheus its
+	// histogram _sum/_count pair.
+	LatencySumMS float64 `json:"latency_sum_ms"`
+	// StageLatency breaks successful SELECT executions into per-stage
+	// histograms: init, prune, join, merge, serialize.
+	StageLatency []StageLatency `json:"stage_latency"`
 	// SnapshotGeneration is the store's current MVCC snapshot generation
 	// (0 until the first build). Filled by the /metrics handler without
 	// forcing a build.
 	SnapshotGeneration uint64               `json:"snapshot_generation"`
 	ResultCache        *ResultCacheSnapshot `json:"result_cache,omitempty"`
 	BitMatCache        *lbr.CacheStats      `json:"bitmat_cache,omitempty"`
+	// WAL carries the store's durability and compaction counters. Filled
+	// by the /metrics handler.
+	WAL *lbr.WALStats `json:"wal,omitempty"`
 	// Shards lists per-shard statistics (triple counts, snapshot
 	// generations, cache counters) on a sharded store; omitted when the
 	// store runs a single index.
@@ -108,6 +180,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		UpdateRejected: m.updateRejected.Load(),
 		TriplesIns:     m.triplesInserted.Load(),
 		TriplesDel:     m.triplesDeleted.Load(),
+		LatencySumMS:   float64(m.latencySumUS.Load()) / 1000.0,
 	}
 	for i := range m.buckets {
 		le := "+Inf"
@@ -115,6 +188,22 @@ func (m *Metrics) Snapshot() Snapshot {
 			le = formatBound(latencyBoundsMS[i])
 		}
 		s.LatencyBuckets = append(s.LatencyBuckets, LatencyBucket{LE: le, Count: m.buckets[i].Load()})
+	}
+	for si := range m.stages {
+		h := &m.stages[si]
+		sl := StageLatency{
+			Stage: stageNames[si],
+			SumMS: float64(h.sumUS.Load()) / 1000.0,
+			Count: h.count.Load(),
+		}
+		for i := range h.buckets {
+			le := "+Inf"
+			if i < len(stageBoundsMS) {
+				le = formatBound(stageBoundsMS[i])
+			}
+			sl.Buckets = append(sl.Buckets, LatencyBucket{LE: le, Count: h.buckets[i].Load()})
+		}
+		s.StageLatency = append(s.StageLatency, sl)
 	}
 	return s
 }

@@ -33,11 +33,13 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	lbr "repro"
 	"repro/internal/results"
 	"repro/internal/sparql"
+	"repro/internal/trace"
 )
 
 // Config tunes one Server. The zero value serves with no per-request
@@ -90,6 +92,18 @@ type Server struct {
 	upSem   chan struct{}
 	metrics Metrics
 	qcache  *queryCache
+	// reqSeq numbers /sparql requests; the id is stamped on every response
+	// as X-Request-Id and prefixes the server's log lines, so a client
+	// error report can be joined to its log entries (and its slow-query
+	// log line, via the query hash) without guesswork.
+	reqSeq atomic.Int64
+}
+
+// reqID reads the request id stamped on the response by handleSPARQL; it
+// lets the logging helpers recover the id without threading a parameter
+// through every serve path.
+func reqID(w http.ResponseWriter) string {
+	return w.Header().Get("X-Request-Id")
 }
 
 // New builds a Server for the store. The store may be pre-built or not:
@@ -140,9 +154,13 @@ func (s *Server) Handler() http.Handler {
 }
 
 // handleMetrics serves the counter snapshot extended with the two cache
-// tiers: the server's result cache and the store's cross-query BitMat
-// materialization cache.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// tiers (the server's result cache and the store's cross-query BitMat
+// materialization cache) and the store's durability counters. The default
+// view is the backward-compatible JSON document; ?format=prometheus (or an
+// Accept header naming text/plain, what a Prometheus scraper sends)
+// selects the Prometheus text exposition instead — same counters,
+// cumulative histogram buckets in seconds.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot()
 	// Generation() reads the store's current MVCC generation without
 	// forcing a build — /metrics must never trigger index construction.
@@ -157,9 +175,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// small, invalidations mean writes are churning snapshots.
 	bm := s.store.CacheStats()
 	snap.BitMatCache = &bm
+	wal := s.store.WALStats()
+	snap.WAL = &wal
 	// ShardStats likewise never forces a build; shards that have not
 	// materialized a snapshot yet report their last compacted base.
 	snap.Shards = s.store.ShardStats()
+	if wantsPrometheus(r) {
+		writeMetricsProm(w, snap)
+		return
+	}
 	writeMetricsJSON(w, snap)
 }
 
@@ -298,6 +322,7 @@ func rejectDatasetParams(params url.Values) *protocolError {
 }
 
 func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("X-Request-Id", fmt.Sprintf("lbr-%d", s.reqSeq.Add(1)))
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		w.Header().Set("Allow", "GET, POST")
 		writeError(w, perr(http.StatusMethodNotAllowed, "method_not_allowed", "SPARQL Protocol queries use GET or POST"))
@@ -312,8 +337,12 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		s.serveUpdate(w, r, src)
 		return
 	}
+	// ?explain=1 (URL or form field) turns the request into an EXPLAIN:
+	// the query executes traced and the response is the span-tree JSON
+	// instead of the result rows.
+	explain := r.URL.Query().Get("explain") == "1" || r.PostForm.Get("explain") == "1"
 	format, ok := results.Negotiate(r.Header.Get("Accept"))
-	if !ok {
+	if !ok && !explain { // an EXPLAIN response is always JSON
 		writeError(w, perr(http.StatusNotAcceptable, "not_acceptable",
 			"no supported result format in Accept %q; the endpoint serves %s, %s, %s, and %s",
 			r.Header.Get("Accept"),
@@ -348,11 +377,47 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	start := time.Now()
+	if explain {
+		s.serveExplain(ctx, w, r, src, start)
+		return
+	}
 	if q.Ask {
 		s.serveAsk(ctx, w, r, format, src, start)
 		return
 	}
 	s.serveSelect(ctx, w, r, format, src, start)
+}
+
+// serveExplain answers an ?explain=1 request: the query executes traced
+// (bypassing the result cache — an EXPLAIN wants this execution's real
+// spans, not a replay) and the response is a JSON document with the
+// stable query hash, the result shape, and the full span tree. The rows
+// themselves are not serialized; run the query without explain for them.
+func (s *Server) serveExplain(ctx context.Context, w http.ResponseWriter, r *http.Request, src string, start time.Time) {
+	res, root, err := s.store.QueryTrace(ctx, src)
+	if err != nil {
+		s.failBeforeStream(ctx, w, r, err)
+		return
+	}
+	wall := time.Since(start)
+	s.metrics.observeStages(&res.Stats, wall)
+	doc := map[string]any{
+		"query_hash": trace.QueryHash(src),
+		"vars":       res.Vars,
+		"rows":       res.Len(),
+		"total_ms":   float64(wall.Microseconds()) / 1000.0,
+		"trace":      root.Snapshot(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		s.metrics.errors.Add(1)
+		return
+	}
+	s.metrics.queries.Add(1)
+	s.metrics.observeLatency(time.Since(start))
 }
 
 // serveUpdate executes a SPARQL 1.1 Update request. Updates get their own
@@ -395,7 +460,7 @@ func (s *Server) serveUpdate(w http.ResponseWriter, r *http.Request, src string)
 			s.metrics.timeouts.Add(1)
 			writeError(w, perr(http.StatusGatewayTimeout, "timeout", "update exceeded the server timeout of %s", s.cfg.Timeout))
 		case errors.Is(err, context.Canceled):
-			s.cfg.Log("sparql: client cancelled update %s %s", r.Method, r.URL.Path)
+			s.cfg.Log("sparql: [%s] client cancelled update %s %s", reqID(w), r.Method, r.URL.Path)
 			panic(http.ErrAbortHandler)
 		default:
 			writeError(w, perr(http.StatusInternalServerError, "update_failed", "%v", err))
@@ -663,7 +728,7 @@ func (s *Server) serveSelect(ctx context.Context, w http.ResponseWriter, r *http
 		if body, cachedRows := s.qcache.get(gen, norm, format); body != nil {
 			if !s.replayCached(w, r, format, body) {
 				s.metrics.errors.Add(1)
-				s.cfg.Log("sparql: cached replay aborted")
+				s.cfg.Log("sparql: [%s] cached replay aborted", reqID(w))
 				panic(http.ErrAbortHandler)
 			}
 			s.metrics.rowsStreamed.Add(cachedRows)
@@ -728,7 +793,8 @@ func (s *Server) serveSelect(ctx context.Context, w http.ResponseWriter, r *http
 		}
 		return nil
 	}
-	err := s.store.QueryStreamRows(ctx, src, func(vars []string, row []lbr.Term) bool {
+	var st lbr.Stats
+	err := s.store.QueryStreamRowsObserved(ctx, src, &st, nil, func(vars []string, row []lbr.Term) bool {
 		if row == nil {
 			headerVars = vars
 			return true
@@ -756,7 +822,7 @@ func (s *Server) serveSelect(ctx context.Context, w http.ResponseWriter, r *http
 	if ioErr != nil {
 		// The client went away (or the socket broke) mid-stream.
 		s.metrics.errors.Add(1)
-		s.cfg.Log("sparql: aborted after %d rows: %v", rows, ioErr)
+		s.cfg.Log("sparql: [%s] aborted after %d rows: %v", reqID(w), rows, ioErr)
 		panic(http.ErrAbortHandler)
 	}
 	if err != nil {
@@ -768,7 +834,7 @@ func (s *Server) serveSelect(ctx context.Context, w http.ResponseWriter, r *http
 		// the connection so the client sees a transport error instead of
 		// silently mistaking the prefix for a complete result.
 		s.countFailure(err)
-		s.cfg.Log("sparql: query failed after %d rows: %v", rows, err)
+		s.cfg.Log("sparql: [%s] query failed after %d rows: %v", reqID(w), rows, err)
 		panic(http.ErrAbortHandler)
 	}
 	if !streaming {
@@ -802,7 +868,9 @@ func (s *Server) serveSelect(ctx context.Context, w http.ResponseWriter, r *http
 		}
 	}
 	s.metrics.queries.Add(1)
-	s.metrics.observeLatency(time.Since(start))
+	wall := time.Since(start)
+	s.metrics.observeLatency(wall)
+	s.metrics.observeStages(&st, wall)
 }
 
 // countFailure classifies a failed execution for the metrics.
@@ -823,7 +891,7 @@ func (s *Server) failBeforeStream(ctx context.Context, w http.ResponseWriter, r 
 		writeError(w, perr(http.StatusGatewayTimeout, "timeout", "query exceeded the server timeout of %s", s.cfg.Timeout))
 	case errors.Is(err, context.Canceled):
 		// The client is gone; nobody is listening for a status code.
-		s.cfg.Log("sparql: client cancelled %s %s", r.Method, r.URL.Path)
+		s.cfg.Log("sparql: [%s] client cancelled %s %s", reqID(w), r.Method, r.URL.Path)
 		panic(http.ErrAbortHandler)
 	default:
 		writeError(w, perr(http.StatusInternalServerError, "query_failed", "%v", err))

@@ -30,12 +30,15 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/bitmat"
 	"repro/internal/engine"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
+	"repro/internal/trace"
 )
 
 // Term is an RDF term (IRI, literal, or blank node). The zero Term is the
@@ -118,6 +121,21 @@ type Options struct {
 	// in-flight queries keep their snapshot, and the folded index answers
 	// exactly like the overlay it replaces.
 	CompactThreshold int
+	// SlowQueryThreshold, when positive together with SlowQueryLog,
+	// enables the slow-query log: QueryContext and QueryStreamRows then
+	// run every query with a tracer attached, and a query whose wall time
+	// reaches the threshold appends one JSON line — timestamp, stable
+	// query hash (trace.QueryHash), duration, row count, the (truncated)
+	// query text, and the full span tree — to SlowQueryLog. Queries under
+	// the threshold pay only the tracing cost (a few spans per stage);
+	// results are byte-identical either way. 0 (or a nil SlowQueryLog)
+	// disables slow-query logging entirely, and queries run with no tracer
+	// attached — the instrumentation then reduces to nil checks.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives the slow-query JSON lines. Writes are
+	// serialized by the store (one line per slow query, never interleaved),
+	// so any io.Writer works — a file, os.Stderr, a log pipe.
+	SlowQueryLog io.Writer
 }
 
 // defaultCacheBudget is the materialization cache bound CacheBudget = 0
@@ -205,6 +223,19 @@ type Store struct {
 	// (a SaveIndex/SaveShards that proved every logged mutation folded
 	// into the persisted base, letting the log truncate to zero).
 	walCheckpointLSN uint64
+
+	// slowMu serializes slow-query log lines so concurrent slow queries
+	// never interleave bytes on the shared writer.
+	slowMu sync.Mutex
+
+	// Durability and compaction counters for the /metrics endpoint (see
+	// WALStats). Atomics, not mu-guarded: the compaction timings are
+	// recorded off-lock and metrics scrapes must not contend with writers.
+	walAppends       atomic.Int64
+	walReplayed      atomic.Int64
+	walCheckpoints   atomic.Int64
+	compactions      atomic.Int64
+	compactionLastNS atomic.Int64
 }
 
 // NewStore returns an empty store.
@@ -578,19 +609,44 @@ func (s *Store) Query(src string) (*Result, error) {
 // multi-way join and returns ctx.Err(). A query concurrent with mutation
 // runs on the most recently built index snapshot. On a sharded store,
 // subject-star queries scatter across the shards and gather in shard
-// order; everything else runs on the merged view.
+// order; everything else runs on the merged view. When the slow-query log
+// is enabled (Options.SlowQueryThreshold and SlowQueryLog), the query runs
+// traced and a slow one is logged; results are identical either way.
 func (s *Store) QueryContext(ctx context.Context, src string) (*Result, error) {
+	if !s.slowLogging() {
+		return s.queryTracedContext(ctx, src, nil)
+	}
+	t := trace.New("query")
+	start := time.Now()
+	res, err := s.queryTracedContext(ctx, src, t.Root())
+	t.Finish()
+	rows := -1
+	if res != nil {
+		rows = res.Len()
+	}
+	s.logSlowQuery(src, time.Since(start), rows, t.Root(), err)
+	return res, err
+}
+
+// queryTracedContext is the one execution path under Query, QueryContext,
+// and QueryTrace: parse, try the sharded scatter-gather, fall back to the
+// merged engine. sp, when non-nil, receives the query's span tree; a nil
+// sp costs nothing beyond the nil checks.
+func (s *Store) queryTracedContext(ctx context.Context, src string, sp *trace.Span) (*Result, error) {
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	res, handled, err := s.queryShardedContext(ctx, q)
+	if sp != nil {
+		sp.Set("query_hash", trace.QueryHash(src))
+	}
+	res, handled, err := s.queryShardedContext(ctx, q, sp)
 	if !handled {
-		eng, eerr := s.ensureEngine()
+		eng, eerr := s.ensureEngineTraced(sp)
 		if eerr != nil {
 			return nil, eerr
 		}
-		res, err = eng.ExecuteContext(ctx, q)
+		res, err = eng.ExecuteTraceContext(ctx, q, sp)
 	}
 	if err != nil {
 		return nil, err

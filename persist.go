@@ -5,11 +5,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/bitmat"
 	"repro/internal/engine"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
+	"repro/internal/trace"
 )
 
 // Store snapshot format: a small header, the dictionary, then the index
@@ -135,7 +137,7 @@ func (s *Store) QueryStreamContext(ctx context.Context, src string, fn func(map[
 		}
 		return fn(m)
 	}
-	if handled, err := s.streamShardedContext(ctx, q, nil, emit); handled {
+	if handled, err := s.streamShardedContext(ctx, q, nil, emit, nil, nil); handled {
 		return err
 	}
 	eng, err := s.ensureEngine()
@@ -161,10 +163,47 @@ func (s *Store) QueryStreamContext(ctx context.Context, src string, fn func(map[
 // Like QueryStream, queries whose output needs a final subsumption pass
 // (best-match) or cross-branch de-duplication are materialized internally
 // and replayed to fn; everything else streams with constant memory.
+//
+// When the slow-query log is enabled (Options.SlowQueryThreshold and
+// SlowQueryLog), the query runs traced and a slow one is logged, exactly
+// like QueryContext.
 func (s *Store) QueryStreamRows(ctx context.Context, src string, fn func(vars []string, row []Term) bool) error {
+	return s.QueryStreamRowsObserved(ctx, src, nil, nil, fn)
+}
+
+// QueryStreamRowsObserved is QueryStreamRows with observation: st, when
+// non-nil, accumulates the query's per-stage timings (for a streamed
+// execution the Join stage includes fn — serialization interleaves with
+// row enumeration — and Total is the end-to-end wall clock), and sp, when
+// non-nil, receives the execution's span tree under it. Either may be nil
+// independently; the server's /metrics stage histograms and ?explain=1
+// both sit on this. When sp is nil and the store's slow-query log is
+// enabled, the query is traced internally and logged if slow.
+func (s *Store) QueryStreamRowsObserved(ctx context.Context, src string, st *Stats, sp *trace.Span, fn func(vars []string, row []Term) bool) error {
+	if sp == nil && s.slowLogging() {
+		var local Stats
+		if st == nil {
+			st = &local
+		}
+		t := trace.New("query")
+		start := time.Now()
+		err := s.queryStreamRows(ctx, src, st, t.Root(), fn)
+		t.Finish()
+		d := time.Since(start)
+		st.Total = d
+		s.logSlowQuery(src, d, st.Results, t.Root(), err)
+		return err
+	}
+	return s.queryStreamRows(ctx, src, st, sp, fn)
+}
+
+func (s *Store) queryStreamRows(ctx context.Context, src string, st *Stats, sp *trace.Span, fn func(vars []string, row []Term) bool) error {
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return err
+	}
+	if sp != nil {
+		sp.Set("query_hash", trace.QueryHash(src))
 	}
 	// The engine emits rows in the header's order on every path today; the
 	// remap below is insurance that keeps the public contract ("row[i] is
@@ -218,12 +257,12 @@ func (s *Store) QueryStreamRows(ctx context.Context, src string, fn func(vars []
 		}
 		return fn(vars, out)
 	}
-	if handled, err := s.streamShardedContext(ctx, q, header, emit); handled {
+	if handled, err := s.streamShardedContext(ctx, q, header, emit, st, sp); handled {
 		return err
 	}
-	eng, err := s.ensureEngine()
+	eng, err := s.ensureEngineTraced(sp)
 	if err != nil {
 		return err
 	}
-	return eng.ExecuteStreamHeaderContext(ctx, q, header, emit)
+	return eng.ExecuteStreamObserved(ctx, q, header, emit, st, sp)
 }

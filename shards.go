@@ -3,6 +3,7 @@ package lbr
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/bitmat"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
+	"repro/internal/trace"
 )
 
 // In-process store sharding. With Options.Shards = N >= 2 the store owns,
@@ -292,23 +294,51 @@ func runPerShard(n, conc int, fn func(i int) error) error {
 // queryShardedContext executes a shardable query per shard and merges the
 // results in shard order. handled reports whether the scatter path applied;
 // when false the caller must fall back to the merged engine.
-func (s *Store) queryShardedContext(ctx context.Context, q *sparql.Query) (*engine.Result, bool, error) {
+//
+// sp, when non-nil, receives the scatter-gather span tree: a
+// "shard-engines" child timing the per-shard snapshot (re)build — the
+// overlay merge cost a mutation leaves behind — one "shard" child per
+// shard (created in shard order before dispatch, so its duration is the
+// scatter latency the coordinator observes, queue wait included), and a
+// "merge" child covering the shard-order concatenation plus the solution
+// modifiers.
+func (s *Store) queryShardedContext(ctx context.Context, q *sparql.Query, sp *trace.Span) (*engine.Result, bool, error) {
 	if s.shards == nil || !shardableQuery(q) {
 		return nil, false, nil
 	}
+	var esp *trace.Span
+	if sp != nil {
+		sp.Set("sharded", true)
+		sp.Set("shards", s.shards.n)
+		esp = sp.Child("shard-engines")
+	}
 	engs, err := s.ensureShardEngines()
+	esp.End()
 	if err != nil {
 		return nil, true, err
 	}
 	probe := stripModifiers(q)
 	results := make([]*engine.Result, len(engs))
+	spans := make([]*trace.Span, len(engs))
+	if sp != nil {
+		for i := range spans {
+			spans[i] = sp.Child("shard")
+			spans[i].Set("shard", i)
+		}
+	}
 	conc := len(engs)
 	if w := s.opts.EffectiveWorkers(); conc > w {
 		conc = w
 	}
 	err = runPerShard(len(engs), conc, func(i int) error {
-		r, err := engs[i].ExecuteContext(ctx, probe)
+		r, err := engs[i].ExecuteTraceContext(ctx, probe, spans[i])
 		results[i] = r
+		if ssp := spans[i]; ssp != nil {
+			if r != nil {
+				ssp.Set("rows", len(r.Rows))
+			}
+			ssp.End()
+		}
 		return err
 	})
 	if err != nil {
@@ -318,12 +348,18 @@ func (s *Store) queryShardedContext(ctx context.Context, q *sparql.Query) (*engi
 	// same discipline as the UNION branch merge. The column set is a pure
 	// function of the query (the sorted branch variable union), so every
 	// shard agrees on it.
+	tMerge := time.Now()
+	var msp *trace.Span
+	if sp != nil {
+		msp = sp.Child("merge")
+	}
 	merged := &engine.Result{Vars: results[0].Vars}
 	for _, r := range results {
 		merged.Rows = append(merged.Rows, r.Rows...)
 		merged.Stats.Init += r.Stats.Init
 		merged.Stats.Prune += r.Stats.Prune
 		merged.Stats.Join += r.Stats.Join
+		merged.Stats.Merge += r.Stats.Merge
 		merged.Stats.Total += r.Stats.Total
 		merged.Stats.InitialTriples += r.Stats.InitialTriples
 		merged.Stats.AfterPruning += r.Stats.AfterPruning
@@ -337,6 +373,11 @@ func (s *Store) queryShardedContext(ctx context.Context, q *sparql.Query) (*engi
 		}
 	}
 	merged.ApplyModifiers(q)
+	merged.Stats.Merge += time.Since(tMerge)
+	if msp != nil {
+		msp.Set("rows", len(merged.Rows))
+		msp.End()
+	}
 	return merged, true, nil
 }
 
@@ -369,11 +410,23 @@ func (s *Store) askShardedContext(ctx context.Context, q *sparql.Query) (found, 
 // handled reports whether it ran. The per-shard enumerations may
 // internally materialize (best-match shapes); their replay order is
 // deterministic either way.
-func (s *Store) streamShardedContext(ctx context.Context, q *sparql.Query, header func([]sparql.Var) bool, fn func([]sparql.Var, engine.Row) bool) (bool, error) {
+//
+// st, when non-nil, accumulates the per-shard stage timings (Total sums
+// the shard wall clocks; the caller owns the end-to-end wall clock). sp,
+// when non-nil, grows one sequential "shard" child per shard streamed.
+func (s *Store) streamShardedContext(ctx context.Context, q *sparql.Query, header func([]sparql.Var) bool, fn func([]sparql.Var, engine.Row) bool, st *engine.Stats, sp *trace.Span) (bool, error) {
 	if s.shards == nil || !q.SelectAll() || q.Distinct || len(q.OrderBy) > 0 || !shardableQuery(q) {
 		return false, nil
 	}
+	var esp *trace.Span
+	if sp != nil {
+		sp.Set("sharded", true)
+		sp.Set("shards", s.shards.n)
+		sp.Set("streamed", true)
+		esp = sp.Child("shard-engines")
+	}
 	engs, err := s.ensureShardEngines()
+	esp.End()
 	if err != nil {
 		return true, err
 	}
@@ -403,20 +456,30 @@ func (s *Store) streamShardedContext(ctx context.Context, q *sparql.Query, heade
 		return true
 	}
 	for i, eng := range engs {
-		var err error
+		var ssp *trace.Span
+		if sp != nil {
+			ssp = sp.Child("shard")
+			ssp.Set("shard", i)
+		}
+		var shardStats engine.Stats
+		var pst *engine.Stats
+		if st != nil {
+			pst = &shardStats
+		}
+		hdr := (func([]sparql.Var) bool)(nil)
+		headerOK := true
 		if i == 0 && header != nil {
-			headerOK := true
-			err = eng.ExecuteStreamHeaderContext(ctx, probe, func(vs []sparql.Var) bool {
+			hdr = func(vs []sparql.Var) bool {
 				headerOK = header(vs)
 				return headerOK
-			}, wrapped)
-			if !headerOK {
-				return true, err
 			}
-		} else {
-			err = eng.ExecuteStreamContext(ctx, probe, wrapped)
 		}
-		if err != nil {
+		err := eng.ExecuteStreamObserved(ctx, probe, hdr, wrapped, pst, ssp)
+		if st != nil {
+			accumulateStats(st, &shardStats)
+		}
+		ssp.End()
+		if !headerOK || err != nil {
 			return true, err
 		}
 		if stopped {
@@ -427,6 +490,24 @@ func (s *Store) streamShardedContext(ctx context.Context, q *sparql.Query, heade
 		}
 	}
 	return true, nil
+}
+
+// accumulateStats folds one shard's stage timings and counters into the
+// coordinator's aggregate, the same discipline as the scatter-gather merge
+// above (Total sums shard wall clocks; the caller overwrites it with the
+// end-to-end wall clock when it owns one).
+func accumulateStats(dst, src *engine.Stats) {
+	dst.Init += src.Init
+	dst.Prune += src.Prune
+	dst.Join += src.Join
+	dst.Merge += src.Merge
+	dst.Total += src.Total
+	dst.InitialTriples += src.InitialTriples
+	dst.AfterPruning += src.AfterPruning
+	dst.Results += src.Results
+	dst.NullResults += src.NullResults
+	dst.BestMatch = dst.BestMatch || src.BestMatch
+	dst.EmptyShortcut = dst.EmptyShortcut || src.EmptyShortcut
 }
 
 // ShardInfo describes one shard for operators (the /metrics "shards"

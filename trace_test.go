@@ -1,0 +1,270 @@
+package lbr
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestQueryTraceDifferential pins the tentpole guarantee of the tracing
+// layer: a traced execution returns rows byte-identical to (and in the
+// same order as) the untraced one, across the worker and shard matrix and
+// both execution paths (scatter-gather and merged-index fallback).
+func TestQueryTraceDifferential(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				s := newShardTestStore(t, shards, workers)
+				for _, p := range shardProbes {
+					res, err := s.Query(p.q)
+					if err != nil {
+						t.Fatalf("probe %s untraced: %v", p.id, err)
+					}
+					traced, root, err := s.QueryTrace(context.Background(), p.q)
+					if err != nil {
+						t.Fatalf("probe %s traced: %v", p.id, err)
+					}
+					if res.String() != traced.String() {
+						t.Errorf("probe %s: traced rows differ from untraced\nuntraced:\n%s\ntraced:\n%s",
+							p.id, res.String(), traced.String())
+					}
+					if root == nil || root.Name() != "query" {
+						t.Fatalf("probe %s: root span = %v", p.id, root)
+					}
+					if h, ok := root.Attr("query_hash"); !ok || h != trace.QueryHash(p.q) {
+						t.Errorf("probe %s: query_hash attr = %v, want %s", p.id, h, trace.QueryHash(p.q))
+					}
+				}
+			})
+		}
+	}
+}
+
+// spanRowsSum adds up the "rows" attributes of the named spans.
+func spanRowsSum(sps []*trace.Span) (int, int) {
+	total, n := 0, 0
+	for _, sp := range sps {
+		if v, ok := sp.Attr("rows"); ok {
+			total += v.(int)
+			n++
+		}
+	}
+	return total, n
+}
+
+// TestQueryTraceSpanAccounting checks the trace's row accounting against
+// the result for join-only queries (no modifiers that drop or reorder
+// rows): the branch span's row count is the result's length, and on a
+// sharded store the per-shard row counts sum to it.
+func TestQueryTraceSpanAccounting(t *testing.T) {
+	const q = `SELECT * WHERE { ?s <type> ?c . ?s <linked> ?t }`
+
+	t.Run("single-index", func(t *testing.T) {
+		s := newShardTestStore(t, 0, 1)
+		res, root, err := s.QueryTrace(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if root.Find("snapshot") == nil {
+			t.Error("trace lacks the snapshot span")
+		}
+		branches := root.FindAll("branch")
+		if len(branches) != 1 {
+			t.Fatalf("got %d branch spans, want 1", len(branches))
+		}
+		sum, n := spanRowsSum(branches)
+		if n != 1 || sum != res.Len() {
+			t.Errorf("branch rows = %d (over %d spans), want %d", sum, n, res.Len())
+		}
+		for _, name := range []string{"init", "prune", "join", "load"} {
+			if root.Find(name) == nil {
+				t.Errorf("trace lacks a %q span", name)
+			}
+		}
+		if ld := root.Find("load"); ld != nil {
+			if _, ok := ld.Attr("cache"); !ok {
+				t.Error("load span lacks the cache-outcome attr")
+			}
+		}
+	})
+
+	t.Run("sharded", func(t *testing.T) {
+		s := newShardTestStore(t, 2, 1)
+		res, root, err := s.QueryTrace(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := root.Attr("sharded"); !ok || v != true {
+			t.Fatalf("sharded attr = %v, %v", v, ok)
+		}
+		shardSpans := root.FindAll("shard")
+		if len(shardSpans) != 2 {
+			t.Fatalf("got %d shard spans, want 2", len(shardSpans))
+		}
+		sum, n := spanRowsSum(shardSpans)
+		if n != 2 || sum != res.Len() {
+			t.Errorf("shard rows sum = %d (over %d spans), want %d", sum, n, res.Len())
+		}
+		if root.Find("merge") == nil {
+			t.Error("trace lacks the merge span")
+		}
+	})
+}
+
+// TestQueryTraceChildDurationsNested checks the timing invariant a
+// sequential execution must satisfy: at one worker and one shard the
+// root's direct children run back to back inside it, so their durations
+// sum to at most the root's.
+func TestQueryTraceChildDurationsNested(t *testing.T) {
+	s := newShardTestStore(t, 0, 1)
+	_, root, err := s.QueryTrace(context.Background(), `SELECT * WHERE { ?s <type> ?c . ?s <linked> ?t }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum time.Duration
+	for _, c := range root.Children() {
+		sum += c.Duration()
+	}
+	if root.Duration() <= 0 {
+		t.Fatalf("root duration = %v", root.Duration())
+	}
+	if sum > root.Duration() {
+		t.Errorf("children durations sum to %v, exceeding the root's %v", sum, root.Duration())
+	}
+}
+
+// slowLogStore builds a store whose every query is "slow".
+func slowLogStore(t *testing.T, buf *bytes.Buffer) *Store {
+	t.Helper()
+	s := NewStoreWithOptions(Options{
+		Workers:            1,
+		SlowQueryThreshold: time.Nanosecond,
+		SlowQueryLog:       buf,
+	})
+	s.AddAll(shardTestTriples())
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSlowQueryLogRecords checks the slow-query log line shape on the
+// materialized and the streaming query paths: one JSON object per slow
+// query carrying the stable hash, duration, row count, and the trace.
+func TestSlowQueryLogRecords(t *testing.T) {
+	var buf bytes.Buffer
+	s := slowLogStore(t, &buf)
+	const q = `SELECT * WHERE { ?s <type> ?c }`
+
+	res, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := 0
+	if err := s.QueryStreamRows(context.Background(), q, func(vars []string, row []Term) bool {
+		if row != nil { // the first callback is the header
+			streamed++
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if streamed != res.Len() {
+		t.Fatalf("streamed %d rows, Query returned %d", streamed, res.Len())
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d slow-log lines, want 2:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var rec struct {
+			Time       string          `json:"time"`
+			QueryHash  string          `json:"query_hash"`
+			DurationMS float64         `json:"duration_ms"`
+			Rows       int             `json:"rows"`
+			Query      string          `json:"query"`
+			Trace      *trace.SpanJSON `json:"trace"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d: %v\n%s", i, err, line)
+		}
+		if rec.QueryHash != trace.QueryHash(q) {
+			t.Errorf("line %d: query_hash = %q, want %q", i, rec.QueryHash, trace.QueryHash(q))
+		}
+		if rec.Rows != res.Len() {
+			t.Errorf("line %d: rows = %d, want %d", i, rec.Rows, res.Len())
+		}
+		if rec.Query != q {
+			t.Errorf("line %d: query = %q", i, rec.Query)
+		}
+		if rec.Trace == nil || rec.Trace.Name != "query" {
+			t.Errorf("line %d: trace = %+v", i, rec.Trace)
+		}
+		if rec.DurationMS < 0 || rec.Time == "" {
+			t.Errorf("line %d: duration/time missing: %s", i, line)
+		}
+	}
+}
+
+// TestSlowQueryLogErrorLine checks that a failing query still logs, with
+// rows -1 and the error recorded.
+func TestSlowQueryLogErrorLine(t *testing.T) {
+	var buf bytes.Buffer
+	s := slowLogStore(t, &buf)
+	if _, err := s.Query(`SELECT * WHERE { broken`); err == nil {
+		t.Fatal("expected a parse error")
+	}
+	line := strings.TrimSpace(buf.String())
+	var rec struct {
+		Rows  int    `json:"rows"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("%v\n%s", err, line)
+	}
+	if rec.Rows != -1 || rec.Error == "" {
+		t.Errorf("error line = %s", line)
+	}
+}
+
+// TestSlowQueryLogThreshold checks that a generous threshold keeps the
+// log silent and a disabled log costs the query path nothing observable.
+func TestSlowQueryLogThreshold(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStoreWithOptions(Options{
+		Workers:            1,
+		SlowQueryThreshold: time.Hour,
+		SlowQueryLog:       &buf,
+	})
+	s.AddAll(shardTestTriples())
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(`SELECT * WHERE { ?s <type> ?c }`); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("slow log written below threshold: %s", buf.String())
+	}
+}
+
+// TestQueryTraceErrorReturnsSpan checks the EXPLAIN contract on errors:
+// the span tree (covering the work up to the failure) comes back with
+// the error.
+func TestQueryTraceErrorReturnsSpan(t *testing.T) {
+	s := newShardTestStore(t, 0, 1)
+	_, root, err := s.QueryTrace(context.Background(), `SELECT * WHERE { broken`)
+	if err == nil {
+		t.Fatal("expected a parse error")
+	}
+	if root == nil || root.Name() != "query" {
+		t.Fatalf("root span = %v", root)
+	}
+}

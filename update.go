@@ -3,6 +3,7 @@ package lbr
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/bitmat"
 	"repro/internal/engine"
@@ -184,6 +185,7 @@ func (s *Store) mutateLocked(del, ins []Triple, log bool) (int, int, error) {
 		if err := s.wal.append(effDel, effIns); err != nil {
 			return 0, 0, fmt.Errorf("lbr: wal append: %w", err)
 		}
+		s.walAppends.Add(1)
 	}
 	s.graph.RemoveAll(effDel)
 	s.graph.AddAll(effIns)
@@ -262,7 +264,12 @@ func (s *Store) Compact() error {
 		workers := s.opts.EffectiveWorkers()
 		s.mu.Unlock()
 
+		t0 := time.Now()
 		bs, err := s.buildStateFromTriples(snap, workers)
+		if err == nil {
+			s.compactions.Add(1)
+			s.compactionLastNS.Store(int64(time.Since(t0)))
+		}
 
 		s.mu.Lock()
 		s.compacting = false
@@ -289,7 +296,12 @@ func (s *Store) startCompactionLocked() {
 	s.compacting, s.compactDone = true, done
 	workers := s.opts.EffectiveWorkers()
 	go func() {
+		t0 := time.Now()
 		bs, err := s.buildStateFromTriples(snap, workers)
+		if err == nil {
+			s.compactions.Add(1)
+			s.compactionLastNS.Store(int64(time.Since(t0)))
+		}
 		s.mu.Lock()
 		s.compacting = false
 		close(done)

@@ -146,6 +146,7 @@ func (s *Store) OpenWAL(path string) (int, error) {
 		return applied, fmt.Errorf("lbr: seek wal: %w", err)
 	}
 	s.wal = &wal{f: f}
+	s.walReplayed.Add(int64(applied))
 	return applied, nil
 }
 
@@ -166,6 +167,7 @@ func (s *Store) maybeCheckpointWAL(saved *bitmat.Index) error {
 		return fmt.Errorf("lbr: wal checkpoint: %w", err)
 	}
 	s.walCheckpointLSN = s.lsn
+	s.walCheckpoints.Add(1)
 	return nil
 }
 
