@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify test-cache test-update test-shard test-trace serve-smoke fuzz-smoke bench bench-parallel bench-union bench-build bench-server bench-cache bench-shard bench-trace
+.PHONY: all build test race vet fmt-check verify test-cache test-update test-shard test-trace test-filter serve-smoke fuzz-smoke bench bench-parallel bench-union bench-build bench-server bench-cache bench-shard bench-trace
 
 # The default target is the full tier-1 verification, race detector included.
 all: verify
@@ -69,6 +69,18 @@ test-trace:
 		-run 'TestTrace|TestSpan|TestNilTracer|TestQueryHash|TestQueryTrace|TestSlowQuery|TestExplain|TestMetrics|TestPrometheus' \
 		./internal/trace ./internal/server .
 
+# test-filter runs the FILTER-expression test surface under -race: the
+# golden operator-semantics table (asserted against the engine evaluator
+# AND the reference oracle), the engine's evaluator unit tests, filter
+# safety/substitution analysis, the store-level worker x shard filter
+# sweep, and the server's unsupported-filter/filter-span tests. The full
+# `make` covers all of these too; this target is the fast loop while
+# working on the expression evaluator.
+test-filter:
+	$(GO) test -race -count=1 \
+		-run 'TestFilterGoldenTable|TestEvalFilter|TestCompareTerms|TestRefFilter|TestCheckSafeFilters|TestSubstituteCheap|TestPlaceFilters|TestDifferentialFilterWorkerSweep|TestUnsupportedFilter|TestSupportedFilterCore|TestExplainFilterSpan' \
+		./internal/engine ./internal/ref ./internal/algebra ./internal/planner ./internal/server .
+
 # serve-smoke boots the real lbrserver binary on an ephemeral port, runs a
 # content-negotiated SPARQL Protocol query over HTTP, and asserts the JSON
 # body (see scripts/serve_smoke.sh).
@@ -82,7 +94,9 @@ serve-smoke:
 # streams through the delta-overlay store vs the reference applier, across
 # compaction and cold rebuild). Local deep runs: go test ./internal/engine
 # -run='^$' -fuzz=FuzzQueryDifferential (or . -fuzz=FuzzUpdateDifferential).
-FUZZTIME ?= 20s
+# 30s (up from 20s) since the PR 9 filter seeds grew the corpus: the
+# mutator needs the extra budget to reach the expression-shaped inputs.
+FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test ./internal/engine -run='^$$' -fuzz=FuzzQueryDifferential -fuzztime=$(FUZZTIME)
 	$(GO) test . -run='^$$' -fuzz=FuzzUpdateDifferential -fuzztime=$(FUZZTIME)

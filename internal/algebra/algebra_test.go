@@ -1,6 +1,7 @@
 package algebra
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -504,18 +505,52 @@ func TestNormalizeUNFFilterScopes(t *testing.T) {
 }
 
 func TestCheckSafeFiltersRejectsUnsafe(t *testing.T) {
+	// ?x is bound by the master pattern but is outside the OPTIONAL-scoped
+	// filter's subtree: the engine would evaluate the filter over merged
+	// rows where ?x is bound, the W3C algebra group-locally where it is
+	// not, so the branch must be rejected with the typed error.
 	src := `
 		PREFIX : <http://ex.org/>
 		SELECT * WHERE {
 			?x :p ?y .
-			OPTIONAL { ?y :q ?z . FILTER (?w = 1) }
+			OPTIONAL { ?y :q ?z . FILTER (?x = 1) }
 		}`
 	branches, err := NormalizeUNF(parseTree(t, src))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := branches[0].CheckSafeFilters(); err == nil {
-		t.Error("filter over a variable outside its scope must be unsafe")
+	err = branches[0].CheckSafeFilters()
+	if err == nil {
+		t.Fatal("filter over a variable bound outside its scope must be unsafe")
+	}
+	var uf *UnsafeFilterError
+	if !errors.As(err, &uf) {
+		t.Fatalf("error %T is not *UnsafeFilterError: %v", err, err)
+	}
+	if uf.Var != "x" {
+		t.Errorf("offending var = %q, want x", uf.Var)
+	}
+	if !strings.Contains(err.Error(), "unsafe filter") || !strings.Contains(err.Error(), "FILTER(?x ") {
+		t.Errorf("error %q should name the condition and the expression", err)
+	}
+}
+
+func TestCheckSafeFiltersAllowsNowhereVar(t *testing.T) {
+	// ?w occurs in no pattern of the branch: nothing can ever bind it, so
+	// evaluating the filter with ?w unbound (a type error per row) agrees
+	// with the W3C algebra and the branch stays supported.
+	src := `
+		PREFIX : <http://ex.org/>
+		SELECT * WHERE {
+			?x :p ?y .
+			OPTIONAL { ?y :q ?z . FILTER (?w = 1 || bound(?z)) }
+		}`
+	branches, err := NormalizeUNF(parseTree(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := branches[0].CheckSafeFilters(); err != nil {
+		t.Errorf("never-bound filter variable should be supported: %v", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package algebra
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -259,11 +260,49 @@ func extractFilters(t Tree) (Tree, []ScopedFilter, error) {
 	return pure, filters, nil
 }
 
-// CheckSafeFilters verifies the safe-filter condition of Section 5.2: every
-// variable of each filter must occur in a triple pattern of the subtree the
-// filter scopes over. It must run on a Branch produced by NormalizeUNF.
+// UnsafeFilterError reports a filter expression outside the supported
+// core: one of its variables is bound by a triple pattern elsewhere in
+// the branch but not inside the filter's own scope. The server maps this
+// to a structured 400 carrying the offending expression.
+type UnsafeFilterError struct {
+	Var  sparql.Var
+	Expr sparql.Expr
+}
+
+func (e *UnsafeFilterError) Error() string {
+	return fmt.Sprintf("algebra: unsafe filter: ?%s is bound outside the scope of FILTER(%s)",
+		e.Var, e.Expr)
+}
+
+// treeVars collects every variable mentioned by a triple pattern of the
+// tree.
+func treeVars(t Tree) map[sparql.Var]bool {
+	vars := map[sparql.Var]bool{}
+	for _, l := range Leaves(t) {
+		for _, tp := range l.Patterns {
+			for _, v := range tp.Vars() {
+				vars[v] = true
+			}
+		}
+	}
+	return vars
+}
+
+// CheckSafeFilters verifies the supported filter-scope condition, a
+// relaxation of the safe-filter condition of Section 5.2: every variable
+// of each filter must either occur in a triple pattern of the subtree the
+// filter scopes over, or occur in no pattern of the branch at all — a
+// variable nothing can bind is permanently unbound, which the evaluator's
+// SPARQL unbound semantics (type error, row drops unless guarded by
+// bound()/||) handle exactly. What remains unsupported is a variable
+// bound elsewhere in the branch but outside the filter's scope: the
+// engine evaluates filters over merged rows where such a variable is
+// bound, while the W3C algebra evaluates the filter group-locally where
+// it is not. That residue reports a typed *UnsafeFilterError. It must run
+// on a Branch produced by NormalizeUNF.
 func (b *Branch) CheckSafeFilters() error {
 	leaves := Leaves(b.Tree)
+	bound := treeVars(b.Tree)
 	for _, sf := range b.Filters {
 		inScope := map[sparql.Var]bool{}
 		for i := sf.From; i < sf.To && i < len(leaves); i++ {
@@ -273,9 +312,14 @@ func (b *Branch) CheckSafeFilters() error {
 				}
 			}
 		}
+		var vars []string
 		for v := range sparql.ExprVars(sf.Expr) {
-			if !inScope[v] {
-				return fmt.Errorf("algebra: unsafe filter: ?%s does not occur in the filter's scope", v)
+			vars = append(vars, string(v))
+		}
+		sort.Strings(vars)
+		for _, v := range vars {
+			if !inScope[sparql.Var(v)] && bound[sparql.Var(v)] {
+				return &UnsafeFilterError{Var: sparql.Var(v), Expr: sf.Expr}
 			}
 		}
 	}
@@ -301,11 +345,43 @@ type CheapSubst struct {
 // removed and returned as substitutions for the executor to re-inject.
 // Only whole-tree scopes are rewritten; narrower scopes keep their
 // filters for FaN evaluation.
+//
+// A substitution turns the general SPARQL equality into an exact-term
+// pattern match, so it is only applied where the two provably agree:
+//
+//   - the substituted variable must occur in the branch's patterns (a
+//     variable nothing binds is unbound: the equality is a type error
+//     that drops every row, while a substitution would not);
+//   - the variable must not occur in any other filter of the branch
+//     (that filter would then evaluate the variable before the executor
+//     re-injects its binding);
+//   - for ?v = <constant>: the constant must not compare by value —
+//     numeric and xsd:boolean literals equal distinct terms ("30" and
+//     "30.0"^^xsd:decimal, "1" and "true"^^xsd:boolean), so those
+//     equalities stay behind as row filters;
+//   - for ?m = ?n: one of the variables must occur in a subject or
+//     predicate position, which can only bind IRIs and blank nodes —
+//     terms whose general equality is term identity. Two object-only
+//     variables could both bind numeric literals, where a join on term
+//     identity is narrower than equality by value.
+//
+// Everything not substituted is kept and evaluated as a per-row filter.
 func (b *Branch) SubstituteCheapFilters() []CheapSubst {
 	nLeaves := len(Leaves(b.Tree))
+	inTree := treeVars(b.Tree)
+	otherFilterVars := func(skip int) map[sparql.Var]bool {
+		vars := map[sparql.Var]bool{}
+		for j, sf := range b.Filters {
+			if j == skip {
+				continue
+			}
+			sf.Expr.Vars(vars)
+		}
+		return vars
+	}
 	var kept []ScopedFilter
 	var substs []CheapSubst
-	for _, sf := range b.Filters {
+	for i, sf := range b.Filters {
 		if sf.From != 0 || sf.To != nLeaves {
 			kept = append(kept, sf)
 			continue
@@ -317,19 +393,27 @@ func (b *Branch) SubstituteCheapFilters() []CheapSubst {
 		}
 		lv, lIsVar := cmp.L.(sparql.ExprVar)
 		rv, rIsVar := cmp.R.(sparql.ExprVar)
+		elsewhere := otherFilterVars(i)
 		switch {
 		case lIsVar && rIsVar:
+			if !inTree[lv.V] || !inTree[rv.V] || elsewhere[lv.V] || elsewhere[rv.V] ||
+				!(occursNonObject(b.Tree, lv.V) || occursNonObject(b.Tree, rv.V)) {
+				kept = append(kept, sf)
+				continue
+			}
 			substituteVar(b.Tree, rv.V, sparql.V(string(lv.V)))
 			substs = append(substs, CheapSubst{Var: rv.V, From: lv.V})
 		case lIsVar:
-			if term, ok := cmp.R.(sparql.ExprTerm); ok {
+			if term, ok := cmp.R.(sparql.ExprTerm); ok &&
+				inTree[lv.V] && !elsewhere[lv.V] && !valueComparableTerm(term.Term) {
 				substituteVar(b.Tree, lv.V, sparql.TermNode(term.Term))
 				substs = append(substs, CheapSubst{Var: lv.V, Term: term.Term})
 			} else {
 				kept = append(kept, sf)
 			}
 		case rIsVar:
-			if term, ok := cmp.L.(sparql.ExprTerm); ok {
+			if term, ok := cmp.L.(sparql.ExprTerm); ok &&
+				inTree[rv.V] && !elsewhere[rv.V] && !valueComparableTerm(term.Term) {
 				substituteVar(b.Tree, rv.V, sparql.TermNode(term.Term))
 				substs = append(substs, CheapSubst{Var: rv.V, Term: term.Term})
 			} else {
@@ -342,6 +426,36 @@ func (b *Branch) SubstituteCheapFilters() []CheapSubst {
 	b.Filters = kept
 	b.Substs = append(b.Substs, substs...)
 	return substs
+}
+
+// occursNonObject reports whether v appears in a subject or predicate
+// position of the tree's patterns.
+func occursNonObject(t Tree, v sparql.Var) bool {
+	for _, l := range Leaves(t) {
+		for _, tp := range l.Patterns {
+			if (tp.S.IsVar && tp.S.Var == v) || (tp.P.IsVar && tp.P.Var == v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// valueComparableTerm reports whether SPARQL equality against t can hold
+// for a term other than t itself: number-shaped literals compare by
+// numeric value and xsd:boolean literals by boolean value, so an
+// exact-term substitution would under-match them. The check is
+// conservative (any parseable number, any xsd:boolean) — a false positive
+// just keeps the filter on the slower row path.
+func valueComparableTerm(t rdf.Term) bool {
+	if t.Kind != rdf.Literal || t.Lang != "" {
+		return false
+	}
+	if t.Datatype == "http://www.w3.org/2001/XMLSchema#boolean" {
+		return true
+	}
+	_, err := strconv.ParseFloat(t.Value, 64)
+	return err == nil
 }
 
 func substituteVar(t Tree, v sparql.Var, repl sparql.Node) {

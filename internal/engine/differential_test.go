@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"testing"
 
 	"repro/internal/bitmat"
@@ -14,13 +15,28 @@ import (
 )
 
 // randGraph builds a random graph over a small universe so joins and
-// optionals hit both matching and missing cases.
+// optionals hit both matching and missing cases. Beyond the IRI-only
+// predicates p0..p3 it adds two literal-valued ones for the filter
+// surface: <pa> binds typed xsd:integer objects, <pn> plain strings
+// including the EBV corners "" and "0" and number-shaped text.
 func randGraph(rng *rand.Rand, nTriples int) *rdf.Graph {
 	g := rdf.NewGraph()
 	ent := func(i int) string { return fmt.Sprintf("e%d", i) }
 	preds := []string{"p0", "p1", "p2", "p3"}
 	for i := 0; i < nTriples; i++ {
 		g.Add(rdf.T(ent(rng.Intn(12)), preds[rng.Intn(len(preds))], ent(rng.Intn(12))))
+	}
+	litStrings := []string{"", "0", "alpha", "beta", "a show", "10", "Gamma"}
+	for i := 0; i < nTriples/4+2; i++ {
+		s := rdf.NewIRI(ent(rng.Intn(12)))
+		if rng.Intn(2) == 0 {
+			g.Add(rdf.Triple{S: s, P: rdf.NewIRI("pa"),
+				O: rdf.NewTypedLiteral(strconv.Itoa(rng.Intn(40)-5),
+					"http://www.w3.org/2001/XMLSchema#integer")})
+		} else {
+			g.Add(rdf.Triple{S: s, P: rdf.NewIRI("pn"),
+				O: rdf.NewLiteral(litStrings[rng.Intn(len(litStrings))])})
+		}
 	}
 	return g
 }
@@ -115,6 +131,83 @@ func (g *qgen) pat(s, o string) string {
 	return fmt.Sprintf("%s <%s> %s .", s, g.pick(preds), o)
 }
 
+// filterExpr builds a random FILTER body over the variable classes the
+// surrounding block bound: num (typed-integer objects via <pa>), str
+// (plain-string objects via <pn>), iri (chain endpoints). Shapes cover
+// the supported core — comparisons, arithmetic, regex, bound(), bare-EBV
+// atoms, nowhere-vars (unbound everywhere: always an error or false) and
+// nested &&/||/! — including deliberately ill-typed mixes so the
+// type-error drop rows get differential coverage.
+func (g *qgen) filterExpr(num, str, iri []string, depth int) string {
+	rng := g.rng
+	if depth > 0 && rng.Intn(3) == 0 {
+		op := "&&"
+		if rng.Intn(2) == 0 {
+			op = "||"
+		}
+		return fmt.Sprintf("(%s %s %s)",
+			g.filterExpr(num, str, iri, depth-1), op,
+			g.filterExpr(num, str, iri, depth-1))
+	}
+	if depth > 0 && rng.Intn(8) == 0 {
+		return fmt.Sprintf("!(%s)", g.filterExpr(num, str, iri, depth-1))
+	}
+	cmp := []string{"=", "!=", "<", "<=", ">", ">="}[rng.Intn(6)]
+	var choices []func() string
+	if len(num) > 0 {
+		choices = append(choices,
+			func() string { return fmt.Sprintf("%s %s %d", g.pick(num), cmp, rng.Intn(40)-5) },
+			func() string { return fmt.Sprintf("%s + %d %s %d", g.pick(num), rng.Intn(5), cmp, rng.Intn(40)) },
+			func() string { return fmt.Sprintf("2 * %s %s %s", g.pick(num), cmp, g.pick(num)) },
+			func() string { return g.pick(num) }, // bare EBV: 0 is false
+		)
+		if len(str) > 0 {
+			// Ill-typed on purpose: number vs string errors unless both
+			// happen to be number-shaped text.
+			choices = append(choices, func() string {
+				return fmt.Sprintf("%s %s %s", g.pick(num), cmp, g.pick(str))
+			})
+		}
+	}
+	if len(str) > 0 {
+		pats := []string{"^a", "0", "a.*a", "^$", "SHOW"}
+		choices = append(choices,
+			func() string {
+				p := pats[rng.Intn(len(pats))]
+				if rng.Intn(2) == 0 {
+					return fmt.Sprintf("regex(%s, %q, \"i\")", g.pick(str), p)
+				}
+				return fmt.Sprintf("regex(%s, %q)", g.pick(str), p)
+			},
+			func() string { return fmt.Sprintf("%s %s \"beta\"", g.pick(str), cmp) },
+			func() string { return g.pick(str) }, // bare EBV: "" is false
+		)
+	}
+	if len(iri) > 0 {
+		choices = append(choices,
+			func() string { return fmt.Sprintf("%s %s <e%d>", g.pick(iri), cmp, rng.Intn(12)) },
+			func() string { return fmt.Sprintf("bound(%s)", g.pick(iri)) },
+		)
+	}
+	choices = append(choices,
+		func() string { return "bound(?nowhere)" },
+		func() string { return "!bound(?nowhere)" },
+	)
+	return choices[rng.Intn(len(choices))]()
+}
+
+// litPat emits a literal-valued pattern off subject s and returns the
+// fresh object variable: numeric (typed integers via <pa>) or string
+// (plain literals via <pn>).
+func (g *qgen) litPat(s string, numeric bool) (string, string) {
+	v := g.newVar()
+	p := "pn"
+	if numeric {
+		p = "pa"
+	}
+	return fmt.Sprintf("%s <%s> %s .", s, p, v), v
+}
+
 // block emits one well-designed BGP-OPT block: a connected master chain,
 // optionally a ?s ?p ?o full scan, then OPTIONALs whose right sides link
 // through exactly one master variable — occasionally a nested
@@ -149,6 +242,20 @@ func (g *qgen) block() string {
 		sb = append(sb, fmt.Sprintf("%s %s %s . ", g.pick(vars), g.newPredVar(), ov)...)
 		vars = append(vars, ov)
 	}
+	// Literal-valued patterns feed the filter generator: numVars bind
+	// typed integers, strVars plain strings.
+	var numVars, strVars []string
+	for rng.Intn(2) == 0 && len(numVars)+len(strVars) < 2 {
+		numeric := rng.Intn(2) == 0
+		p, v := g.litPat(g.pick(vars), numeric)
+		sb = append(sb, p...)
+		sb = append(sb, ' ')
+		if numeric {
+			numVars = append(numVars, v)
+		} else {
+			strVars = append(strVars, v)
+		}
+	}
 	for k := 0; k < 1+rng.Intn(2); k++ {
 		link := g.pick(vars)
 		switch rng.Intn(5) {
@@ -181,11 +288,32 @@ func (g *qgen) block() string {
 				inner += g.pat(ov, g.newVar()) + " "
 			}
 			if rng.Intn(3) == 0 {
+				// OPTIONAL-local filter over a variable the optional itself
+				// binds (FaN: filter-as-nullification turns a failing filter
+				// into a NULL row, not a dropped one). Filters over master
+				// variables would be unsafe here by scoping.
+				numeric := rng.Intn(2) == 0
+				p, lv := g.litPat(ov, numeric)
+				inner += p + " "
+				if numeric {
+					inner += fmt.Sprintf("FILTER (%s > %d) ", lv, rng.Intn(30))
+				} else {
+					inner += fmt.Sprintf("FILTER (regex(%s, \"a\")) ", lv)
+				}
+			}
+			if rng.Intn(3) == 0 {
 				// Nested optional reusing the inner variable only.
 				inner += fmt.Sprintf("OPTIONAL { %s } ", g.pat(ov, g.newVar()))
 			}
 			sb = append(sb, fmt.Sprintf("OPTIONAL { %s} ", inner)...)
 		}
+	}
+	// Block-level filter: sees every variable of the block (OPTIONAL
+	// objects included — top-level filter scope covers the whole group),
+	// so unbound optional cells hit the error path per row.
+	if rng.Intn(2) == 0 {
+		sb = append(sb, fmt.Sprintf("FILTER (%s) ",
+			g.filterExpr(numVars, strVars, vars, 1+rng.Intn(2)))...)
 	}
 	return string(sb)
 }

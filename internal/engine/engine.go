@@ -610,7 +610,8 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 	}
 	stps := sortTPs(plan, tps)
 	nulreqd := plan.NeedsBestMatch || e.opts.DisablePruning || e.opts.NaiveJvarOrder
-	slaveFilters, rowFilters := splitFilters(b, gosn)
+	placed := planner.PlaceFilters(b, gosn)
+	slaveFilters, rowFilters := placed.Slave, placed.Row
 
 	varIdx := make(map[sparql.Var]int, len(vars))
 	for i, v := range vars {
@@ -625,6 +626,8 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 		rows         []Row
 		changed      []bool
 		fanNullified bool
+		filterIn     int // rows that reached the filter stage
+		fanNulls     int // rows whose scope a slave filter nullified
 	}
 	makeEmit := func(out *joinChunk) func(*joinRun) bool {
 		return func(r *joinRun) bool {
@@ -663,9 +666,12 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 			}
 			// FaN: scoped slave filters nullify their supernodes' bindings on
 			// failure; row filters reject the row.
+			if placed.Any() {
+				out.filterIn++
+			}
 			for _, sf := range slaveFilters {
-				if !filterHolds(sf.expr, row, varIdx) {
-					failedSNs, changed := e.nullifyScope(row, r, sf.sns)
+				if !filterHolds(sf.Expr, row, varIdx) {
+					failedSNs, changed := e.nullifyScope(row, r, sf.SNs)
 					for _, fs := range forcedSlots {
 						if failedSNs[fs.sn] && !row[fs.col].IsZero() {
 							row[fs.col] = rdf.Term{}
@@ -675,11 +681,12 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 					if changed {
 						rowChanged = true
 						out.fanNullified = true
+						out.fanNulls++
 					}
 				}
 			}
 			for _, rf := range rowFilters {
-				if !filterHolds(rf.expr, row, varIdx) {
+				if !filterHolds(rf.Expr, row, varIdx) {
 					return true // drop the row, keep enumerating
 				}
 			}
@@ -725,10 +732,26 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 	var rows []Row
 	var changed []bool
 	fanNullified := false
+	filterIn, fanNulls := 0, 0
 	for i := range chunks {
 		rows = append(rows, chunks[i].rows...)
 		changed = append(changed, chunks[i].changed...)
 		fanNullified = fanNullified || chunks[i].fanNullified
+		filterIn += chunks[i].filterIn
+		fanNulls += chunks[i].fanNulls
+	}
+	if sp != nil && placed.Any() {
+		// The filter stage runs inline with join emission; the span records
+		// its row accounting (rows entering the per-row post-pass vs rows
+		// surviving the row filters; FaN nullifications don't drop rows).
+		fsp := sp.Child("filter")
+		fsp.Set("exprs", len(slaveFilters)+len(rowFilters))
+		fsp.Set("rows_in", filterIn)
+		fsp.Set("rows_out", len(rows))
+		if len(slaveFilters) > 0 {
+			fsp.Set("fan_nullified_rows", fanNulls)
+		}
+		fsp.End()
 	}
 
 	if nulreqd || fanNullified {
@@ -774,8 +797,9 @@ func (e *Engine) executeBranchStreamCtx(ctx context.Context, eb execBranch, vars
 	counts := EstimateCounts(e.idx, gosn.Patterns)
 	plan := planner.BuildPlan(gosn, goj, counts)
 	nulreqd := plan.NeedsBestMatch || e.opts.DisablePruning || e.opts.NaiveJvarOrder
-	slaveFilters, rowFilters := splitFilters(b, gosn)
-	if nulreqd || len(slaveFilters) > 0 {
+	placed := planner.PlaceFilters(b, gosn)
+	rowFilters := placed.Row
+	if nulreqd || len(placed.Slave) > 0 {
 		// A trailing best-match (or potential FaN nullification) makes the
 		// output non-streamable.
 		res, err := e.executeBranchCtx(ctx, eb, vars, e.workers(), cache, sp)
@@ -884,6 +908,7 @@ func (e *Engine) executeBranchStreamCtx(ctx context.Context, eb execBranch, vars
 		jsp.Set("streamed", true)
 	}
 	emitted := 0
+	filterIn := 0
 	run := newJoinRun(e, plan, stps, vars, false, func(r *joinRun) bool {
 		if r.emitted&1023 == 0 && ctx.Err() != nil {
 			return false
@@ -901,8 +926,11 @@ func (e *Engine) executeBranchStreamCtx(ctx context.Context, eb execBranch, vars
 				row[fs.col] = fs.term
 			}
 		}
+		if len(rowFilters) > 0 {
+			filterIn++
+		}
 		for _, rf := range rowFilters {
-			if !filterHolds(rf.expr, row, varIdx) {
+			if !filterHolds(rf.Expr, row, varIdx) {
 				return true
 			}
 		}
@@ -910,6 +938,15 @@ func (e *Engine) executeBranchStreamCtx(ctx context.Context, eb execBranch, vars
 		return fn(vars, row)
 	})
 	run.run()
+	if sp != nil && len(rowFilters) > 0 {
+		// Inline row-filter accounting for the streamed join; early-stop
+		// (LIMIT) can end enumeration before all candidate rows are seen.
+		fsp := sp.Child("filter")
+		fsp.Set("exprs", len(rowFilters))
+		fsp.Set("rows_in", filterIn)
+		fsp.Set("rows_out", emitted)
+		fsp.End()
+	}
 	// The streamed Join stage includes fn: serialization interleaves with
 	// enumeration, so downstream stage accounting treats serialize as the
 	// residual of the request's wall time (documented in the server).
@@ -983,34 +1020,6 @@ func (e *Engine) activePrune(st *tpState, loaded []*tpState, plan *planner.Plan)
 			}
 		}
 	}
-}
-
-type scopedFilterSet struct {
-	expr sparql.Expr
-	sns  map[int]bool
-}
-
-// splitFilters classifies the branch filters: a filter whose scope includes
-// an absolute master rejects whole rows; one scoped to slave supernodes
-// nullifies them (FaN).
-func splitFilters(b *algebra.Branch, gosn *algebra.GoSN) (slave, row []scopedFilterSet) {
-	for _, sf := range b.Filters {
-		sns := map[int]bool{}
-		coversMaster := false
-		for sn := sf.From; sn < sf.To && sn < gosn.NumSupernodes(); sn++ {
-			sns[sn] = true
-			if gosn.IsAbsoluteMaster(sn) {
-				coversMaster = true
-			}
-		}
-		fs := scopedFilterSet{expr: sf.Expr, sns: sns}
-		if coversMaster {
-			row = append(row, fs)
-		} else {
-			slave = append(slave, fs)
-		}
-	}
-	return slave, row
 }
 
 func filterHolds(expr sparql.Expr, row Row, varIdx map[sparql.Var]int) bool {

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/ref"
+	"repro/internal/sparql"
+)
+
+// The golden operator-semantics table: every supported operator crossed
+// with the type combinations that matter, including the type-error rows a
+// FILTER must drop and the EBV corner cases. Each case is asserted
+// against BOTH independent implementations — the engine's row evaluator
+// (evalFilter) and the reference oracle (ref.EvalFilter) — so the two can
+// never drift; the differential fuzzers then compare whole query results
+// on top.
+//
+// Outcomes: T = keeps the row, F = drops it, E = type error (drops it,
+// but propagates differently through !/&&/||).
+const (
+	gT = "T"
+	gF = "F"
+	gE = "E"
+)
+
+// goldenEnv is the shared variable environment of the table.
+var goldenEnv = map[sparql.Var]rdf.Term{
+	"int":      rdf.NewTypedLiteral("30", "http://www.w3.org/2001/XMLSchema#integer"),
+	"dec":      rdf.NewTypedLiteral("30.0", "http://www.w3.org/2001/XMLSchema#decimal"),
+	"negint":   rdf.NewTypedLiteral("-4", "http://www.w3.org/2001/XMLSchema#integer"),
+	"zero":     rdf.NewTypedLiteral("0", "http://www.w3.org/2001/XMLSchema#integer"),
+	"plainnum": rdf.NewLiteral("30"),
+	"plain0":   rdf.NewLiteral("0"),
+	"empty":    rdf.NewLiteral(""),
+	"word":     rdf.NewLiteral("hello"),
+	"wordB":    rdf.NewLiteral("world"),
+	"langTen":  rdf.NewLangLiteral("10", "en"),
+	"truthy":   rdf.NewTypedLiteral("true", "http://www.w3.org/2001/XMLSchema#boolean"),
+	"falsy":    rdf.NewTypedLiteral("false", "http://www.w3.org/2001/XMLSchema#boolean"),
+	"oneBool":  rdf.NewTypedLiteral("1", "http://www.w3.org/2001/XMLSchema#boolean"),
+	"badBool":  rdf.NewTypedLiteral("yes", "http://www.w3.org/2001/XMLSchema#boolean"),
+	"badNum":   rdf.NewTypedLiteral("thirty", "http://www.w3.org/2001/XMLSchema#integer"),
+	"iriA":     rdf.NewIRI("http://ex.org/a"),
+	"iriB":     rdf.NewIRI("http://ex.org/b"),
+	"other":    rdf.NewTypedLiteral("2026-08-08", "http://www.w3.org/2001/XMLSchema#date"),
+}
+
+var goldenCases = []struct {
+	name string
+	expr string // FILTER body, parsed through the real grammar
+	want string
+}{
+	// ---- Comparisons: numeric promotion ----------------------------------
+	{"eq-int-int", `?int = 30`, gT},
+	{"eq-int-dec", `?int = ?dec`, gT},  // 30 = 30.0 by value
+	{"ne-int-dec", `?int != ?dec`, gF}, // distinct terms, equal values
+	{"eq-plain-typed", `?plainnum = ?int`, gT},
+	{"lt-int-int", `?negint < 0`, gT},
+	{"le-int-dec", `?int <= ?dec`, gT},
+	{"gt-int-int", `?int > 100`, gF},
+	{"ge-dec-int", `?dec >= 30`, gT},
+	{"lt-badnum", `?badNum < 100`, gF},     // invalid lexical: not numeric; byte-wise fallback "thirty" > "100"
+	{"eq-num-lang", `?int = ?langTen`, gF}, // lang-tagged never numeric; term equality → false
+	{"lt-num-lang", `?int < ?langTen`, gE}, // ... and unordered (language tags differ)
+	// ---- Comparisons: boolean promotion ----------------------------------
+	{"eq-bool-lexical", `?truthy = ?oneBool`, gT}, // "true" = "1" by value
+	{"ne-bool", `?truthy != ?falsy`, gT},
+	{"lt-bool", `?falsy < ?truthy`, gT},      // false < true
+	{"eq-badbool", `?badBool = ?truthy`, gF}, // invalid lexical: not boolean-able, falls to term identity
+	// ---- Comparisons: term equality and ordering -------------------------
+	{"eq-iri", `?iriA = <http://ex.org/a>`, gT},
+	{"ne-iri", `?iriA != ?iriB`, gT},
+	{"lt-iri", `?iriA < ?iriB`, gT}, // IRI ordering by value bytes
+	{"lt-string", `?word < ?wordB`, gT},
+	{"ge-string", `?word >= ?wordB`, gF},
+	{"eq-cross-kind", `?iriA = ?word`, gF}, // cross-kind equality is false, not error
+	{"lt-cross-kind", `?iriA < ?word`, gE}, // cross-kind ordering is an error
+	{"eq-other-typed", `?other = "2026-08-08"^^<http://www.w3.org/2001/XMLSchema#date>`, gT},
+	{"lt-other-typed", `?other < "2027-01-01"^^<http://www.w3.org/2001/XMLSchema#date>`, gT},
+	// ---- Unbound ----------------------------------------------------------
+	{"eq-unbound", `?nobody = 1`, gE},
+	{"bare-unbound", `?nobody`, gE},
+	// ---- bound() ----------------------------------------------------------
+	{"bound-bound", `bound(?int)`, gT},
+	{"bound-unbound", `bound(?nobody)`, gF},
+	{"not-bound", `!bound(?nobody)`, gT},
+	// ---- EBV corners -------------------------------------------------------
+	{"ebv-plain-zero", `?plain0`, gT}, // plain "0" is a non-empty string: true
+	{"ebv-empty", `?empty`, gF},       // "" is false
+	{"ebv-zero", `?zero`, gF},         // numeric 0 is false
+	{"ebv-num", `?int`, gT},           // numeric 30 is true
+	{"ebv-word", `?word`, gT},         // non-empty string
+	{"ebv-lang", `?langTen`, gT},      // lang-tagged: string rule
+	{"ebv-bool-true", `?truthy`, gT},  // by value
+	{"ebv-bool-false", `?falsy`, gF},
+	{"ebv-bool-one", `?oneBool`, gT},  // "1"^^xsd:boolean
+	{"ebv-bad-bool", `?badBool`, gF},  // invalid lexical form: false
+	{"ebv-bad-num", `?badNum`, gF},    // invalid lexical form: false
+	{"ebv-iri", `?iriA`, gE},          // IRIs have no EBV
+	{"ebv-other-typed", `?other`, gE}, // unknown datatype has no EBV
+	// ---- Three-valued logic ------------------------------------------------
+	{"and-tt", `?int = 30 && ?word = "hello"`, gT},
+	{"and-tf", `?int = 30 && ?word = "x"`, gF},
+	{"and-ef", `?nobody = 1 && ?word = "x"`, gF}, // error && false = false
+	{"and-et", `?nobody = 1 && ?int = 30`, gE},   // error && true = error
+	{"or-ft", `?int = 0 || ?word = "hello"`, gT},
+	{"or-ff", `?int = 0 || ?word = "x"`, gF},
+	{"or-et", `?nobody = 1 || ?int = 30`, gT}, // error || true = true
+	{"or-ef", `?nobody = 1 || ?int = 31`, gE}, // error || false = error
+	{"not-true", `!(?int = 30)`, gF},
+	{"not-false", `!(?int = 31)`, gT},
+	{"not-error", `!(?nobody = 1)`, gE},
+	// ---- regex() -----------------------------------------------------------
+	{"regex-match", `regex(?word, "^h.*o$")`, gT},
+	{"regex-nomatch", `regex(?word, "^x")`, gF},
+	{"regex-ci", `regex(?word, "HELLO", "i")`, gT},
+	{"regex-plain-num", `regex(?plainnum, "^3")`, gT}, // plain literals are strings
+	{"regex-on-iri", `regex(?iriA, "ex")`, gE},        // IRIs are not strings
+	{"regex-on-lang", `regex(?langTen, "1")`, gE},     // lang-tagged excluded
+	{"regex-on-typed", `regex(?int, "3")`, gE},        // typed numerics excluded
+	{"regex-unbound", `regex(?nobody, "x")`, gE},
+	{"regex-bad-pattern", `regex(?word, "(")`, gE}, // compile failure at eval
+	// ---- Arithmetic --------------------------------------------------------
+	{"arith-add", `?int + 5 = 35`, gT},
+	{"arith-sub", `?int - 5 = 25`, gT},
+	{"arith-mul", `2 * ?dec = 60`, gT},
+	{"arith-div", `?int / 4 = 7.5`, gT},
+	{"arith-precedence", `1 + 2 * 3 = 7`, gT},
+	{"arith-paren", `(1 + 2) * 3 = 9`, gT},
+	{"arith-div-zero", `?int / 0 = 1`, gE},
+	{"arith-div-zerovar", `?int / ?zero = 1`, gE},
+	{"arith-on-string", `?word + 1 = 2`, gE},
+	{"arith-on-bool", `?truthy + 1 = 2`, gE},
+	{"arith-on-unbound", `?nobody + 1 = 2`, gE},
+	{"arith-plain", `?plainnum + 0.5 > 30`, gT}, // plain numeric literal
+	{"arith-ebv-nonzero", `?int - 29`, gT},      // number EBV: 1 ≠ 0
+	{"arith-ebv-zero", `?int - 30`, gF},         // number EBV: 0
+	{"arith-negative-literal", `?negint = -4`, gT},
+	{"arith-sub-negative", `?negint - -4 = 0`, gT},
+}
+
+// parseFilterExpr runs src through the real grammar as a FILTER body.
+func parseFilterExpr(t *testing.T, src string) sparql.Expr {
+	t.Helper()
+	q, err := sparql.Parse(`SELECT * WHERE { ?s <http://ex.org/p> ?o . FILTER (` + src + `) }`)
+	if err != nil {
+		t.Fatalf("parse FILTER(%s): %v", src, err)
+	}
+	for _, el := range q.Where.Elements {
+		if f, ok := el.(sparql.Filter); ok {
+			return f.Expr
+		}
+	}
+	t.Fatalf("no filter parsed from %s", src)
+	return nil
+}
+
+func TestFilterGoldenTable(t *testing.T) {
+	env := goldenEnv
+	lookup := func(v sparql.Var) rdf.Term { return env[v] }
+	refMapping := ref.Mapping{}
+	for v, tm := range env {
+		refMapping[v] = tm
+	}
+	toThree := map[string]int{gT: 1, gF: 0, gE: -1}
+	toTV := map[string]tv{gT: tvTrue, gF: tvFalse, gE: tvError}
+	for _, c := range goldenCases {
+		t.Run(c.name, func(t *testing.T) {
+			expr := parseFilterExpr(t, c.expr)
+			if got := evalFilter(expr, lookup); got != toTV[c.want] {
+				t.Errorf("engine: FILTER(%s) = %v, want %s", c.expr, got, c.want)
+			}
+			if got := ref.EvalFilter(expr, refMapping); got != toThree[c.want] {
+				t.Errorf("ref: FILTER(%s) = %d, want %s", c.expr, got, c.want)
+			}
+			// Round-trip: the expression's String() must re-parse to the
+			// same semantics (the fuzzer mutates query strings).
+			if got := evalFilter(parseFilterExpr(t, expr.String()), lookup); got != toTV[c.want] {
+				t.Errorf("round-trip: FILTER(%s) = %v, want %s", expr.String(), got, c.want)
+			}
+		})
+	}
+}

@@ -90,16 +90,30 @@ func TestEvalFilterBound(t *testing.T) {
 }
 
 func TestCompareTermsNumericVsString(t *testing.T) {
+	cmpTerms := func(op sparql.CmpOp, l, r rdf.Term) tv {
+		return filterEBV(compareFilter(op,
+			fval{kind: fvTerm, term: l}, fval{kind: fvTerm, term: r}))
+	}
 	// "10" < "9" as strings but 10 > 9 numerically: literals that parse as
 	// numbers compare numerically.
 	l := rdf.NewLiteral("10")
 	r := rdf.NewLiteral("9")
-	if compareTerms(sparql.OpLt, l, r) != tvFalse {
+	if cmpTerms(sparql.OpLt, l, r) != tvFalse {
 		t.Error("numeric literals must compare numerically")
 	}
 	// Explicitly non-numeric strings compare lexicographically.
-	if compareTerms(sparql.OpLt, rdf.NewLiteral("abc"), rdf.NewLiteral("abd")) != tvTrue {
+	if cmpTerms(sparql.OpLt, rdf.NewLiteral("abc"), rdf.NewLiteral("abd")) != tvTrue {
 		t.Error("string comparison broken")
+	}
+	// A number-shaped plain literal against a non-numeric one falls back to
+	// byte-wise string ordering (simple literals compare as strings when
+	// numeric promotion doesn't apply): "10" < "abc".
+	if cmpTerms(sparql.OpLt, rdf.NewLiteral("10"), rdf.NewLiteral("abc")) != tvTrue {
+		t.Error("plain-literal fallback ordering must be byte-wise")
+	}
+	// Language-tagged values never compare numerically.
+	if cmpTerms(sparql.OpLt, rdf.NewLangLiteral("10", "en"), rdf.NewLiteral("9")) != tvError {
+		t.Error("lang-tagged vs plain ordering must be a type error")
 	}
 }
 

@@ -47,6 +47,21 @@ var fuzzSeedQueries = []string{
 	`SELECT * WHERE { ?x <p0> ?y . ?y <p0> ?x . OPTIONAL { ?x <p1> ?m . } }`,
 	`SELECT * WHERE { { ?s ?p ?o . } UNION { ?o ?q ?s . } }`,
 	`SELECT * WHERE { ?x <p0> ?y . OPTIONAL { ?y <p0> ?z . } OPTIONAL { ?z <p0> ?w . } }`,
+	// Filter-bearing seeds (PR 9): the general evaluator's surface —
+	// numeric comparisons and arithmetic over typed <pa> integers, regex
+	// over plain <pn> strings, bound() over OPTIONAL variables, bare-EBV
+	// corners, FaN inside OPTIONAL, IRI ordering, a nowhere-var (always an
+	// error: drops every row), and numeric promotion of number-shaped text.
+	`SELECT * WHERE { ?x <pa> ?a . FILTER (?a >= 18 && ?a < 65) }`,
+	`SELECT * WHERE { ?x <p0> ?y . OPTIONAL { ?y <pa> ?a . } FILTER (!bound(?a) || ?a > 20) }`,
+	`SELECT * WHERE { ?x <pn> ?n . FILTER (regex(?n, "^a.*w$", "i")) }`,
+	`SELECT * WHERE { ?x <pa> ?a . FILTER (?a + 5 < 2 * ?a) }`,
+	`SELECT * WHERE { ?x <p0> ?y . FILTER (?y < <e5>) }`,
+	`SELECT * WHERE { ?x <pn> ?n . FILTER (?n) }`,
+	`SELECT * WHERE { ?x <p0> ?y . OPTIONAL { ?y <pa> ?a . FILTER (?a != 7) } }`,
+	`SELECT * WHERE { ?x <pn> ?n . ?x <pa> ?a . FILTER (regex(?n, "0") || ?a = 0) }`,
+	`SELECT * WHERE { ?x <p0> ?y . FILTER (?nowhere > 3) }`,
+	`SELECT * WHERE { ?x <pa> ?a . FILTER (?a = "20") }`,
 }
 
 // isUnsupportedQuery classifies engine errors the fuzzer must tolerate:

@@ -1,0 +1,56 @@
+package planner
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/sparql"
+)
+
+// ScopedFilterSet is one placed filter: its expression and the set of
+// supernodes the filter's syntactic scope covers.
+type ScopedFilterSet struct {
+	Expr sparql.Expr
+	SNs  map[int]bool
+}
+
+// FilterPlacement is the planner's classification of a branch's residual
+// filters (those SubstituteCheapFilters did not fold into the patterns)
+// into the two per-row post-passes the engine implements:
+//
+//   - Row filters scope over an absolute-master supernode, so a failing
+//     row has no less-bound alternative: the row is rejected outright.
+//   - Slave filters scope only over optional supernodes: failure cannot
+//     reject the master bindings, it nullifies the scoped supernodes'
+//     bindings instead (filter-as-nullification, the FaN pass), cascading
+//     to dependent slaves.
+type FilterPlacement struct {
+	Slave []ScopedFilterSet
+	Row   []ScopedFilterSet
+}
+
+// Any reports whether any filter was placed.
+func (p FilterPlacement) Any() bool { return len(p.Slave)+len(p.Row) > 0 }
+
+// PlaceFilters classifies the branch's filters against the supernode
+// graph. A filter's [From, To) leaf range aligns with supernode indices
+// (NormalizeUNF emits one leaf per supernode): covering an absolute
+// master makes it a row filter, otherwise it nullifies (FaN).
+func PlaceFilters(b *algebra.Branch, gosn *algebra.GoSN) FilterPlacement {
+	var placed FilterPlacement
+	for _, sf := range b.Filters {
+		sns := map[int]bool{}
+		coversMaster := false
+		for sn := sf.From; sn < sf.To && sn < gosn.NumSupernodes(); sn++ {
+			sns[sn] = true
+			if gosn.IsAbsoluteMaster(sn) {
+				coversMaster = true
+			}
+		}
+		fs := ScopedFilterSet{Expr: sf.Expr, SNs: sns}
+		if coversMaster {
+			placed.Row = append(placed.Row, fs)
+		} else {
+			placed.Slave = append(placed.Slave, fs)
+		}
+	}
+	return placed
+}

@@ -1,0 +1,68 @@
+package planner
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/sparql"
+)
+
+func placeFor(t *testing.T, src string) FilterPlacement {
+	t.Helper()
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := algebra.FromQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches, err := algebra.NormalizeUNF(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(branches) != 1 {
+		t.Fatalf("expected one branch, got %d", len(branches))
+	}
+	gosn, err := algebra.BuildGoSN(branches[0].Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return PlaceFilters(branches[0], gosn)
+}
+
+// TestPlaceFilters pins the Row-vs-Slave classification: a filter whose
+// scope covers the absolute-master supernode rejects rows outright, a
+// filter scoped to an optional supernode can only nullify it (FaN).
+func TestPlaceFilters(t *testing.T) {
+	// Group-level filter: scope covers the master supernode → Row.
+	p := placeFor(t, `SELECT * WHERE {
+		?x <p> ?y . OPTIONAL { ?y <q> ?z . } FILTER (?y != <a>) }`)
+	if !p.Any() || len(p.Row) != 1 || len(p.Slave) != 0 {
+		t.Fatalf("master-scoped filter: Row=%d Slave=%d, want 1/0", len(p.Row), len(p.Slave))
+	}
+	if !p.Row[0].SNs[0] {
+		t.Errorf("row filter scope %v should cover the master supernode 0", p.Row[0].SNs)
+	}
+
+	// OPTIONAL-local filter: scope covers only the slave supernode → FaN.
+	p = placeFor(t, `SELECT * WHERE {
+		?x <p> ?y . OPTIONAL { ?y <q> ?z . FILTER (?z != <a>) } }`)
+	if len(p.Row) != 0 || len(p.Slave) != 1 {
+		t.Fatalf("optional-scoped filter: Row=%d Slave=%d, want 0/1", len(p.Row), len(p.Slave))
+	}
+	if p.Slave[0].SNs[0] {
+		t.Errorf("slave filter scope %v must not cover the master supernode", p.Slave[0].SNs)
+	}
+
+	// Both at once, plus no filters at all.
+	p = placeFor(t, `SELECT * WHERE {
+		?x <p> ?y . FILTER (bound(?y))
+		OPTIONAL { ?y <q> ?z . FILTER (?z != <a>) } }`)
+	if len(p.Row) != 1 || len(p.Slave) != 1 {
+		t.Fatalf("mixed filters: Row=%d Slave=%d, want 1/1", len(p.Row), len(p.Slave))
+	}
+	if p = placeFor(t, `SELECT * WHERE { ?x <p> ?y . }`); p.Any() {
+		t.Fatalf("no filters, but placement is %+v", p)
+	}
+}

@@ -25,8 +25,12 @@ import (
 // is produced by exactly one shard, no shard produces spurious rows (its
 // masters cannot match foreign subjects), and OPTIONAL/best-match
 // subsumption — only possible between rows agreeing on all shared
-// bindings, in particular the subject — never crosses shards. FILTERs are
-// row-local and evaluate identically per shard.
+// bindings, in particular the subject — never crosses shards. FILTERs
+// within the supported core are row-local post-passes (row rejection or
+// FaN nullification confined to one row's bindings) and evaluate
+// identically per shard; a branch the safe-filter check rejects is NOT
+// shardable, so the unsupported-filter error surfaces once through the
+// merged fallback path instead of N times per shard.
 //
 // Solution modifiers (ORDER BY, projection, DISTINCT, LIMIT/OFFSET) are
 // NOT shard-local — projection can make rows from different shards equal —
@@ -38,6 +42,9 @@ import (
 // shared subject variable when they do.
 func Shardable(branches []*algebra.Branch) (sparql.Var, bool) {
 	if len(branches) != 1 {
+		return "", false
+	}
+	if branches[0].CheckSafeFilters() != nil {
 		return "", false
 	}
 	pats := algebra.TreePatterns(branches[0].Tree)

@@ -1,0 +1,373 @@
+package ref
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// This file is the oracle's filter-expression evaluator: the operator
+// semantics of the supported SPARQL 1.1 core, implemented naively over
+// Mappings. The engine (internal/engine/filter.go) implements the same
+// semantics independently over result rows; the golden operator table in
+// internal/engine/filter_golden_test.go asserts every case against both so
+// the two cannot drift. The semantics, including the documented deviations
+// from the full W3C operator mapping, are spelled out in the README's
+// "FILTER expressions" section.
+
+const (
+	xsdBoolean = "http://www.w3.org/2001/XMLSchema#boolean"
+	xsdString  = "http://www.w3.org/2001/XMLSchema#string"
+)
+
+// numericDatatypes lists the XSD datatypes whose literals compare
+// numerically (the common core of the XSD numeric tower).
+var numericDatatypes = map[string]bool{
+	"http://www.w3.org/2001/XMLSchema#integer":            true,
+	"http://www.w3.org/2001/XMLSchema#decimal":            true,
+	"http://www.w3.org/2001/XMLSchema#float":              true,
+	"http://www.w3.org/2001/XMLSchema#double":             true,
+	"http://www.w3.org/2001/XMLSchema#long":               true,
+	"http://www.w3.org/2001/XMLSchema#int":                true,
+	"http://www.w3.org/2001/XMLSchema#short":              true,
+	"http://www.w3.org/2001/XMLSchema#byte":               true,
+	"http://www.w3.org/2001/XMLSchema#nonNegativeInteger": true,
+	"http://www.w3.org/2001/XMLSchema#positiveInteger":    true,
+	"http://www.w3.org/2001/XMLSchema#nonPositiveInteger": true,
+	"http://www.w3.org/2001/XMLSchema#negativeInteger":    true,
+	"http://www.w3.org/2001/XMLSchema#unsignedLong":       true,
+	"http://www.w3.org/2001/XMLSchema#unsignedInt":        true,
+	"http://www.w3.org/2001/XMLSchema#unsignedShort":      true,
+	"http://www.w3.org/2001/XMLSchema#unsignedByte":       true,
+}
+
+// NumericTerm reports whether t compares as a number, and its value: a
+// literal without a language tag, plain or carrying a numeric XSD
+// datatype, whose whole lexical form parses as a float.
+func NumericTerm(t rdf.Term) (float64, bool) {
+	if t.Kind != rdf.Literal || t.Lang != "" {
+		return 0, false
+	}
+	if t.Datatype != "" && !numericDatatypes[t.Datatype] {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(t.Value, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// BooleanTerm reports whether t is an xsd:boolean literal with a valid
+// lexical form, and its value.
+func BooleanTerm(t rdf.Term) (bool, bool) {
+	if t.Kind != rdf.Literal || t.Datatype != xsdBoolean {
+		return false, false
+	}
+	switch t.Value {
+	case "true", "1":
+		return true, true
+	case "false", "0":
+		return false, true
+	}
+	return false, false
+}
+
+// StringTerm reports whether t is a string in the regex sense: a plain or
+// xsd:string literal without a language tag.
+func StringTerm(t rdf.Term) bool {
+	return t.Kind == rdf.Literal && t.Lang == "" &&
+		(t.Datatype == "" || t.Datatype == xsdString)
+}
+
+// CompileRegex compiles a regex(…) pattern with the supported flag subset
+// ("i", "s", "m" — any combination). The parser already validated the
+// flags; an invalid pattern is an evaluation-time type error, so the
+// compile error is returned rather than panicking.
+func CompileRegex(pattern, flags string) (*regexp.Regexp, error) {
+	if flags != "" {
+		pattern = "(?" + flags + ")" + pattern
+	}
+	return regexp.Compile(pattern)
+}
+
+// value is the result of evaluating one (sub)expression: an RDF term, a
+// number (from arithmetic), a boolean (from comparisons and logic), or a
+// type error.
+type valKind int
+
+const (
+	valErr valKind = iota
+	valTerm
+	valNum
+	valBool
+)
+
+type value struct {
+	kind valKind
+	num  float64
+	b    bool
+	term rdf.Term
+}
+
+var errValue = value{kind: valErr}
+
+func termValue(t rdf.Term) value { return value{kind: valTerm, term: t} }
+func numValue(f float64) value   { return value{kind: valNum, num: f} }
+func boolValue(b bool) value     { return value{kind: valBool, b: b} }
+func triBool(b bool) int         { return map[bool]int{true: 1, false: 0}[b] }
+
+// EvalFilter evaluates a filter expression against a mapping with the
+// supported core's three-valued semantics: 1 = true, 0 = false,
+// -1 = type error (which a FILTER treats as false: the row drops). It is
+// exported so the golden operator-semantics table can assert the oracle
+// and the engine case by case.
+func EvalFilter(e sparql.Expr, m Mapping) int {
+	return ebv(evalValue(e, m))
+}
+
+// holds evaluates a filter with the same three-valued semantics as the
+// engine: only a definite true keeps the mapping.
+func holds(e sparql.Expr, m Mapping) bool {
+	return EvalFilter(e, m) == 1
+}
+
+// ebv applies the W3C effective-boolean-value rules to a value:
+// booleans are themselves; numbers are true unless zero or NaN;
+// xsd:boolean literals by (valid) lexical value, with invalid forms false;
+// string-ish literals (plain, language-tagged, xsd:string) true when
+// non-empty; numeric-typed literals by value with invalid forms false;
+// everything else (IRIs, blanks, other datatypes, unbound) a type error.
+func ebv(v value) int {
+	switch v.kind {
+	case valBool:
+		return triBool(v.b)
+	case valNum:
+		return triBool(v.num != 0 && !math.IsNaN(v.num))
+	case valTerm:
+		t := v.term
+		if t.Kind != rdf.Literal {
+			return -1
+		}
+		switch {
+		case t.Datatype == xsdBoolean:
+			if b, ok := BooleanTerm(t); ok {
+				return triBool(b)
+			}
+			return 0 // invalid lexical form
+		case t.Datatype == "" || t.Datatype == xsdString:
+			return triBool(len(t.Value) > 0)
+		case numericDatatypes[t.Datatype]:
+			f, err := strconv.ParseFloat(t.Value, 64)
+			if err != nil {
+				return 0 // invalid lexical form
+			}
+			return triBool(f != 0 && !math.IsNaN(f))
+		}
+		return -1
+	}
+	return -1
+}
+
+func evalValue(e sparql.Expr, m Mapping) value {
+	switch x := e.(type) {
+	case sparql.Bound:
+		_, ok := m[x.V]
+		return boolValue(ok)
+	case sparql.Not:
+		switch ebv(evalValue(x.E, m)) {
+		case 1:
+			return boolValue(false)
+		case 0:
+			return boolValue(true)
+		}
+		return errValue
+	case sparql.Logical:
+		l, r := ebv(evalValue(x.L, m)), ebv(evalValue(x.R, m))
+		if x.Op == sparql.OpAnd {
+			// error && false = false; error && true = error.
+			if l == 0 || r == 0 {
+				return boolValue(false)
+			}
+			if l == -1 || r == -1 {
+				return errValue
+			}
+			return boolValue(true)
+		}
+		// error || true = true; error || false = error.
+		if l == 1 || r == 1 {
+			return boolValue(true)
+		}
+		if l == -1 || r == -1 {
+			return errValue
+		}
+		return boolValue(false)
+	case sparql.Cmp:
+		return compareValues(x.Op, evalValue(x.L, m), evalValue(x.R, m))
+	case sparql.Arith:
+		return arith(x.Op, evalValue(x.L, m), evalValue(x.R, m))
+	case sparql.Regex:
+		arg := evalValue(x.Arg, m)
+		if arg.kind != valTerm || !StringTerm(arg.term) {
+			return errValue
+		}
+		re, err := CompileRegex(x.Pattern, x.Flags)
+		if err != nil {
+			return errValue
+		}
+		return boolValue(re.MatchString(arg.term.Value))
+	case sparql.ExprVar:
+		if t, ok := m[x.V]; ok {
+			return termValue(t)
+		}
+		return errValue
+	case sparql.ExprTerm:
+		return termValue(x.Term)
+	}
+	return errValue
+}
+
+// asNum extracts a numeric value: a number, or a numeric literal term.
+func asNum(v value) (float64, bool) {
+	switch v.kind {
+	case valNum:
+		return v.num, true
+	case valTerm:
+		return NumericTerm(v.term)
+	}
+	return 0, false
+}
+
+// asBool extracts a boolean value: a boolean, or a valid xsd:boolean term.
+func asBool(v value) (bool, bool) {
+	switch v.kind {
+	case valBool:
+		return v.b, true
+	case valTerm:
+		return BooleanTerm(v.term)
+	}
+	return false, false
+}
+
+// compareValues applies a comparison with the promotion ladder of the
+// supported core: numbers first (numeric literals and arithmetic results
+// compare by value), then booleans (false < true), then RDF terms —
+// equality is term identity (cross-kind inequality is false, not an
+// error), ordering is byte-wise on the value for same-kind, same-language
+// terms (covering plain-literal and IRI ordering) and a type error
+// otherwise.
+func compareValues(op sparql.CmpOp, l, r value) value {
+	if l.kind == valErr || r.kind == valErr {
+		return errValue
+	}
+	if lf, lok := asNum(l); lok {
+		if rf, rok := asNum(r); rok {
+			return cmpOrdered(op, cmpFloat(lf, rf), !math.IsNaN(lf) && !math.IsNaN(rf))
+		}
+	}
+	if lb, lok := asBool(l); lok {
+		if rb, rok := asBool(r); rok {
+			return cmpOrdered(op, cmpBool(lb, rb), true)
+		}
+	}
+	if l.kind == valTerm && r.kind == valTerm {
+		switch op {
+		case sparql.OpEq:
+			return boolValue(l.term == r.term)
+		case sparql.OpNe:
+			return boolValue(l.term != r.term)
+		}
+		if l.term.Kind != r.term.Kind || l.term.Lang != r.term.Lang {
+			return errValue
+		}
+		return cmpOrdered(op, cmpString(l.term.Value, r.term.Value), true)
+	}
+	return errValue
+}
+
+// cmpOrdered turns a three-way comparison into the operator's boolean.
+// comparable=false marks incomparable numeric operands (NaN): equality is
+// decided (false, != true), ordering too (always false), matching IEEE 754.
+func cmpOrdered(op sparql.CmpOp, c int, comparable bool) value {
+	if !comparable {
+		switch op {
+		case sparql.OpEq:
+			return boolValue(false)
+		case sparql.OpNe:
+			return boolValue(true)
+		}
+		return boolValue(false)
+	}
+	switch op {
+	case sparql.OpEq:
+		return boolValue(c == 0)
+	case sparql.OpNe:
+		return boolValue(c != 0)
+	case sparql.OpLt:
+		return boolValue(c < 0)
+	case sparql.OpLe:
+		return boolValue(c <= 0)
+	case sparql.OpGt:
+		return boolValue(c > 0)
+	case sparql.OpGe:
+		return boolValue(c >= 0)
+	}
+	return errValue
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpBool(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	}
+	return 1
+}
+
+func cmpString(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// arith applies an arithmetic operator over numeric operands; a
+// non-numeric operand or a division by zero is a type error.
+func arith(op sparql.ArithOp, l, r value) value {
+	lf, lok := asNum(l)
+	rf, rok := asNum(r)
+	if !lok || !rok {
+		return errValue
+	}
+	switch op {
+	case sparql.OpAdd:
+		return numValue(lf + rf)
+	case sparql.OpSub:
+		return numValue(lf - rf)
+	case sparql.OpMul:
+		return numValue(lf * rf)
+	case sparql.OpDiv:
+		if rf == 0 {
+			return errValue
+		}
+		return numValue(lf / rf)
+	}
+	return errValue
+}

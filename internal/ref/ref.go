@@ -264,142 +264,6 @@ func (ev *Evaluator) leftJoinMaps(l, r []Mapping) ([]Mapping, error) {
 	return out, nil
 }
 
-// holds evaluates a filter with the same three-valued semantics as the
-// engine: only a definite true keeps the mapping.
-func holds(e sparql.Expr, m Mapping) bool {
-	v := evalExpr(e, m)
-	return v == 1
-}
-
-// evalExpr: 1 = true, 0 = false, -1 = error.
-func evalExpr(e sparql.Expr, m Mapping) int {
-	switch x := e.(type) {
-	case sparql.Bound:
-		if _, ok := m[x.V]; ok {
-			return 1
-		}
-		return 0
-	case sparql.Not:
-		switch evalExpr(x.E, m) {
-		case 1:
-			return 0
-		case 0:
-			return 1
-		default:
-			return -1
-		}
-	case sparql.Logical:
-		l, r := evalExpr(x.L, m), evalExpr(x.R, m)
-		if x.Op == sparql.OpAnd {
-			if l == 0 || r == 0 {
-				return 0
-			}
-			if l == -1 || r == -1 {
-				return -1
-			}
-			return 1
-		}
-		if l == 1 || r == 1 {
-			return 1
-		}
-		if l == -1 || r == -1 {
-			return -1
-		}
-		return 0
-	case sparql.Cmp:
-		lt, lok := termOf(x.L, m)
-		rt, rok := termOf(x.R, m)
-		if !lok || !rok {
-			return -1
-		}
-		return compareRef(x.Op, lt, rt)
-	case sparql.ExprVar:
-		if t, ok := m[x.V]; ok {
-			if t.Value != "" && t.Value != "false" && t.Value != "0" {
-				return 1
-			}
-			return 0
-		}
-		return -1
-	case sparql.ExprTerm:
-		if x.Term.Value != "" && x.Term.Value != "false" && x.Term.Value != "0" {
-			return 1
-		}
-		return 0
-	}
-	return -1
-}
-
-func termOf(e sparql.Expr, m Mapping) (rdf.Term, bool) {
-	switch x := e.(type) {
-	case sparql.ExprVar:
-		t, ok := m[x.V]
-		return t, ok
-	case sparql.ExprTerm:
-		return x.Term, true
-	}
-	return rdf.Term{}, false
-}
-
-func compareRef(op sparql.CmpOp, l, r rdf.Term) int {
-	b2i := func(b bool) int {
-		if b {
-			return 1
-		}
-		return 0
-	}
-	if lf, lok := numRef(l); lok {
-		if rf, rok := numRef(r); rok {
-			switch op {
-			case sparql.OpEq:
-				return b2i(lf == rf)
-			case sparql.OpNe:
-				return b2i(lf != rf)
-			case sparql.OpLt:
-				return b2i(lf < rf)
-			case sparql.OpLe:
-				return b2i(lf <= rf)
-			case sparql.OpGt:
-				return b2i(lf > rf)
-			case sparql.OpGe:
-				return b2i(lf >= rf)
-			}
-		}
-	}
-	switch op {
-	case sparql.OpEq:
-		return b2i(l == r)
-	case sparql.OpNe:
-		return b2i(l != r)
-	}
-	if l.Kind != r.Kind {
-		return -1
-	}
-	switch op {
-	case sparql.OpLt:
-		return b2i(l.Value < r.Value)
-	case sparql.OpLe:
-		return b2i(l.Value <= r.Value)
-	case sparql.OpGt:
-		return b2i(l.Value > r.Value)
-	case sparql.OpGe:
-		return b2i(l.Value >= r.Value)
-	}
-	return -1
-}
-
-func numRef(t rdf.Term) (float64, bool) {
-	if t.Kind != rdf.Literal {
-		return 0, false
-	}
-	var f float64
-	n, err := fmt.Sscanf(t.Value, "%g", &f)
-	if n != 1 || err != nil {
-		return 0, false
-	}
-	return f, true
-}
-
 // Key renders a mapping as a canonical string over the given variable
 // order; unbound variables render as the NULL marker. Differential tests
 // compare multisets of keys.

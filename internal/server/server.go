@@ -37,6 +37,7 @@ import (
 	"time"
 
 	lbr "repro"
+	"repro/internal/algebra"
 	"repro/internal/results"
 	"repro/internal/sparql"
 	"repro/internal/trace"
@@ -883,9 +884,11 @@ func (s *Server) countFailure(err error) {
 
 // failBeforeStream reports an execution error while the response is still
 // unwritten, mapping timeout to 504, client cancellation to a closed
-// connection, and anything else to 500.
+// connection, a filter outside the supported core to a structured 400
+// naming the offending expression, and anything else to 500.
 func (s *Server) failBeforeStream(ctx context.Context, w http.ResponseWriter, r *http.Request, err error) {
 	s.countFailure(err)
+	var unsafeFilter *algebra.UnsafeFilterError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, perr(http.StatusGatewayTimeout, "timeout", "query exceeded the server timeout of %s", s.cfg.Timeout))
@@ -893,6 +896,10 @@ func (s *Server) failBeforeStream(ctx context.Context, w http.ResponseWriter, r 
 		// The client is gone; nobody is listening for a status code.
 		s.cfg.Log("sparql: [%s] client cancelled %s %s", reqID(w), r.Method, r.URL.Path)
 		panic(http.ErrAbortHandler)
+	case errors.As(err, &unsafeFilter):
+		writeError(w, perr(http.StatusBadRequest, "unsupported_filter",
+			"unsupported FILTER: ?%s is bound outside the scope of FILTER(%s)",
+			unsafeFilter.Var, unsafeFilter.Expr))
 	default:
 		writeError(w, perr(http.StatusInternalServerError, "query_failed", "%v", err))
 	}

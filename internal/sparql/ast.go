@@ -258,6 +258,73 @@ type Bound struct {
 func (b Bound) String() string      { return "bound(?" + string(b.V) + ")" }
 func (b Bound) Vars(m map[Var]bool) { m[b.V] = true }
 
+// ArithOp is an arithmetic operator.
+type ArithOp string
+
+// Arithmetic operators over numeric literals.
+const (
+	OpAdd ArithOp = "+"
+	OpSub ArithOp = "-"
+	OpMul ArithOp = "*"
+	OpDiv ArithOp = "/"
+)
+
+// Arith is a binary arithmetic expression.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+func (a Arith) String() string {
+	return "(" + a.L.String() + " " + string(a.Op) + " " + a.R.String() + ")"
+}
+func (a Arith) Vars(m map[Var]bool) {
+	a.L.Vars(m)
+	a.R.Vars(m)
+}
+
+// Regex is the regex(text, pattern[, flags]) builtin. Pattern and flags
+// are restricted to constant string literals at parse time, and flags to
+// the "i"/"s"/"m" subset that maps onto Go's RE2 flags.
+type Regex struct {
+	Arg            Expr
+	Pattern, Flags string
+}
+
+func (r Regex) String() string {
+	s := "regex(" + r.Arg.String() + ", " + quoteString(r.Pattern)
+	if r.Flags != "" {
+		s += ", " + quoteString(r.Flags)
+	}
+	return s + ")"
+}
+func (r Regex) Vars(m map[Var]bool) { r.Arg.Vars(m) }
+
+// quoteString renders a SPARQL string literal with the escapes the lexer
+// understands, so expression strings round-trip through the parser.
+func quoteString(s string) string {
+	out := make([]byte, 0, len(s)+2)
+	out = append(out, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			out = append(out, '\\', '"')
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		case '\t':
+			out = append(out, '\\', 't')
+		case '\r':
+			out = append(out, '\\', 'r')
+		default:
+			out = append(out, c)
+		}
+	}
+	out = append(out, '"')
+	return string(out)
+}
+
 // ExprVar is a variable reference.
 type ExprVar struct {
 	V Var

@@ -37,6 +37,7 @@ func (t token) String() string {
 var keywords = map[string]bool{
 	"SELECT": true, "WHERE": true, "OPTIONAL": true, "UNION": true,
 	"FILTER": true, "PREFIX": true, "DISTINCT": true, "BOUND": true,
+	"REGEX": true,
 	"ORDER": true, "BY": true, "LIMIT": true, "OFFSET": true,
 	"ASC": true, "DESC": true, "ASK": true,
 	"INSERT": true, "DELETE": true, "DATA": true,
@@ -129,6 +130,13 @@ func lex(src string) ([]token, error) {
 				l.i++
 			}
 			l.emit(token{kind: tokNumber, text: l.src[start:l.i], pos: start})
+		case c == '+' || c == '-' || c == '/':
+			// Arithmetic operators. This case sits below the number case so
+			// that '-' directly followed by a digit still lexes as a negative
+			// number ("?a - 3" therefore reaches the parser as ?a and -3; the
+			// additive level re-interprets the sign as a subtraction).
+			l.i++
+			l.emit(token{kind: tokPunct, text: string(c), pos: start})
 		default:
 			word := l.identColon()
 			if word == "" {

@@ -416,7 +416,7 @@ func (p *parser) andExpr() (Expr, error) {
 }
 
 func (p *parser) cmpExpr() (Expr, error) {
-	l, err := p.unaryExpr()
+	l, err := p.additiveExpr()
 	if err != nil {
 		return nil, err
 	}
@@ -424,7 +424,7 @@ func (p *parser) cmpExpr() (Expr, error) {
 		switch p.cur().text {
 		case "=", "!=", "<", "<=", ">", ">=":
 			op := CmpOp(p.next().text)
-			r, err := p.unaryExpr()
+			r, err := p.additiveExpr()
 			if err != nil {
 				return nil, err
 			}
@@ -432,6 +432,56 @@ func (p *parser) cmpExpr() (Expr, error) {
 		}
 	}
 	return l, nil
+}
+
+func (p *parser) additiveExpr() (Expr, error) {
+	l, err := p.multiplicativeExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.atPunct("+") || p.atPunct("-"):
+			op := ArithOp(p.next().text)
+			r, err := p.multiplicativeExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = Arith{Op: op, L: l, R: r}
+		case p.at(tokNumber) && strings.HasPrefix(p.cur().text, "-"):
+			// The lexer folds a '-' directly followed by a digit into the
+			// number ("?a - 3" arrives as ?a, -3): re-interpret the sign as
+			// a subtraction of the magnitude.
+			t := p.next()
+			l = Arith{Op: OpSub, L: l, R: numberExprTerm(t.text[1:])}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) multiplicativeExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ArithOp
+		switch {
+		case p.at(tokStar):
+			op = OpMul
+		case p.atPunct("/"):
+			op = OpDiv
+		default:
+			return l, nil
+		}
+		p.i++
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Arith{Op: op, L: l, R: r}
+	}
 }
 
 func (p *parser) unaryExpr() (Expr, error) {
@@ -475,6 +525,9 @@ func (p *parser) primaryExpr() (Expr, error) {
 			}
 			return Bound{V: v}, nil
 		}
+		if p.atKeyword("REGEX") {
+			return p.regexExpr()
+		}
 	case tokVar:
 		return ExprVar{V: Var(p.next().text)}, nil
 	case tokIRI:
@@ -490,12 +543,66 @@ func (p *parser) primaryExpr() (Expr, error) {
 		t := p.next()
 		return ExprTerm{Term: rdf.Term{Kind: rdf.Literal, Value: t.litValue, Lang: t.litLang, Datatype: t.litType}}, nil
 	case tokNumber:
-		t := p.next()
-		dt := "http://www.w3.org/2001/XMLSchema#integer"
-		if strings.Contains(t.text, ".") {
-			dt = "http://www.w3.org/2001/XMLSchema#decimal"
-		}
-		return ExprTerm{Term: rdf.NewTypedLiteral(t.text, dt)}, nil
+		return numberExprTerm(p.next().text), nil
 	}
 	return nil, p.errf("unexpected token %s in expression", p.cur())
+}
+
+// numberExprTerm builds the typed-literal constant for a numeric token:
+// xsd:integer without a decimal point, xsd:decimal with one.
+func numberExprTerm(text string) Expr {
+	dt := "http://www.w3.org/2001/XMLSchema#integer"
+	if strings.Contains(text, ".") {
+		dt = "http://www.w3.org/2001/XMLSchema#decimal"
+	}
+	return ExprTerm{Term: rdf.NewTypedLiteral(text, dt)}
+}
+
+// regexExpr parses regex(expr, "pattern"[, "flags"]): the pattern and
+// flags must be constant string literals, and the flags a combination of
+// "i" (case-insensitive), "s" (dot matches newline) and "m" (multi-line
+// anchors) — the subset shared with Go's RE2 syntax.
+func (p *parser) regexExpr() (Expr, error) {
+	p.i++ // REGEX
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	arg, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	pattern, err := p.regexStringArg("pattern")
+	if err != nil {
+		return nil, err
+	}
+	flags := ""
+	if p.atPunct(",") {
+		p.i++
+		flags, err = p.regexStringArg("flags")
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < len(flags); i++ {
+			switch flags[i] {
+			case 'i', 's', 'm':
+			default:
+				return nil, p.errf("unsupported regex flag %q (supported: i, s, m)", string(flags[i]))
+			}
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return Regex{Arg: arg, Pattern: pattern, Flags: flags}, nil
+}
+
+func (p *parser) regexStringArg(what string) (string, error) {
+	if !p.at(tokLiteral) || p.cur().litLang != "" ||
+		(p.cur().litType != "" && p.cur().litType != "http://www.w3.org/2001/XMLSchema#string") {
+		return "", p.errf("regex() %s must be a plain string literal, got %s", what, p.cur())
+	}
+	return p.next().litValue, nil
 }
