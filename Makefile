@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check verify test-cache test-update test-shard test-trace test-filter serve-smoke fuzz-smoke bench bench-parallel bench-union bench-build bench-server bench-cache bench-shard bench-trace
+.PHONY: all build test race vet fmt-check verify test-cache test-update test-shard test-trace test-filter test-union serve-smoke fuzz-smoke bench bench-parallel bench-union bench-build bench-server bench-cache bench-shard bench-trace
 
 # The default target is the full tier-1 verification, race detector included.
 all: verify
@@ -80,6 +80,19 @@ test-filter:
 	$(GO) test -race -count=1 \
 		-run 'TestFilterGoldenTable|TestEvalFilter|TestCompareTerms|TestRefFilter|TestCheckSafeFilters|TestSubstituteCheap|TestPlaceFilters|TestDifferentialFilterWorkerSweep|TestUnsupportedFilter|TestSupportedFilterCore|TestExplainFilterSpan' \
 		./internal/engine ./internal/ref ./internal/algebra ./internal/planner ./internal/server .
+
+# test-union runs the UNION/OPTIONAL minimum-union test surface under
+# -race: the engine's best-match/dedup unit tests, the witnessless-union
+# regression tables (engine-level worker sweep + store-level
+# worker x shard sweep, both vs the reference evaluator) and their
+# no-leak pins (synthetic witness columns must never surface in results,
+# streams, or EXPLAIN), and the random union worker sweep. The full
+# `make` covers all of these too; this target is the fast loop while
+# working on the rule-3 rewrite or the collapse passes.
+test-union:
+	$(GO) test -race -count=1 \
+		-run 'TestBestMatch|TestDedupNull|TestWitnesslessUnion|TestDifferentialWitnesslessUnionRegressions|TestDifferentialUnionWorkerSweep' \
+		./internal/engine ./internal/algebra .
 
 # serve-smoke boots the real lbrserver binary on an ephemeral port, runs a
 # content-negotiated SPARQL Protocol query over HTTP, and asserts the JSON

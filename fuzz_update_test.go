@@ -1,10 +1,13 @@
 package lbr
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
 
+	"repro/internal/algebra"
+	"repro/internal/engine"
 	"repro/internal/rdf"
 	"repro/internal/ref"
 )
@@ -124,16 +127,16 @@ func compareProbes(t *testing.T, s *Store, g *rdf.Graph, step string) {
 	}
 }
 
-// isUnsupportedNative mirrors the engine fuzzer's unsupported-query filter
-// for errors surfacing through ApplyUpdate's WHERE evaluation.
+// isUnsupportedNative mirrors the engine fuzzer's unsupported-query
+// filter for errors surfacing through ApplyUpdate's WHERE evaluation.
+// The update path propagates engine errors unwrapped, so the same typed
+// sentinels match here.
 func isUnsupportedNative(err error) bool {
-	msg := err.Error()
-	for _, sub := range []string{"predicate join", "unsafe filter", "not supported", "exceeds"} {
-		if strings.Contains(msg, sub) {
-			return true
-		}
-	}
-	return false
+	var uf *algebra.UnsafeFilterError
+	return errors.Is(err, algebra.ErrPredicateJoin) ||
+		errors.Is(err, engine.ErrThreeVarPattern) ||
+		errors.Is(err, engine.ErrExpansionTooLarge) ||
+		errors.As(err, &uf)
 }
 
 // FuzzUpdateDifferential fuzzes whole update streams — newline-separated

@@ -43,16 +43,55 @@ type Branch struct {
 	// SubstituteCheapFilters folded into the patterns; the executor
 	// re-injects them into result rows (see CheapSubst).
 	Substs []CheapSubst
+	// SynthWitnesses lists the synthetic witness bindings of the branch's
+	// rule-3 splits whose kept alternative is witnessless (see
+	// SynthWitnessVar): the executor binds Var in a result row exactly when
+	// every pattern in TPs matched, giving dedup/best-match a column that
+	// distinguishes the alternative's genuine matches from its failure
+	// artifacts. The variables are hidden — they never appear in a triple
+	// pattern, so result headers (built from TreeVars) exclude them, and
+	// the executor strips their columns before projection.
+	SynthWitnesses []SynthWitness
+}
+
+// SynthWitness is one synthetic witness binding: the hidden variable and
+// the tree-leaf-order indexes of the patterns whose joint match binds it —
+// the master part of the distributed subtree, i.e. every pattern not under
+// the right side of a nested LeftJoin. (A nested OPTIONAL failing must not
+// clear the witness: the alternative still matched.)
+type SynthWitness struct {
+	Var sparql.Var
+	TPs []int
+}
+
+// synthWitnessPrefix starts every synthetic witness variable name. NUL can
+// never occur in a parsed variable name, so hidden variables cannot
+// collide with (or be addressed by) query text.
+const synthWitnessPrefix = "\x00w:"
+
+// SynthWitnessVar names the hidden witness variable of alternative alt of
+// the rule-3 split splitID. The name is deterministic, so the same
+// (split, alternative) pair maps to the same column in every branch that
+// mentions it.
+func SynthWitnessVar(splitID string, alt int) sparql.Var {
+	return sparql.Var(fmt.Sprintf("%s%s:%d", synthWitnessPrefix, splitID, alt))
+}
+
+// IsSynthWitnessVar reports whether v is a synthetic witness variable.
+func IsSynthWitnessVar(v sparql.Var) bool {
+	return len(v) >= len(synthWitnessPrefix) && string(v[:len(synthWitnessPrefix)]) == synthWitnessPrefix
 }
 
 // DupSplit is one rule-3 split point of a branch: a stable identifier of
 // the splitting tree node (identical across every branch of a group, so
 // the same split aligns across branches even when nested splits give the
-// branches different split counts), the distributed subtree's own
-// variables (variables shared with the left side stay bound on failure
-// and cannot witness, so they are excluded — a split whose subtree has no
-// own variables has no witness and its artifacts are conservatively
-// kept), and the alternative this branch took.
+// branches different split counts), the split's witness variables, and
+// the alternative this branch took. The witnesses are the distributed
+// subtree's own variables (variables shared with the left side stay bound
+// on failure and cannot witness, so they are excluded) plus one synthetic
+// witness per alternative whose master part has no own variable (see
+// SynthWitness) — so every alternative of every split has at least one
+// witness column, and a failed split is always detectable.
 type DupSplit struct {
 	ID     string
 	Vars   []sparql.Var
@@ -84,11 +123,12 @@ func NormalizeUNF(t Tree) ([]*Branch, error) {
 			return nil, err
 		}
 		branches = append(branches, &Branch{
-			Tree:      pure,
-			Filters:   filters,
-			UsedRule3: db.rule3,
-			DupGroup:  db.group,
-			DupSplits: db.splits,
+			Tree:           pure,
+			Filters:        filters,
+			UsedRule3:      db.rule3,
+			DupGroup:       db.group,
+			DupSplits:      db.splits,
+			SynthWitnesses: db.wits,
 		})
 	}
 	return branches, nil
@@ -101,6 +141,9 @@ type distBranch struct {
 	rule3  bool
 	group  string // structural group id; "*" marks a rule-3 split point
 	splits []DupSplit
+	// wits carries the branch's synthetic witnesses with TPs relative to
+	// tree's own leaf order; parents shift them as the subtree is embedded.
+	wits []SynthWitness
 }
 
 func concatSplits(a, b []DupSplit) []DupSplit {
@@ -113,6 +156,74 @@ func concatSplits(a, b []DupSplit) []DupSplit {
 	out := make([]DupSplit, 0, len(a)+len(b))
 	out = append(out, a...)
 	return append(out, b...)
+}
+
+// shiftWits re-bases witness pattern indexes by `by` leaves (the subtree
+// they index into was embedded to the right of `by` patterns). Always
+// copies, so distBranches sharing a sub-result never alias.
+func shiftWits(ws []SynthWitness, by int) []SynthWitness {
+	if len(ws) == 0 {
+		return nil
+	}
+	out := make([]SynthWitness, len(ws))
+	for i, w := range ws {
+		tps := make([]int, len(w.TPs))
+		for k, tp := range w.TPs {
+			tps[k] = tp + by
+		}
+		out[i] = SynthWitness{Var: w.Var, TPs: tps}
+	}
+	return out
+}
+
+// concatWits appends b to a into a fresh slice (never aliasing either).
+func concatWits(a, b []SynthWitness) []SynthWitness {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make([]SynthWitness, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// masterPartTPs returns the leaf-order indexes and the variables of t's
+// master part: the patterns not under the right side of any LeftJoin of t.
+// These are exactly the patterns that must all match for (this rule-3
+// alternative of) t to have matched — a failing nested OPTIONAL inside t
+// does not fail t itself.
+func masterPartTPs(t Tree) ([]int, map[sparql.Var]bool) {
+	var tps []int
+	vars := map[sparql.Var]bool{}
+	idx := 0
+	var walk func(n Tree, slave bool)
+	walk = func(n Tree, slave bool) {
+		switch m := n.(type) {
+		case *Leaf:
+			for _, tp := range m.Patterns {
+				if !slave {
+					tps = append(tps, idx)
+					for _, v := range tp.Vars() {
+						vars[v] = true
+					}
+				}
+				idx++
+			}
+		case *Join:
+			walk(m.L, slave)
+			walk(m.R, slave)
+		case *LeftJoin:
+			walk(m.L, slave)
+			walk(m.R, true)
+		case *FilterT:
+			walk(m.Child, slave)
+		case *UnionT:
+			for _, a := range m.Alts {
+				walk(a, slave)
+			}
+		}
+	}
+	walk(t, false)
+	return tps, vars
 }
 
 // distribute pushes unions to the top. It returns one distBranch per union
@@ -145,12 +256,14 @@ func distributeWalk(t Tree, nextSplit *int) []distBranch {
 		rs := distributeWalk(n.R, nextSplit)
 		var out []distBranch
 		for _, l := range ls {
+			nl := len(TreePatterns(l.tree))
 			for _, r := range rs {
 				out = append(out, distBranch{
 					tree:   &Join{L: CloneTree(l.tree), R: CloneTree(r.tree)}, // rule 1
 					rule3:  l.rule3 || r.rule3,
 					group:  "(" + l.group + " J " + r.group + ")",
 					splits: concatSplits(l.splits, r.splits),
+					wits:   concatWits(l.wits, shiftWits(r.wits, nl)),
 				})
 			}
 		}
@@ -166,17 +279,44 @@ func distributeWalk(t Tree, nextSplit *int) []distBranch {
 		}
 		var out []distBranch
 		for _, l := range ls {
+			nl := len(TreePatterns(l.tree))
+			leftVars := TreeVars(l.tree)
 			// The distributed subtree's own variables witness its failure.
 			// Variables shared with the left side stay bound on failure, so
 			// they cannot witness and are excluded.
 			var own []sparql.Var
+			// synths[j] is the synthetic witness of alternative j, minted
+			// when j's master part binds no variable of its own: without
+			// one, a matched row and a failure artifact of that
+			// alternative would render identically and the minimum union
+			// could drop or duplicate the bare-master row. Every branch of
+			// the group shares the full witness variable set (own plus all
+			// alternatives' synthetic witnesses), so witness columns align
+			// across branches.
+			var synths []SynthWitness
 			if rightSplit {
 				ownSet := TreeVars(n.R)
-				for v := range TreeVars(l.tree) {
+				for v := range leftVars {
 					delete(ownSet, v)
 				}
 				for v := range ownSet {
 					own = append(own, v)
+				}
+				synths = make([]SynthWitness, len(rs))
+				for j, r := range rs {
+					tps, mvars := masterPartTPs(r.tree)
+					witnessless := true
+					for v := range mvars {
+						if !leftVars[v] {
+							witnessless = false
+							break
+						}
+					}
+					if witnessless {
+						wv := SynthWitnessVar(splitID, j)
+						synths[j] = SynthWitness{Var: wv, TPs: tps}
+						own = append(own, wv)
+					}
 				}
 				sort.Slice(own, func(i, j int) bool { return own[i] < own[j] })
 			}
@@ -185,11 +325,15 @@ func distributeWalk(t Tree, nextSplit *int) []distBranch {
 					tree:   &LeftJoin{L: CloneTree(l.tree), R: CloneTree(r.tree)}, // rules 2 and 3
 					rule3:  l.rule3 || r.rule3 || rightSplit,
 					splits: concatSplits(l.splits, r.splits),
+					wits:   concatWits(l.wits, shiftWits(r.wits, nl)),
 				}
 				if rightSplit {
 					db.group = "(" + l.group + " L *)"
 					db.splits = append(append([]DupSplit{}, db.splits...),
 						DupSplit{ID: splitID, Vars: own, Choice: fmt.Sprintf("%d:%s", j, r.group)})
+					if synths[j].Var != "" {
+						db.wits = append(db.wits, shiftWits([]SynthWitness{synths[j]}, nl)...)
+					}
 				} else {
 					db.group = "(" + l.group + " L " + r.group + ")"
 				}

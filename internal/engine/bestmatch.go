@@ -286,8 +286,13 @@ func hasNull(mask string) bool {
 // *matched* in the row. A split whose witness variables are all NULL
 // failed, so the alternative chosen there is irrelevant and is excluded
 // from the key — which also drops splits nested inside a failed subtree,
-// aligning branches whose split lists differ. A split with no witness
-// columns cannot prove failure and conservatively counts as matched.
+// aligning branches whose split lists differ. Every rule-3 split carries
+// at least one witness column: an alternative whose own variables all
+// occur in the master gets a hidden synthetic witness variable
+// (algebra.SynthWitnessVar) bound at join time exactly when the
+// alternative matched, so failure is always provable here. A split that
+// still resolves no witness columns (none of its variables are in the row
+// layout) cannot prove failure and conservatively counts as matched.
 // Under full projection (which is where this runs; SELECT projection
 // happens later) two distinct master solutions never render identically,
 // so this key is exact. The results are aligned with rows: keep (true =

@@ -261,11 +261,12 @@ func (g *qgen) block() string {
 		switch rng.Intn(5) {
 		case 0:
 			// Nested UNION under OPTIONAL: rule 3, cross-branch best-match.
-			if rng.Intn(2) == 0 {
+			switch rng.Intn(4) {
+			case 0:
 				a, b := g.newVar(), g.newVar()
 				sb = append(sb, fmt.Sprintf("OPTIONAL { { %s } UNION { %s } } ",
 					g.pat(link, a), g.pat(link, b))...)
-			} else {
+			case 1:
 				// Alternatives of unequal richness sharing the object
 				// variable: one binds a fresh subject, the other reuses a
 				// master variable, so a match of the poorer alternative is
@@ -274,6 +275,20 @@ func (g *qgen) block() string {
 				x, z := g.newVar(), g.newVar()
 				sb = append(sb, fmt.Sprintf("OPTIONAL { { %s } UNION { %s } } ",
 					g.pat(x, z), g.pat(link, z))...)
+			case 2:
+				// Witnessless alternative: one arm reuses only master
+				// variables, so its rule-3 split relies on the synthetic
+				// witness column to mark matched rows (previously the
+				// skipped deviation; now asserted).
+				a := g.newVar()
+				sb = append(sb, fmt.Sprintf("OPTIONAL { { %s } UNION { %s } } ",
+					g.pat(link, a), g.pat(g.pick(vars), link))...)
+			default:
+				// Every alternative witnessless: all arms over master
+				// variables only, so the whole union's minimum collapse is
+				// carried by synthetic witnesses.
+				sb = append(sb, fmt.Sprintf("OPTIONAL { { %s } UNION { %s } } ",
+					g.pat(link, g.pick(vars)), g.pat(g.pick(vars), link))...)
 			}
 		case 1:
 			// OPTIONAL full scan: expands per predicate under rule 3.

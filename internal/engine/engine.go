@@ -191,6 +191,31 @@ func branchVarUnion(branches []*algebra.Branch) ([]sparql.Var, map[sparql.Var]bo
 	return vars, varSet
 }
 
+// collectSynthVars gathers the synthetic witness variables carried by the
+// branches' rule-3 splits, sorted for a deterministic hidden-column order.
+// Empty for every query that never used rule 3.
+func collectSynthVars(execs []execBranch) []sparql.Var {
+	set := map[sparql.Var]bool{}
+	for _, eb := range execs {
+		for _, sp := range eb.b.DupSplits {
+			for _, v := range sp.Vars {
+				if algebra.IsSynthWitnessVar(v) {
+					set[v] = true
+				}
+			}
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]sparql.Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query, sp *trace.Span) (*Result, error) {
 	tree, err := algebra.FromQuery(q)
 	if err != nil {
@@ -218,11 +243,24 @@ func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query, sp *trace.Sp
 		return nil, err
 	}
 	if sp != nil {
+		// vars is the public column set; synthetic witness columns (below)
+		// are an internal detail and never count here.
 		sp.Set("branches", len(execs))
 		sp.Set("vars", len(vars))
 	}
-	varPos := make(map[sparql.Var]int, len(vars))
-	for i, v := range vars {
+	// Synthetic witness variables of rule-3 splits extend the working row
+	// layout as hidden trailing columns: every branch of a group resolves
+	// the same hidden variable to the same column, so the dedup and
+	// minimum-union passes see the witnesses, and the rows are cut back to
+	// the public width before modifiers, serialization, or streaming ever
+	// touch them.
+	allVars := vars
+	if hidden := collectSynthVars(execs); len(hidden) > 0 {
+		allVars = make([]sparql.Var, 0, len(vars)+len(hidden))
+		allVars = append(append(allVars, vars...), hidden...)
+	}
+	varPos := make(map[sparql.Var]int, len(allVars))
+	for i, v := range allVars {
 		varPos[v] = i
 	}
 	// Branch scheduling: with several UNF branches and a multi-worker
@@ -244,7 +282,7 @@ func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query, sp *trace.Sp
 			bsp = sp.Child("branch")
 			bsp.Set("branch", i)
 		}
-		branchRes[i], branchErr[i] = e.executeBranchCtx(ctx, execs[i], vars, budget, cache, bsp)
+		branchRes[i], branchErr[i] = e.executeBranchCtx(ctx, execs[i], allVars, budget, cache, bsp)
 		bsp.End()
 	}
 	if len(execs) > 1 && nW > 1 {
@@ -340,6 +378,15 @@ func (e *Engine) executeQuery(ctx context.Context, q *sparql.Query, sp *trace.Sp
 		allRows, rowGroup, failed = filterRows(allRows, rowGroup, failed, keep)
 		allRows = bestMatchGroups(allRows, rowGroup, groupNeed, failed)
 		res.Stats.BestMatch = true
+	}
+	// Cut the rows back to the public width: the synthetic witness columns
+	// have done their job (the collapse passes above), and nothing
+	// downstream — modifiers, NULL accounting, serialization — may see
+	// them.
+	if len(allVars) > len(vars) {
+		for i, r := range allRows {
+			allRows[i] = r[:len(vars)]
+		}
 	}
 	res.Rows = allRows
 	res.Stats.Results = len(allRows)
@@ -618,6 +665,7 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 		varIdx[v] = i
 	}
 	forcedSlots := resolveForced(eb, stps, varIdx)
+	witnessSlots := resolveWitnesses(eb, stps, varIdx)
 	// joinChunk is one worker's share of the join output. With a single
 	// worker there is exactly one chunk; with several, each worker fills
 	// its own and the chunks concatenate — in partition order — to exactly
@@ -664,6 +712,23 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 					row[fs.col] = fs.term
 				}
 			}
+			// Synthetic witnesses of rule-3 alternatives whose own variables
+			// all occur in the master: the hidden column binds exactly when
+			// the alternative matched — every anchor pattern matched a triple
+			// and none of their supernodes were nullified — so the collapse
+			// passes can tell a genuine match from a failed-split artifact.
+			for _, ws := range witnessSlots {
+				ok := true
+				for k, pos := range ws.poss {
+					if r.matched[pos] != 1 || failed[ws.sns[k]] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					row[ws.col] = witnessMatched
+				}
+			}
 			// FaN: scoped slave filters nullify their supernodes' bindings on
 			// failure; row filters reject the row.
 			if placed.Any() {
@@ -676,6 +741,18 @@ func (e *Engine) executeBranchCtx(ctx context.Context, eb execBranch, vars []spa
 						if failedSNs[fs.sn] && !row[fs.col].IsZero() {
 							row[fs.col] = rdf.Term{}
 							changed = true
+						}
+					}
+					for _, ws := range witnessSlots {
+						if row[ws.col].IsZero() {
+							continue
+						}
+						for _, sn := range ws.sns {
+							if failedSNs[sn] {
+								row[ws.col] = rdf.Term{}
+								changed = true
+								break
+							}
 						}
 					}
 					if changed {

@@ -1,0 +1,22 @@
+package engine
+
+import "errors"
+
+// Typed sentinels for the query classes the engine rejects by design (the
+// algebra layer contributes algebra.ErrPredicateJoin and
+// *algebra.UnsafeFilterError). Callers that need to distinguish
+// "unsupported query" from a real engine failure — the differential
+// fuzzers, the server's error mapping — match these with errors.Is
+// instead of scraping message substrings.
+var (
+	// ErrThreeVarPattern reports a triple pattern with three variables
+	// that survived to BitMat loading un-expanded: the two-dimensional
+	// per-predicate layout has no single matrix for it (the expansion in
+	// fullscan.go handles the supported cases before execution).
+	ErrThreeVarPattern = errors.New("engine: pattern with three variables is not supported")
+
+	// ErrExpansionTooLarge reports a per-predicate expansion of
+	// three-variable patterns whose branch product exceeds
+	// maxFullScanBranches.
+	ErrExpansionTooLarge = errors.New("engine: three-variable expansion exceeds the branch cap")
+)

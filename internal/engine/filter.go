@@ -104,17 +104,28 @@ func stringTerm(t rdf.Term) bool {
 }
 
 // regexCache memoizes compiled regex(…) patterns across rows and queries;
-// join workers evaluate filters concurrently, hence the sync.Map. Compile
-// failures cache as nil (an evaluation-time type error every row).
-var regexCache sync.Map // "flags\x00pattern" -> *regexp.Regexp (nil = invalid)
+// join workers evaluate filters concurrently, hence the lock. The cache
+// is size-bounded: real workloads reuse a handful of patterns, but the
+// patterns come from query text, so an unbounded map would let a client
+// grow the process without limit one novel pattern at a time. On
+// overflow the whole map resets — cheaper and simpler than LRU ordering
+// for a cache whose hit path is a single lookup, and the next few rows
+// simply recompile. Compile failures cache as nil (an evaluation-time
+// type error every row).
+const regexCacheCap = 256
+
+var (
+	regexCacheMu sync.Mutex
+	regexCache   = make(map[string]*regexp.Regexp, 64) // "flags\x00pattern" -> compiled (nil = invalid)
+)
 
 func compiledRegex(pattern, flags string) *regexp.Regexp {
 	key := flags + "\x00" + pattern
-	if re, ok := regexCache.Load(key); ok {
-		if re == nil {
-			return nil
-		}
-		return re.(*regexp.Regexp)
+	regexCacheMu.Lock()
+	re, ok := regexCache[key]
+	regexCacheMu.Unlock()
+	if ok {
+		return re
 	}
 	src := pattern
 	if flags != "" {
@@ -122,11 +133,24 @@ func compiledRegex(pattern, flags string) *regexp.Regexp {
 	}
 	re, err := regexp.Compile(src)
 	if err != nil {
-		regexCache.Store(key, nil)
-		return nil
+		re = nil
 	}
-	regexCache.Store(key, re)
+	regexCacheMu.Lock()
+	if len(regexCache) >= regexCacheCap {
+		regexCache = make(map[string]*regexp.Regexp, 64)
+	}
+	regexCache[key] = re
+	regexCacheMu.Unlock()
 	return re
+}
+
+// RegexCacheSize reports the number of compiled patterns currently held
+// by the filter regex cache — bounded by regexCacheCap — for the server's
+// metrics endpoints.
+func RegexCacheSize() int {
+	regexCacheMu.Lock()
+	defer regexCacheMu.Unlock()
+	return len(regexCache)
 }
 
 // fval is the result of evaluating one (sub)expression: an RDF term, a

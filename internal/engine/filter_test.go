@@ -186,3 +186,28 @@ func TestSpaceString(t *testing.T) {
 		t.Error("Space stringers broken")
 	}
 }
+
+func TestRegexCacheBounded(t *testing.T) {
+	// Flood the cache with distinct patterns: the size must never exceed
+	// the cap, valid and invalid patterns must keep evaluating correctly
+	// after resets, and repeated lookups must hit.
+	for i := 0; i < 3*regexCacheCap; i++ {
+		p := fmt.Sprintf("^prefix%d", i)
+		if compiledRegex(p, "") == nil {
+			t.Fatalf("valid pattern %q failed to compile", p)
+		}
+		if n := RegexCacheSize(); n > regexCacheCap {
+			t.Fatalf("cache grew to %d entries, cap is %d", n, regexCacheCap)
+		}
+	}
+	if compiledRegex("(unclosed", "") != nil {
+		t.Fatal("invalid pattern compiled")
+	}
+	if compiledRegex("(unclosed", "") != nil {
+		t.Fatal("invalid pattern hit as valid after caching")
+	}
+	re := compiledRegex("^a.*z$", "i")
+	if re == nil || !re.MatchString("AbcZ") {
+		t.Fatal("cached regex does not match as compiled with flags")
+	}
+}

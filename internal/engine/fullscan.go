@@ -113,6 +113,49 @@ func resolveForced(eb execBranch, stps []*tpState, varIdx map[sparql.Var]int) []
 	return out
 }
 
+// witnessMatched is the term forced into a synthetic witness column when
+// its alternative matched. The value is internal: witness columns are
+// stripped before projection and never serialize.
+var witnessMatched = rdf.NewIRI("urn:lbr:witness")
+
+// witnessSlot is one branch SynthWitness resolved against an execution's
+// sorted pattern order and (hidden-column-extended) row layout: the
+// witness binds when every anchor pattern matched and none of their
+// supernodes failed.
+type witnessSlot struct {
+	col  int   // result-row column of the hidden witness variable
+	poss []int // stps positions of the anchor patterns
+	sns  []int // the anchors' supernodes, aligned with poss
+}
+
+// resolveWitnesses maps a branch's synthetic witnesses onto an execution's
+// pattern order and row layout. Witness variables absent from varIdx (the
+// streaming path's public-only layout, where rule-3 branches never run)
+// resolve to nothing.
+func resolveWitnesses(eb execBranch, stps []*tpState, varIdx map[sparql.Var]int) []witnessSlot {
+	var out []witnessSlot
+	for _, w := range eb.b.SynthWitnesses {
+		col, ok := varIdx[w.Var]
+		if !ok {
+			continue
+		}
+		ws := witnessSlot{col: col}
+		for _, tp := range w.TPs {
+			for j, st := range stps {
+				if st.idx == tp {
+					ws.poss = append(ws.poss, j)
+					ws.sns = append(ws.sns, st.sn)
+					break
+				}
+			}
+		}
+		if len(ws.poss) == len(w.TPs) && len(ws.poss) > 0 {
+			out = append(out, ws)
+		}
+	}
+	return out
+}
+
 // maxFullScanBranches caps the expansion: several three-variable patterns
 // multiply the branch count by the predicate cardinality each, and an
 // unbounded cross product could exhaust memory before the user sees a row.
@@ -163,8 +206,8 @@ func (e *Engine) expandBranch(b *algebra.Branch) ([]execBranch, error) {
 	work := []execBranch{{b: b}}
 	for _, ti := range targets {
 		if len(work)*nPred > maxFullScanBranches {
-			return nil, fmt.Errorf("engine: expanding %d three-variable patterns over %d predicates exceeds %d branches",
-				len(targets), nPred, maxFullScanBranches)
+			return nil, fmt.Errorf("%w: %d three-variable patterns over %d predicates exceeds %d branches",
+				ErrExpansionTooLarge, len(targets), nPred, maxFullScanBranches)
 		}
 		pv := pats[ti].P.Var
 		// A rewritten pattern inside an OPTIONAL mirrors rewrite rule 3
@@ -195,6 +238,10 @@ func (e *Engine) expandBranch(b *algebra.Branch) ([]execBranch, error) {
 					DupGroup:  eb.b.DupGroup,
 					DupSplits: eb.b.DupSplits,
 					Substs:    eb.b.Substs,
+					// The expansion fixes predicates in place without
+					// reordering leaves, so witness pattern indexes stay
+					// valid in every per-predicate clone.
+					SynthWitnesses: eb.b.SynthWitnesses,
 				}
 				setPatternPredicate(nb.Tree, ti, term)
 				forced := make([]forcedBinding, len(eb.forced), len(eb.forced)+1)

@@ -350,7 +350,7 @@ func (e *Engine) load(tp sparql.TriplePattern, idx int, sn int, plan *planner.Pl
 	case !sVar && !pVar && !oVar:
 		st.present = !unknown && e.idx.Contains(s, p, o)
 	default:
-		return nil, fmt.Errorf("engine: pattern %s with three variables is not supported", tp)
+		return nil, fmt.Errorf("%w: %s", ErrThreeVarPattern, tp)
 	}
 	setLoadAttrs(sp, st, cacheSrc)
 	return st, nil

@@ -163,6 +163,10 @@ type Snapshot struct {
 	// generations, cache counters) on a sharded store; omitted when the
 	// store runs a single index.
 	Shards []lbr.ShardInfo `json:"shards,omitempty"`
+	// RegexCacheEntries is the current size of the engine's process-wide
+	// compiled-regex cache (size-bounded; see engine.RegexCacheSize).
+	// Filled by the /metrics handler.
+	RegexCacheEntries int64 `json:"regex_cache_entries"`
 }
 
 // Snapshot captures the current counter values.

@@ -194,7 +194,7 @@ func TestPrometheusMetricsView(t *testing.T) {
 			t.Errorf("stage %q histogram missing or wrong count:\n%s", stage, body)
 		}
 	}
-	for _, name := range []string{"lbr_wal_appends_total", "lbr_compactions_total", "lbr_snapshot_generation"} {
+	for _, name := range []string{"lbr_wal_appends_total", "lbr_compactions_total", "lbr_snapshot_generation", "lbr_regex_cache_entries"} {
 		if !strings.Contains(body, name+" ") {
 			t.Errorf("%s missing", name)
 		}

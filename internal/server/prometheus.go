@@ -104,6 +104,8 @@ func writeMetricsProm(w http.ResponseWriter, snap Snapshot) {
 		promHistogram(w, "lbr_stage_duration_seconds", fmt.Sprintf("stage=%q", sl.Stage), stageBoundsMS[:], sl.Buckets, sl.SumMS)
 	}
 
+	promSimple(w, "lbr_regex_cache_entries", "gauge", "Compiled FILTER regex patterns held by the engine's size-bounded cache.", snap.RegexCacheEntries)
+
 	if snap.WAL != nil {
 		promSimple(w, "lbr_wal_appends_total", "counter", "Mutation batches fsynced to the write-ahead log.", snap.WAL.Appends)
 		promSimple(w, "lbr_wal_replayed_total", "counter", "WAL entries applied on crash recovery.", snap.WAL.Replayed)

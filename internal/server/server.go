@@ -181,6 +181,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// ShardStats likewise never forces a build; shards that have not
 	// materialized a snapshot yet report their last compacted base.
 	snap.Shards = s.store.ShardStats()
+	snap.RegexCacheEntries = int64(lbr.RegexCacheSize())
 	if wantsPrometheus(r) {
 		writeMetricsProm(w, snap)
 		return

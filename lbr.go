@@ -438,6 +438,12 @@ func sortedTriples(m map[string]Triple) []Triple {
 // mutation.
 func (s *Store) CacheStats() engine.CacheStats { return s.cache.Stats() }
 
+// RegexCacheSize reports the number of compiled FILTER regex(…) patterns
+// the engine currently caches. The cache is process-wide (patterns come
+// from query text and are shared across stores and shards) and
+// size-bounded; the server surfaces this on /metrics.
+func RegexCacheSize() int { return engine.RegexCacheSize() }
+
 // SnapshotGeneration reports the generation number of the current index
 // snapshot, building it first if the store was mutated or never built.
 // Generations increase by one per (re)build, so two equal generations
